@@ -1,0 +1,65 @@
+// Experiment F4 (DESIGN.md): the §1 contrast with Kapron et al. [16].
+// Committee-election agreement is polylog-fast against NON-adaptive
+// corruption, pays a nonzero intrinsic failure probability, and collapses
+// completely against an ADAPTIVE adversary that waits for the final
+// committee — which is why Theorem 5 (adaptive ⇒ exponential) does not
+// contradict its existence.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "core/api.hpp"
+
+using namespace aa;
+
+int main() {
+  std::printf("F4: committee agreement (Kapron-style analog) vs n, t = n/4\n\n");
+  Table table({"n", "t", "rounds (mean)", "log2(n)", "non-adaptive ok",
+               "analytic fail", "adaptive ok"});
+
+  Rng rng(77);
+  const int trials = 300;
+  for (int n : {64, 256, 1024, 4096, 16384}) {
+    const int t = n / 4;
+    protocols::CommitteeParams base;
+    base.n = n;
+    base.t = t;
+
+    int na_ok = 0;
+    int a_ok = 0;
+    RunningStats rounds;
+    int committee_size = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+      protocols::CommitteeParams na = base;
+      na.adaptive_adversary = false;
+      const auto out_na = protocols::run_committee_agreement(
+          na, protocols::split_inputs(n, 0.5), rng);
+      if (out_na.success) ++na_ok;
+      rounds.add(out_na.rounds);
+      committee_size = out_na.final_committee_size;
+
+      protocols::CommitteeParams ad = base;
+      ad.adaptive_adversary = true;
+      const auto out_a = protocols::run_committee_agreement(
+          ad, protocols::split_inputs(n, 0.5), rng);
+      if (out_a.success) ++a_ok;
+    }
+    // Intrinsic failure: final committee ≥ 1/3 corrupted (hypergeometric).
+    const double analytic_fail = protocols::committee_corruption_tail(
+        n, t, committee_size, (committee_size + 2) / 3);
+    table.add_row(
+        {Table::fmt_int(n), Table::fmt_int(t), Table::fmt(rounds.mean(), 1),
+         Table::fmt(std::log2(static_cast<double>(n)), 1),
+         Table::fmt(static_cast<double>(na_ok) / trials, 3),
+         Table::fmt(analytic_fail, 3),
+         Table::fmt(static_cast<double>(a_ok) / trials, 3)});
+  }
+  table.print(std::cout, "F4 committee election under both adversaries");
+  std::printf(
+      "Expected shape: rounds track log2(n) (polylog, vs the exponential F1\n"
+      "curve); non-adaptive success is high but BELOW 1 (the intrinsic\n"
+      "corrupted-committee probability — compare the analytic column);\n"
+      "adaptive success is 0.000 in every row: the adversary corrupts the\n"
+      "final committee after it is revealed, exactly the paper's §1 attack.\n");
+  return 0;
+}

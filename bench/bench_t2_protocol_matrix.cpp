@@ -1,0 +1,104 @@
+// Experiment T2 (DESIGN.md): the protocol × adversary resilience matrix —
+// the §1/§3 qualitative claims in one table.
+//
+// Expected shape:
+//   * reset-agreement survives EVERY column (Theorem 4), including the
+//     reset storm; it is merely slow vs the split-keeper.
+//   * Ben-Or / Bracha handle fair/silencer schedules (their design point)
+//     but stall under the reset storm (no rejoin path).
+//   * forgetful handles fair/silencer and is slowed by the split-keeper
+//     (Theorem 17's subject).
+#include <cstdio>
+#include <iostream>
+
+#include "core/api.hpp"
+
+using namespace aa;
+
+namespace {
+
+enum class Adv { Fair, Silencer, Random, ResetStorm, SplitKeeper };
+const char* adv_label(Adv a) {
+  switch (a) {
+    case Adv::Fair: return "fair";
+    case Adv::Silencer: return "silencer";
+    case Adv::Random: return "random+resets";
+    case Adv::ResetStorm: return "reset-storm";
+    case Adv::SplitKeeper: return "split-keeper";
+  }
+  return "?";
+}
+
+std::unique_ptr<sim::WindowAdversary> make_adv(Adv a, int t,
+                                               std::uint64_t seed) {
+  switch (a) {
+    case Adv::Fair:
+      return std::make_unique<adversary::FairWindowAdversary>();
+    case Adv::Silencer: {
+      std::vector<sim::ProcId> s;
+      for (int i = 0; i < t; ++i) s.push_back(i);
+      return std::make_unique<adversary::SilencerWindowAdversary>(s);
+    }
+    case Adv::Random:
+      return std::make_unique<adversary::RandomWindowAdversary>(t, 0.2,
+                                                                Rng(seed));
+    case Adv::ResetStorm:
+      return std::make_unique<adversary::ResetStormAdversary>(t, Rng(seed));
+    case Adv::SplitKeeper:
+      return std::make_unique<adversary::SplitKeeperAdversary>();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main() {
+  const int n = 13;
+  const int t = 2;  // t < n/6 (reset), < n/3 (bracha), < n/2 (ben-or)
+  const int trials = 5;
+  const std::int64_t horizon = 3000;
+  std::printf("T2: protocol x adversary matrix "
+              "(n=%d, t=%d, split inputs, %d trials, horizon %lld windows)\n\n",
+              n, t, trials, static_cast<long long>(horizon));
+
+  Table table({"protocol", "adversary", "decided", "agree", "valid",
+               "mean windows"});
+  const protocols::ProtocolKind kinds[] = {
+      protocols::ProtocolKind::Reset, protocols::ProtocolKind::BenOr,
+      protocols::ProtocolKind::Bracha, protocols::ProtocolKind::Forgetful};
+  const Adv advs[] = {Adv::Fair, Adv::Silencer, Adv::Random, Adv::ResetStorm,
+                      Adv::SplitKeeper};
+
+  for (const auto kind : kinds) {
+    for (const Adv a : advs) {
+      int decided = 0;
+      int agree = 0;
+      int valid = 0;
+      RunningStats windows;
+      for (int trial = 0; trial < trials; ++trial) {
+        const auto seed = static_cast<std::uint64_t>(trial) + 31;
+        auto adv = make_adv(a, t, seed);
+        const auto r = core::run_window_experiment(
+            kind, protocols::split_inputs(n, 0.5), t, *adv, horizon, seed,
+            std::nullopt, /*until_all=*/true);
+        if (r.all_decided) {
+          ++decided;
+          windows.add(static_cast<double>(r.windows_total));
+        }
+        if (r.agreement) ++agree;
+        if (r.validity) ++valid;
+      }
+      table.add_row({protocols::protocol_kind_name(kind), adv_label(a),
+                     std::to_string(decided) + "/" + std::to_string(trials),
+                     std::to_string(agree) + "/" + std::to_string(trials),
+                     std::to_string(valid) + "/" + std::to_string(trials),
+                     decided ? Table::fmt(windows.mean(), 1) : "-"});
+    }
+  }
+  table.print(std::cout, "T2 protocol x adversary");
+  std::printf(
+      "Reading: reset-agreement terminates in every row (Theorem 4); the\n"
+      "baselines keep SAFETY everywhere but lose liveness under the reset\n"
+      "storm (no rejoin path) — the failure mode resetting faults introduce.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Experiment T3 (DESIGN.md): Lemmas 11 & 13 — the progress sets Z^k_0 and
+// Z^k_1 of reachable configurations are Hamming-separated by MORE than t.
+// We sample reachable configurations of the §3 algorithm (abstract model),
+// bucket them by estimated Z^k membership, and report the minimum observed
+// inter-bucket distance for k = 0, 1, 2, plus the paper's τ threshold.
+#include <cstdio>
+#include <iostream>
+
+#include "core/api.hpp"
+
+using namespace aa;
+
+int main() {
+  std::printf("T3: Z-set Hamming separation (Lemma 11 / Lemma 13)\n\n");
+  Table table({"n", "t", "k", "tau", "|Z_0|", "|Z_1|", "min dist", "> t"});
+
+  for (const auto& [n, t] : std::vector<std::pair<int, int>>{
+           {8, 1}, {10, 1}, {12, 1}, {14, 2}}) {
+    const auto th = protocols::canonical_thresholds(n, t);
+    for (int k = 0; k <= 2; ++k) {
+      Rng rng(static_cast<std::uint64_t>(n) * 100 + k);
+      const int config_samples = k == 0 ? 600 : (k == 1 ? 200 : 80);
+      const int mc_samples = k == 0 ? 1 : 40;
+      const core::SeparationReport rep = core::measure_separation(
+          n, t, th, k, config_samples, mc_samples, rng);
+      table.add_row(
+          {Table::fmt_int(n), Table::fmt_int(t), Table::fmt_int(k),
+           Table::fmt(prob::tau_threshold(t, n), 3),
+           Table::fmt_int(rep.z0_count), Table::fmt_int(rep.z1_count),
+           rep.min_distance >= 0 ? Table::fmt_int(rep.min_distance) : "-",
+           rep.satisfies_lemma ? "yes" : "NO"});
+    }
+  }
+  table.print(std::cout, "T3 Z-set separation");
+  std::printf(
+      "Lemma 13 predicts min dist > t whenever both buckets are non-empty\n"
+      "(empty buckets are vacuous separation). Larger k buckets shrink:\n"
+      "being k windows from a forced decision is a strong condition.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Example: adversary showdown.
+//
+// Pit all four message-passing protocols against the full adversary suite
+// on the same split-input instance and watch who keeps which guarantee.
+// A compact interactive version of experiment T2.
+//
+//   ./build/examples/adversary_showdown [n] [t] [trials]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/api.hpp"
+
+using namespace aa;
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 13;
+  const int t = argc > 2 ? std::atoi(argv[2]) : 2;
+  const int trials = argc > 3 ? std::atoi(argv[3]) : 3;
+  if (n < 7 || t < 1 || 6 * t >= n) {
+    std::fprintf(stderr, "need n >= 7 and 1 <= t < n/6 (got n=%d t=%d)\n", n,
+                 t);
+    return 1;
+  }
+  std::printf("adversary showdown: n=%d t=%d, split inputs, %d trials/cell\n\n",
+              n, t, trials);
+
+  Table table({"protocol", "adversary", "all decided", "safe",
+               "mean windows"});
+  const protocols::ProtocolKind kinds[] = {
+      protocols::ProtocolKind::Reset, protocols::ProtocolKind::BenOr,
+      protocols::ProtocolKind::Bracha, protocols::ProtocolKind::Forgetful};
+  for (const auto kind : kinds) {
+    for (int a = 0; a < 4; ++a) {
+      int done = 0;
+      int safe = 0;
+      RunningStats windows;
+      std::string label;
+      for (int trial = 0; trial < trials; ++trial) {
+        const auto seed = static_cast<std::uint64_t>(trial) * 17 + 5;
+        std::unique_ptr<sim::WindowAdversary> adv;
+        switch (a) {
+          case 0:
+            adv = std::make_unique<adversary::FairWindowAdversary>();
+            break;
+          case 1: {
+            std::vector<sim::ProcId> s;
+            for (int i = 0; i < t; ++i) s.push_back(i);
+            adv = std::make_unique<adversary::SilencerWindowAdversary>(s);
+            break;
+          }
+          case 2:
+            adv = std::make_unique<adversary::ResetStormAdversary>(t,
+                                                                   Rng(seed));
+            break;
+          default:
+            adv = std::make_unique<adversary::SplitKeeperAdversary>();
+        }
+        label = adv->name();
+        const auto r = core::run_window_experiment(
+            kind, protocols::split_inputs(n, 0.5), t, *adv, 4000, seed,
+            std::nullopt, /*until_all=*/true);
+        if (r.all_decided) {
+          ++done;
+          windows.add(static_cast<double>(r.windows_total));
+        }
+        if (r.agreement && r.validity) ++safe;
+      }
+      table.add_row({protocols::protocol_kind_name(kind), label,
+                     std::to_string(done) + "/" + std::to_string(trials),
+                     std::to_string(safe) + "/" + std::to_string(trials),
+                     done ? Table::fmt(windows.mean(), 1) : "-"});
+    }
+  }
+  table.print(std::cout, "protocol x adversary");
+  std::printf("Only reset-agreement finishes under the reset storm — the\n"
+              "capability Theorem 4 buys. Safety holds everywhere: these\n"
+              "adversaries schedule and erase, they never forge.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Example: watch a resetting failure happen and heal.
+//
+// A scripted strongly adaptive adversary resets processors {0, 1} at the
+// end of window 1. The timeline shows them losing their state (round = ⊥,
+// rejoining), staying silent for a window, adopting the common round from
+// the T1 votes they observe, and re-entering the protocol — the paper's
+// "handling resets" paragraph in action.
+//
+//   ./build/examples/reset_recovery
+#include <cstdio>
+
+#include "core/api.hpp"
+
+using namespace aa;
+
+namespace {
+
+// Split-keeper delivery ordering (so convergence takes a while and the
+// rejoin is visible mid-run); resets {0,1} exactly once, in window 1.
+class ScriptedResetAdversary final : public sim::WindowAdversary {
+ public:
+  sim::WindowPlan plan_window(const sim::Execution& exec,
+                              const std::vector<sim::MsgId>& batch) override {
+    sim::WindowPlan plan = keeper_.plan_window(exec, batch);
+    if (exec.window() == 1) plan.resets = {0, 1};
+    return plan;
+  }
+  [[nodiscard]] std::string name() const override { return "scripted-reset"; }
+
+ private:
+  adversary::SplitKeeperAdversary keeper_;
+};
+
+void print_state(const sim::Execution& e, int focus_a, int focus_b) {
+  auto cell = [&](int p) {
+    const auto& proc = e.process(p);
+    if (proc.round() == sim::kBot) return std::string("RESET(rejoining)");
+    std::string s = "r=" + std::to_string(proc.round());
+    s += " x=" + std::to_string(proc.estimate());
+    s += proc.output() == sim::kBot
+             ? std::string(" out=_")
+             : " out=" + std::to_string(proc.output());
+    return s;
+  };
+  std::printf("  window %lld | proc%d: %-22s | proc%d: %-22s | decided %d/%d, "
+              "resets so far %lld\n",
+              static_cast<long long>(e.window()), focus_a,
+              cell(focus_a).c_str(), focus_b, cell(focus_b).c_str(),
+              e.decided_count(), e.n(),
+              static_cast<long long>(e.total_resets()));
+}
+
+}  // namespace
+
+int main() {
+  const int n = 12;
+  const int t = 2;
+  std::printf("reset recovery timeline (n=%d, t=%d, split inputs, resets of "
+              "procs 0 & 1 scripted at the end of window 1)\n\n",
+              n, t);
+
+  sim::Execution e(protocols::make_processes(protocols::ProtocolKind::Reset, t,
+                                             protocols::split_inputs(n, 0.5)),
+                   /*seed=*/20260612);
+  ScriptedResetAdversary adv;
+  print_state(e, 0, 1);
+  for (int w = 0; w < 40 && !e.all_live_decided(); ++w) {
+    sim::run_acceptable_window(e, adv, t);
+    print_state(e, 0, 1);
+  }
+  std::printf("\nfinal: agreement %s, validity-relevant outputs:",
+              e.outputs_agree() ? "ok" : "VIOLATED");
+  for (int p = 0; p < n; ++p) std::printf(" %d", e.output(p));
+  std::printf("\nNote the RESET(rejoining) entries right after window 1 and "
+              "the adopted round afterwards — reset detection plus rejoin, "
+              "exactly the paper's recovery path.\n");
+  return 0;
+}

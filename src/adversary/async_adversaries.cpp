@@ -1,0 +1,93 @@
+#include "adversary/async_adversaries.hpp"
+
+#include <array>
+
+#include "protocols/reset_agreement.hpp"
+#include "util/check.hpp"
+
+namespace aa::adversary {
+
+namespace {
+
+/// Pending messages addressed to live processors.
+std::vector<sim::MsgId> deliverable(const sim::Execution& exec) {
+  std::vector<sim::MsgId> out;
+  for (sim::MsgId id : exec.buffer().all_pending()) {
+    if (!exec.crashed(exec.buffer().get(id).receiver)) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace
+
+sim::AsyncAction RandomAsyncScheduler::next(const sim::Execution& exec) {
+  const std::vector<sim::MsgId> ids = deliverable(exec);
+  if (ids.empty()) return sim::StopAction{};
+  return sim::DeliverAction{ids[rng_.uniform_index(ids.size())]};
+}
+
+sim::AsyncAction FixedCrashScheduler::next(const sim::Execution& exec) {
+  if (crashed_so_far_ < to_crash_.size()) {
+    return sim::CrashAction{to_crash_[crashed_so_far_++]};
+  }
+  const std::vector<sim::MsgId> ids = deliverable(exec);
+  if (ids.empty()) return sim::StopAction{};
+  return sim::DeliverAction{ids[rng_.uniform_index(ids.size())]};
+}
+
+sim::AsyncAction AsyncSplitKeeper::next(const sim::Execution& exec) {
+  const int n = exec.n();
+  // For each receiver, partition its pending CURRENT-round votes by value
+  // and pick the value that keeps the receiver's consumed prefix balanced:
+  // deliver the value it has seen FEWER of (tie → the value with more
+  // pending, so the scarce value is stretched across the prefix). This is
+  // exactly the window-model balance_votes ordering, streamed.
+  //
+  // Among receivers, serve the one with the most pending current-round
+  // votes (keeps the system in loose lockstep).
+  std::vector<sim::MsgId> fallback;
+  sim::MsgId best = sim::kNoMsg;
+  std::size_t best_pending = 0;
+
+  for (sim::ProcId i = 0; i < n; ++i) {
+    if (exec.crashed(i)) continue;
+    const int r = exec.process(i).round();
+    if (r == sim::kBot) continue;
+    std::array<std::vector<sim::MsgId>, 2> byval;
+    for (sim::MsgId id : exec.buffer().pending_to(i)) {
+      const sim::Envelope& env = exec.buffer().get(id);
+      if (env.payload.kind != protocols::kVoteKind ||
+          env.payload.round != r ||
+          (env.payload.value != 0 && env.payload.value != 1)) {
+        // Stale/future/non-vote: deliverable any time without affecting the
+        // current round's balance (eventual-delivery obligation).
+        fallback.push_back(id);
+        continue;
+      }
+      byval[static_cast<std::size_t>(env.payload.value)].push_back(id);
+    }
+    const std::size_t pending_here = byval[0].size() + byval[1].size();
+    if (pending_here == 0 || pending_here <= best_pending) continue;
+    const auto& seen = delivered_[{i, r}];
+    std::size_t pick;
+    if (byval[0].empty()) pick = 1;
+    else if (byval[1].empty()) pick = 0;
+    else if (seen[0] != seen[1]) pick = seen[0] < seen[1] ? 0 : 1;
+    else pick = byval[0].size() >= byval[1].size() ? 0 : 1;
+    best_pending = pending_here;
+    best = byval[pick].front();
+  }
+  if (best != sim::kNoMsg) {
+    const sim::Envelope& env = exec.buffer().get(best);
+    ++delivered_[{env.receiver, env.payload.round}]
+                [static_cast<std::size_t>(env.payload.value)];
+    return sim::DeliverAction{best};
+  }
+  // No current-round votes anywhere: drain the obligations in send order.
+  if (!fallback.empty()) return sim::DeliverAction{fallback.front()};
+  const std::vector<sim::MsgId> any = deliverable(exec);
+  if (!any.empty()) return sim::DeliverAction{any.front()};
+  return sim::StopAction{};
+}
+
+}  // namespace aa::adversary

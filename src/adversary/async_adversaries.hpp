@@ -1,0 +1,73 @@
+// Asynchronous (fine-grained) adversaries for the §5 crash-failure model.
+//
+//   RandomAsyncScheduler   — uniformly random pending delivery; no crashes.
+//                            Fair with probability one (every message is
+//                            eventually delivered), so measure-one
+//                            termination forces a.s. decision under it.
+//   FixedCrashScheduler    — crashes a fixed set up front, then schedules
+//                            uniformly among messages to live processors.
+//   AsyncSplitKeeper       — the Theorem 17 adversary for forgetful, fully
+//                            communicative protocols: per receiver, delivers
+//                            current-round votes in a value-balanced order,
+//                            keeping every processor's n − t consumed votes
+//                            split below the adoption threshold and forcing
+//                            coin flips round after round. Crash-free (its
+//                            power is pure scheduling), hence trivially
+//                            within any crash budget.
+#pragma once
+
+#include <array>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/async.hpp"
+#include "util/rng.hpp"
+
+namespace aa::adversary {
+
+class RandomAsyncScheduler final : public sim::AsyncAdversary {
+ public:
+  explicit RandomAsyncScheduler(Rng rng) : rng_(rng) {}
+  sim::AsyncAction next(const sim::Execution& exec) override;
+  [[nodiscard]] std::string name() const override { return "random-async"; }
+
+ private:
+  Rng rng_;
+};
+
+class FixedCrashScheduler final : public sim::AsyncAdversary {
+ public:
+  /// Crashes every processor in `to_crash` (≤ t enforced by the driver)
+  /// before any delivery, then behaves like RandomAsyncScheduler.
+  FixedCrashScheduler(std::vector<sim::ProcId> to_crash, Rng rng)
+      : to_crash_(std::move(to_crash)), rng_(rng) {}
+  sim::AsyncAction next(const sim::Execution& exec) override;
+  [[nodiscard]] std::string name() const override { return "fixed-crash"; }
+
+ private:
+  std::vector<sim::ProcId> to_crash_;
+  std::size_t crashed_so_far_ = 0;
+  Rng rng_;
+};
+
+/// Theorem 17's scheduling adversary (see class comment above).
+/// Stateful: tracks how many votes of each value it has delivered to each
+/// (receiver, round) so it can alternate strictly — the same prefix-balance
+/// the window-model SplitKeeperAdversary enforces. A delivery it returns is
+/// assumed applied (run_async guarantees this).
+class AsyncSplitKeeper final : public sim::AsyncAdversary {
+ public:
+  AsyncSplitKeeper() = default;
+  sim::AsyncAction next(const sim::Execution& exec) override;
+  [[nodiscard]] std::string name() const override {
+    return "async-split-keeper";
+  }
+
+ private:
+  /// delivered[(receiver, round)] = {count of 0-votes, count of 1-votes}.
+  std::map<std::pair<sim::ProcId, int>, std::array<int, 2>> delivered_;
+};
+
+}  // namespace aa::adversary

@@ -1,0 +1,186 @@
+#include "adversary/window_adversaries.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <tuple>
+
+#include "protocols/reset_agreement.hpp"
+#include "util/check.hpp"
+
+namespace aa::adversary {
+
+namespace {
+
+std::vector<sim::ProcId> all_senders(int n) {
+  std::vector<sim::ProcId> ids(static_cast<std::size_t>(n));
+  std::iota(ids.begin(), ids.end(), 0);
+  return ids;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- fair ----
+
+sim::WindowPlan FairWindowAdversary::plan_window(
+    const sim::Execution& exec, const std::vector<sim::MsgId>& /*batch*/) {
+  sim::WindowPlan plan;
+  plan.delivery_order.assign(static_cast<std::size_t>(exec.n()),
+                             all_senders(exec.n()));
+  return plan;
+}
+
+// ------------------------------------------------------------ silencer ----
+
+SilencerWindowAdversary::SilencerWindowAdversary(
+    std::vector<sim::ProcId> silenced)
+    : silenced_(std::move(silenced)) {}
+
+sim::WindowPlan SilencerWindowAdversary::plan_window(
+    const sim::Execution& exec, const std::vector<sim::MsgId>& /*batch*/) {
+  const int n = exec.n();
+  std::vector<bool> is_silenced(static_cast<std::size_t>(n), false);
+  for (sim::ProcId p : silenced_) {
+    AA_REQUIRE(p >= 0 && p < n, "silencer: bad processor id");
+    is_silenced[static_cast<std::size_t>(p)] = true;
+  }
+  std::vector<sim::ProcId> order;
+  for (sim::ProcId s = 0; s < n; ++s) {
+    if (!is_silenced[static_cast<std::size_t>(s)]) order.push_back(s);
+  }
+  sim::WindowPlan plan;
+  plan.delivery_order.assign(static_cast<std::size_t>(n), order);
+  return plan;
+}
+
+// -------------------------------------------------------------- random ----
+
+RandomWindowAdversary::RandomWindowAdversary(int t, double reset_prob, Rng rng)
+    : t_(t), reset_prob_(reset_prob), rng_(rng) {
+  AA_REQUIRE(t >= 0, "random adversary: t must be non-negative");
+  AA_REQUIRE(reset_prob >= 0.0 && reset_prob <= 1.0,
+             "random adversary: reset_prob out of [0,1]");
+}
+
+sim::WindowPlan RandomWindowAdversary::plan_window(
+    const sim::Execution& exec, const std::vector<sim::MsgId>& /*batch*/) {
+  const int n = exec.n();
+  sim::WindowPlan plan;
+  plan.delivery_order.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    std::vector<sim::ProcId> ids = all_senders(n);
+    // Fisher–Yates shuffle, then keep a random (n − t)-prefix as S_i.
+    for (std::size_t j = 0; j + 1 < ids.size(); ++j) {
+      const std::size_t k = j + rng_.uniform_index(ids.size() - j);
+      std::swap(ids[j], ids[k]);
+    }
+    ids.resize(static_cast<std::size_t>(n - t_));
+    plan.delivery_order.push_back(std::move(ids));
+  }
+  for (sim::ProcId p = 0; p < n; ++p) {
+    if (static_cast<int>(plan.resets.size()) >= t_) break;
+    if (!exec.crashed(p) && rng_.bernoulli(reset_prob_)) plan.resets.push_back(p);
+  }
+  return plan;
+}
+
+// --------------------------------------------------------- reset storm ----
+
+ResetStormAdversary::ResetStormAdversary(int t, Rng rng) : t_(t), rng_(rng) {
+  AA_REQUIRE(t >= 0, "reset storm: t must be non-negative");
+}
+
+sim::WindowPlan ResetStormAdversary::plan_window(
+    const sim::Execution& exec, const std::vector<sim::MsgId>& /*batch*/) {
+  const int n = exec.n();
+  sim::WindowPlan plan;
+  plan.delivery_order.assign(static_cast<std::size_t>(n), all_senders(n));
+  std::vector<sim::ProcId> ids = all_senders(n);
+  for (int i = 0; i < t_ && i < n; ++i) {
+    const std::size_t j =
+        static_cast<std::size_t>(i) +
+        rng_.uniform_index(ids.size() - static_cast<std::size_t>(i));
+    std::swap(ids[static_cast<std::size_t>(i)], ids[j]);
+    if (!exec.crashed(ids[static_cast<std::size_t>(i)]))
+      plan.resets.push_back(ids[static_cast<std::size_t>(i)]);
+  }
+  return plan;
+}
+
+// -------------------------------------------------------- split keeper ----
+
+std::vector<sim::ProcId> balance_votes(
+    const std::vector<std::tuple<sim::ProcId, int, int>>& votes) {
+  // Group by round, ascending.
+  std::map<int, std::array<std::vector<sim::ProcId>, 2>> by_round;
+  for (const auto& [sender, round, value] : votes) {
+    AA_CHECK(value == 0 || value == 1, "balance_votes: non-bit vote");
+    by_round[round][static_cast<std::size_t>(value)].push_back(sender);
+  }
+  std::vector<sim::ProcId> order;
+  order.reserve(votes.size());
+  for (auto& [round, groups] : by_round) {
+    (void)round;
+    auto& zeros = groups[0];
+    auto& ones = groups[1];
+    // Strict alternation starting with the MAJORITY value, so that any
+    // prefix of length L contains at most ⌈L/2⌉ of either value.
+    std::size_t zi = 0;
+    std::size_t oi = 0;
+    bool turn_zero = zeros.size() >= ones.size();
+    while (zi < zeros.size() || oi < ones.size()) {
+      if (turn_zero && zi < zeros.size()) order.push_back(zeros[zi++]);
+      else if (!turn_zero && oi < ones.size()) order.push_back(ones[oi++]);
+      else if (zi < zeros.size()) order.push_back(zeros[zi++]);
+      else order.push_back(ones[oi++]);
+      turn_zero = !turn_zero;
+    }
+  }
+  return order;
+}
+
+sim::WindowPlan SplitKeeperAdversary::plan_window(
+    const sim::Execution& exec, const std::vector<sim::MsgId>& batch) {
+  const int n = exec.n();
+  sim::WindowPlan plan;
+  plan.delivery_order.resize(static_cast<std::size_t>(n));
+
+  // Collect this window's votes per receiver (full information).
+  std::vector<std::vector<std::tuple<sim::ProcId, int, int>>> votes(
+      static_cast<std::size_t>(n));
+  std::vector<std::vector<sim::ProcId>> non_votes(static_cast<std::size_t>(n));
+  for (sim::MsgId id : batch) {
+    if (!exec.buffer().is_pending(id)) continue;
+    const sim::Envelope& env = exec.buffer().get(id);
+    if (env.payload.kind == protocols::kVoteKind &&
+        (env.payload.value == 0 || env.payload.value == 1)) {
+      votes[static_cast<std::size_t>(env.receiver)].emplace_back(
+          env.sender, env.payload.round, env.payload.value);
+    } else {
+      non_votes[static_cast<std::size_t>(env.receiver)].push_back(env.sender);
+    }
+  }
+
+  for (int i = 0; i < n; ++i) {
+    std::vector<sim::ProcId> order =
+        balance_votes(votes[static_cast<std::size_t>(i)]);
+    // Append senders of non-vote messages and everyone who sent nothing so
+    // that S_i = [n] (the split-keeper never silences anyone — only the
+    // delivery ORDER is adversarial).
+    std::vector<bool> present(static_cast<std::size_t>(n), false);
+    for (sim::ProcId s : order) present[static_cast<std::size_t>(s)] = true;
+    for (sim::ProcId s : non_votes[static_cast<std::size_t>(i)]) {
+      if (!present[static_cast<std::size_t>(s)]) {
+        present[static_cast<std::size_t>(s)] = true;
+        order.push_back(s);
+      }
+    }
+    for (sim::ProcId s = 0; s < n; ++s) {
+      if (!present[static_cast<std::size_t>(s)]) order.push_back(s);
+    }
+    plan.delivery_order[static_cast<std::size_t>(i)] = std::move(order);
+  }
+  return plan;
+}
+
+}  // namespace aa::adversary

@@ -1,0 +1,104 @@
+// Strongly adaptive (acceptable-window) adversaries — §2/§3 of the paper.
+//
+// All of these obey Definition 1 (|S_i| ≥ n − t, ≤ t resets per window) and
+// exercise different slices of the adversary's power:
+//
+//   FairWindowAdversary       — deliver everything, reset nobody (benign).
+//   SilencerWindowAdversary   — permanently silence a fixed t-set: the
+//                               classical "t crashed processors" schedule.
+//   RandomWindowAdversary     — random S_i sets, random delivery order,
+//                               optional random resets (Monte-Carlo fuzzing
+//                               of the measure-one properties).
+//   ResetStormAdversary       — deliver everything but reset a fresh
+//                               random t-set every window (maximal use of
+//                               the resetting power).
+//   SplitKeeperAdversary      — the §3-end exponential-time adversary:
+//                               orders each receiver's deliveries so the
+//                               first T1 votes it consumes are split as
+//                               evenly as possible, keeping every processor
+//                               below the T3/T2 thresholds and forcing
+//                               fresh coin flips every round.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/window.hpp"
+#include "util/rng.hpp"
+
+namespace aa::adversary {
+
+/// Deliver all messages (sender-id order), no resets.
+class FairWindowAdversary final : public sim::WindowAdversary {
+ public:
+  sim::WindowPlan plan_window(const sim::Execution& exec,
+                              const std::vector<sim::MsgId>& batch) override;
+  [[nodiscard]] std::string name() const override { return "fair"; }
+};
+
+/// Never deliver from the fixed set `silenced` (must have ≤ t elements);
+/// no resets. Models t crashed/partitioned processors.
+class SilencerWindowAdversary final : public sim::WindowAdversary {
+ public:
+  explicit SilencerWindowAdversary(std::vector<sim::ProcId> silenced);
+  sim::WindowPlan plan_window(const sim::Execution& exec,
+                              const std::vector<sim::MsgId>& batch) override;
+  [[nodiscard]] std::string name() const override { return "silencer"; }
+
+ private:
+  std::vector<sim::ProcId> silenced_;
+};
+
+/// Per-window random S_i of size exactly n − t in random order; resets each
+/// processor independently with probability `reset_prob` up to the budget t.
+class RandomWindowAdversary final : public sim::WindowAdversary {
+ public:
+  RandomWindowAdversary(int t, double reset_prob, Rng rng);
+  sim::WindowPlan plan_window(const sim::Execution& exec,
+                              const std::vector<sim::MsgId>& batch) override;
+  [[nodiscard]] std::string name() const override { return "random"; }
+
+ private:
+  int t_;
+  double reset_prob_;
+  Rng rng_;
+};
+
+/// Deliver everything, then reset a fresh uniformly random t-subset.
+class ResetStormAdversary final : public sim::WindowAdversary {
+ public:
+  ResetStormAdversary(int t, Rng rng);
+  sim::WindowPlan plan_window(const sim::Execution& exec,
+                              const std::vector<sim::MsgId>& batch) override;
+  [[nodiscard]] std::string name() const override { return "reset-storm"; }
+
+ private:
+  int t_;
+  Rng rng_;
+};
+
+/// The §3 exponential-time adversary for threshold-voting protocols
+/// (reset-agreement / forgetful): every receiver's deliveries are ordered
+/// round-by-round with 0-votes and 1-votes strictly alternating, so the
+/// first T1 votes a processor consumes contain ≤ ⌈T1/2⌉ of either value —
+/// below T3 (> n/2), hence below T2 — and every processor re-randomizes its
+/// estimate. Decisions only happen when the coin flips spontaneously
+/// produce a strong majority: probability 2^{−Θ(n)} per round.
+///
+/// Needs no resets and delivers every message (S_i = [n]): only the ORDER
+/// is adversarial. This makes it simultaneously a legal strongly adaptive
+/// adversary and a legal crash-model adversary with zero crashes.
+class SplitKeeperAdversary final : public sim::WindowAdversary {
+ public:
+  sim::WindowPlan plan_window(const sim::Execution& exec,
+                              const std::vector<sim::MsgId>& batch) override;
+  [[nodiscard]] std::string name() const override { return "split-keeper"; }
+};
+
+/// Helper shared with the async split-keeper: produce an ordering of the
+/// given (sender, round, value) vote triples that alternates values within
+/// each round, rounds ascending. Returns sender ids in delivery order.
+[[nodiscard]] std::vector<sim::ProcId> balance_votes(
+    const std::vector<std::tuple<sim::ProcId, int, int>>& votes);
+
+}  // namespace aa::adversary

@@ -1,0 +1,73 @@
+#include "core/checker.hpp"
+
+#include "util/stats.hpp"
+
+namespace aa::core {
+
+MeasureOneReport check_measure_one_window(
+    protocols::ProtocolKind kind, const std::vector<int>& inputs, int t,
+    const WindowAdversaryFactory& make_adversary, int trials,
+    std::int64_t max_windows, std::uint64_t seed0,
+    std::optional<protocols::Thresholds> th) {
+  MeasureOneReport rep;
+  rep.trials = trials;
+  RunningStats windows;
+  for (int i = 0; i < trials; ++i) {
+    const std::uint64_t seed = seed0 + static_cast<std::uint64_t>(i);
+    auto adv = make_adversary(seed);
+    const WindowRunResult r = run_window_experiment(
+        kind, inputs, t, *adv, max_windows, seed, th, /*until_all=*/true);
+    bool bad = false;
+    if (!r.agreement) {
+      ++rep.agreement_violations;
+      bad = true;
+    }
+    if (!r.validity) {
+      ++rep.validity_violations;
+      bad = true;
+    }
+    if (bad) rep.violating_seeds.push_back(seed);
+    if (r.decided) {
+      ++rep.decided_runs;
+      windows.add(static_cast<double>(r.windows_to_first));
+    }
+    if (r.all_decided) ++rep.all_decided_runs;
+  }
+  rep.mean_windows_to_first = windows.mean();
+  return rep;
+}
+
+MeasureOneReport check_measure_one_async(
+    protocols::ProtocolKind kind, const std::vector<int>& inputs, int t,
+    const AsyncAdversaryFactory& make_adversary, int trials,
+    std::int64_t max_deliveries, std::uint64_t seed0,
+    std::optional<protocols::Thresholds> th) {
+  MeasureOneReport rep;
+  rep.trials = trials;
+  RunningStats chains;
+  for (int i = 0; i < trials; ++i) {
+    const std::uint64_t seed = seed0 + static_cast<std::uint64_t>(i);
+    auto adv = make_adversary(seed);
+    const AsyncRunOutcome r = run_async_experiment(
+        kind, inputs, t, *adv, max_deliveries, seed, th, /*until_all=*/true);
+    bool bad = false;
+    if (!r.agreement) {
+      ++rep.agreement_violations;
+      bad = true;
+    }
+    if (!r.validity) {
+      ++rep.validity_violations;
+      bad = true;
+    }
+    if (bad) rep.violating_seeds.push_back(seed);
+    if (r.decided) {
+      ++rep.decided_runs;
+      chains.add(static_cast<double>(r.chain_at_decision));
+    }
+    if (r.all_decided) ++rep.all_decided_runs;
+  }
+  rep.mean_windows_to_first = chains.mean();
+  return rep;
+}
+
+}  // namespace aa::core

@@ -1,0 +1,56 @@
+// Monte-Carlo measure-one checkers (Definitions 2 and 3 of the paper).
+//
+// Measure-one correctness and termination are probability-one statements
+// over infinite executions; a simulator can falsify them (find a reachable
+// violation) and can accumulate statistical evidence for them. These
+// checkers run many independent seeded executions under a caller-supplied
+// adversary factory and report every violation with its seed, so any
+// failure is exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/harness.hpp"
+
+namespace aa::core {
+
+/// Fresh adversary per trial (adversaries may be stateful).
+using WindowAdversaryFactory =
+    std::function<std::unique_ptr<sim::WindowAdversary>(std::uint64_t seed)>;
+using AsyncAdversaryFactory =
+    std::function<std::unique_ptr<sim::AsyncAdversary>(std::uint64_t seed)>;
+
+struct MeasureOneReport {
+  int trials = 0;
+  int agreement_violations = 0;
+  int validity_violations = 0;
+  int decided_runs = 0;        ///< trials where some processor decided
+  int all_decided_runs = 0;    ///< trials where all live processors decided
+  double mean_windows_to_first = 0.0;  ///< over deciding runs
+  std::vector<std::uint64_t> violating_seeds;
+
+  [[nodiscard]] bool clean() const noexcept {
+    return agreement_violations == 0 && validity_violations == 0;
+  }
+};
+
+/// Window-model checker: `trials` runs of `kind` on `inputs` with budget t,
+/// each for at most `max_windows` windows, seeds seed0, seed0+1, ...
+[[nodiscard]] MeasureOneReport check_measure_one_window(
+    protocols::ProtocolKind kind, const std::vector<int>& inputs, int t,
+    const WindowAdversaryFactory& make_adversary, int trials,
+    std::int64_t max_windows, std::uint64_t seed0,
+    std::optional<protocols::Thresholds> th = std::nullopt);
+
+/// Async crash-model checker, same shape.
+[[nodiscard]] MeasureOneReport check_measure_one_async(
+    protocols::ProtocolKind kind, const std::vector<int>& inputs, int t,
+    const AsyncAdversaryFactory& make_adversary, int trials,
+    std::int64_t max_deliveries, std::uint64_t seed0,
+    std::optional<protocols::Thresholds> th = std::nullopt);
+
+}  // namespace aa::core

@@ -1,0 +1,52 @@
+#include "core/lowerbound.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "prob/talagrand.hpp"
+#include "util/check.hpp"
+
+namespace aa::core {
+
+TheoremConstants theorem5_constants(int n, double c, int max_n_scan) {
+  AA_REQUIRE(n > 0, "theorem5_constants: n must be positive");
+  AA_REQUIRE(c > 0.0 && c < 1.0, "theorem5_constants: c must be in (0,1)");
+  AA_REQUIRE(max_n_scan >= n || max_n_scan >= 1,
+             "theorem5_constants: bad scan bound");
+
+  TheoremConstants tc;
+  tc.c = c;
+  tc.n = n;
+  tc.t = static_cast<int>(c * n);
+  tc.alpha = c * c / 9.0;
+
+  // C := min over n' of ¼·e^{(cn'−1)²/8n' − αn'} (equation (3) rearranged).
+  // The exponent (cn−1)²/8n − αn → (c²/8 − c²/9)n − c/4 + ... grows linearly
+  // for large n, so the minimum is attained at small n'.
+  double log_c_best = 0.0;
+  bool first = true;
+  for (int np = 1; np <= std::max(max_n_scan, n); ++np) {
+    const double cn1 = c * np - 1.0;
+    const double log_bound =
+        std::log(0.25) + cn1 * cn1 / (8.0 * np) - tc.alpha * np;
+    if (first || log_bound < log_c_best) {
+      log_c_best = log_bound;
+      first = false;
+    }
+  }
+  tc.big_c = std::exp(log_c_best);
+
+  const double log_e = log_c_best + tc.alpha * n;
+  tc.log10_e = log_e / std::log(10.0);
+  tc.e_windows = std::exp(log_e);
+
+  tc.tau = prob::tau_threshold(tc.t, n);
+  tc.eta = tc.t >= 1 ? prob::eta_threshold(tc.t, n) : 1.0;
+
+  const double cn1 = c * n - 1.0;
+  const double log_fail = std::log(2.0) + log_e - cn1 * cn1 / (8.0 * n);
+  tc.success_lb = 1.0 - std::exp(log_fail);
+  return tc;
+}
+
+}  // namespace aa::core

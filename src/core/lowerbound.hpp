@@ -1,0 +1,32 @@
+// Theorem 5's arithmetic: the concrete constants α, C, E, τ, η, and the
+// adversary's success-probability bound, computable for any (n, c).
+//
+//   α := c²/9                                           (§4.3)
+//   C := the largest constant with C·e^{αn} ≤ ¼·e^{(cn−1)²/8n} for ALL n ≥ 1
+//   E := C·e^{αn}      — the windows the adversary keeps undecided
+//   τ := e^{−t²/8n},  η := e^{−(t−1)²/8n}               (Lemmas 13 & 14)
+//   success ≥ 1 − 2E·e^{−(cn−1)²/8n} ≥ 1/2              (§4.3)
+#pragma once
+
+namespace aa::core {
+
+struct TheoremConstants {
+  double c = 0.0;       ///< fault fraction t = cn
+  int n = 0;
+  int t = 0;            ///< ⌊cn⌋
+  double alpha = 0.0;   ///< c²/9
+  double big_c = 0.0;   ///< the absolute constant C
+  double e_windows = 0.0;  ///< E = C·e^{αn} (may overflow to inf for huge n)
+  double log10_e = 0.0;    ///< log10(E) — usable at any n
+  double tau = 0.0;
+  double eta = 0.0;
+  double success_lb = 0.0;  ///< 1 − 2E·e^{−(cn−1)²/8n}
+};
+
+/// Compute every constant of Theorem 5 for (n, c). `c` in (0, 1).
+/// C is minimized numerically over n' = 1..max_n_scan (the constraint binds
+/// at small n'; the default scan is far beyond the binding region).
+[[nodiscard]] TheoremConstants theorem5_constants(int n, double c,
+                                                  int max_n_scan = 4096);
+
+}  // namespace aa::core

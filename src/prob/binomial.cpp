@@ -1,0 +1,66 @@
+#include "prob/binomial.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace aa::prob {
+
+double log_choose(std::int64_t n, std::int64_t k) {
+  AA_REQUIRE(n >= 0, "log_choose: n must be non-negative");
+  if (k < 0 || k > n) return -std::numeric_limits<double>::infinity();
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double binom_pmf(std::int64_t n, std::int64_t k, double p) {
+  AA_REQUIRE(p >= 0.0 && p <= 1.0, "binom_pmf: p out of [0,1]");
+  if (k < 0 || k > n) return 0.0;
+  if (p == 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p == 1.0) return k == n ? 1.0 : 0.0;
+  const double lg = log_choose(n, k) + static_cast<double>(k) * std::log(p) +
+                    static_cast<double>(n - k) * std::log1p(-p);
+  return std::exp(lg);
+}
+
+double binom_cdf(std::int64_t n, std::int64_t k, double p) {
+  if (k < 0) return 0.0;
+  if (k >= n) return 1.0;
+  double total = 0.0;
+  for (std::int64_t i = 0; i <= k; ++i) total += binom_pmf(n, i, p);
+  return total > 1.0 ? 1.0 : total;
+}
+
+double binom_tail_ge(std::int64_t n, std::int64_t k, double p) {
+  if (k <= 0) return 1.0;
+  if (k > n) return 0.0;
+  // Sum the smaller side for accuracy.
+  if (k > n / 2) {
+    double total = 0.0;
+    for (std::int64_t i = k; i <= n; ++i) total += binom_pmf(n, i, p);
+    return total > 1.0 ? 1.0 : total;
+  }
+  return 1.0 - binom_cdf(n, k - 1, p);
+}
+
+double hoeffding_upper(std::int64_t n, double eps) {
+  AA_REQUIRE(n > 0, "hoeffding_upper: n must be positive");
+  AA_REQUIRE(eps >= 0.0, "hoeffding_upper: eps must be non-negative");
+  return std::exp(-2.0 * static_cast<double>(n) * eps * eps);
+}
+
+double strong_majority_probability(std::int64_t n, std::int64_t k) {
+  AA_REQUIRE(n > 0, "strong_majority_probability: n must be positive");
+  const double tail = binom_tail_ge(n, k, 0.5);
+  if (2 * k > n) return std::min(1.0, 2.0 * tail);  // disjoint events
+  return 1.0;  // k ≤ n/2: some value always has ≥ k ≥ ... actually ≥ ⌈n/2⌉ ≥ k
+}
+
+double expected_rounds_until(double q) {
+  AA_REQUIRE(q > 0.0 && q <= 1.0, "expected_rounds_until: q out of (0,1]");
+  return 1.0 / q;
+}
+
+}  // namespace aa::prob

@@ -1,0 +1,39 @@
+// Exact binomial probabilities and tail bounds.
+//
+// Used to quantify the §3 running-time discussion: a decision requires a
+// strong majority among ~n fair coins, which happens with probability
+// exponentially small in n — the source of the algorithm's exponential
+// expected running time.
+#pragma once
+
+#include <cstdint>
+
+namespace aa::prob {
+
+/// log(n choose k) via lgamma; exact enough for all our n.
+[[nodiscard]] double log_choose(std::int64_t n, std::int64_t k);
+
+/// P[Bin(n, p) = k].
+[[nodiscard]] double binom_pmf(std::int64_t n, std::int64_t k, double p);
+
+/// P[Bin(n, p) ≤ k] by direct summation.
+[[nodiscard]] double binom_cdf(std::int64_t n, std::int64_t k, double p);
+
+/// P[Bin(n, p) ≥ k].
+[[nodiscard]] double binom_tail_ge(std::int64_t n, std::int64_t k, double p);
+
+/// Hoeffding upper bound on P[Bin(n, p) ≥ n(p + eps)] = e^{−2 n eps²}.
+[[nodiscard]] double hoeffding_upper(std::int64_t n, double eps);
+
+/// Probability that n independent fair coins contain ≥ k of SOME common
+/// value (0 or 1). For k > n/2 this is P[#1 ≥ k] + P[#0 ≥ k]. This is the
+/// per-round chance that randomized votes spontaneously form the strong
+/// majority the §3 algorithm needs to decide.
+[[nodiscard]] double strong_majority_probability(std::int64_t n,
+                                                 std::int64_t k);
+
+/// Expected number of rounds until a geometric event of probability q
+/// first occurs (1/q); convenience for the exponential-rounds discussion.
+[[nodiscard]] double expected_rounds_until(double q);
+
+}  // namespace aa::prob

@@ -1,0 +1,76 @@
+#include "prob/dist.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace aa::prob {
+
+FiniteDist::FiniteDist(std::vector<double> probs) : probs_(std::move(probs)) {
+  AA_REQUIRE(!probs_.empty(), "FiniteDist: empty support");
+  double total = 0.0;
+  for (double p : probs_) {
+    AA_REQUIRE(p >= 0.0, "FiniteDist: negative probability");
+    total += p;
+  }
+  AA_REQUIRE(total > 0.0, "FiniteDist: zero total mass");
+  AA_REQUIRE(std::abs(total - 1.0) < 1e-6,
+             "FiniteDist: probabilities must sum to 1");
+  for (double& p : probs_) p /= total;  // exact renormalization
+  cdf_.resize(probs_.size());
+  std::partial_sum(probs_.begin(), probs_.end(), cdf_.begin());
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+FiniteDist FiniteDist::point_mass(int symbol, int k) {
+  AA_REQUIRE(k > 0 && symbol >= 0 && symbol < k,
+             "point_mass: symbol out of alphabet");
+  std::vector<double> p(static_cast<std::size_t>(k), 0.0);
+  p[static_cast<std::size_t>(symbol)] = 1.0;
+  return FiniteDist(std::move(p));
+}
+
+FiniteDist FiniteDist::uniform(int k) {
+  AA_REQUIRE(k > 0, "uniform: k must be positive");
+  return FiniteDist(
+      std::vector<double>(static_cast<std::size_t>(k), 1.0 / k));
+}
+
+FiniteDist FiniteDist::bernoulli(double p) {
+  AA_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli: p out of [0,1]");
+  return FiniteDist({1.0 - p, p});
+}
+
+FiniteDist FiniteDist::random(int k, Rng& rng) {
+  AA_REQUIRE(k > 0, "random: k must be positive");
+  std::vector<double> w(static_cast<std::size_t>(k));
+  double total = 0.0;
+  for (double& x : w) {
+    x = -std::log(1.0 - rng.next_double());  // Exp(1) variates
+    total += x;
+  }
+  for (double& x : w) x /= total;
+  return FiniteDist(std::move(w));
+}
+
+double FiniteDist::p(int symbol) const {
+  AA_REQUIRE(symbol >= 0 && symbol < alphabet_size(),
+             "FiniteDist::p: symbol out of alphabet");
+  return probs_[static_cast<std::size_t>(symbol)];
+}
+
+int FiniteDist::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  // Binary search the inclusive-prefix cdf for the first index with cdf > u.
+  int lo = 0;
+  int hi = alphabet_size() - 1;
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    if (cdf_[static_cast<std::size_t>(mid)] > u) hi = mid;
+    else lo = mid + 1;
+  }
+  return lo;
+}
+
+}  // namespace aa::prob

@@ -1,0 +1,50 @@
+// Finite probability distributions over the alphabet {0, 1, ..., k-1}.
+//
+// These are the per-coordinate factors Ω_i of the product measures in §4.1
+// of the paper. Arbitrary finite supports are allowed — the lower-bound
+// technique's selling point is tolerating "arbitrary use of randomness".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace aa::prob {
+
+class FiniteDist {
+ public:
+  /// Probabilities for symbols 0..k-1; must be non-negative and sum to 1
+  /// within tolerance (renormalized exactly on construction).
+  explicit FiniteDist(std::vector<double> probs);
+
+  /// Point mass on `symbol` within an alphabet of size `k`.
+  static FiniteDist point_mass(int symbol, int k);
+
+  /// Uniform over an alphabet of size `k`.
+  static FiniteDist uniform(int k);
+
+  /// Bernoulli(p) on {0,1}: P[1] = p.
+  static FiniteDist bernoulli(double p);
+
+  /// Random distribution over alphabet of size `k` (Dirichlet-ish via
+  /// normalized exponentials) — used by property tests and F3.
+  static FiniteDist random(int k, Rng& rng);
+
+  [[nodiscard]] int alphabet_size() const noexcept {
+    return static_cast<int>(probs_.size());
+  }
+  [[nodiscard]] double p(int symbol) const;
+  [[nodiscard]] const std::vector<double>& probs() const noexcept {
+    return probs_;
+  }
+
+  /// Sample one symbol.
+  [[nodiscard]] int sample(Rng& rng) const;
+
+ private:
+  std::vector<double> probs_;
+  std::vector<double> cdf_;  // inclusive prefix sums for sampling
+};
+
+}  // namespace aa::prob

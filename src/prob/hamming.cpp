@@ -1,0 +1,48 @@
+#include "prob/hamming.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace aa::prob {
+
+int hamming(const Point& x, const Point& y) {
+  AA_REQUIRE(x.size() == y.size(), "hamming: dimension mismatch");
+  int d = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] != y[i]) ++d;
+  }
+  return d;
+}
+
+int hamming_to_set(const Point& x, const std::vector<Point>& A) {
+  AA_REQUIRE(!A.empty(), "hamming_to_set: empty set");
+  int best = static_cast<int>(x.size()) + 1;
+  for (const Point& a : A) best = std::min(best, hamming(x, a));
+  return best;
+}
+
+int hamming_between_sets(const std::vector<Point>& A,
+                         const std::vector<Point>& B) {
+  AA_REQUIRE(!A.empty() && !B.empty(), "hamming_between_sets: empty set");
+  int best = static_cast<int>(A.front().size()) + 1;
+  for (const Point& a : A) {
+    for (const Point& b : B) best = std::min(best, hamming(a, b));
+    if (best == 0) return 0;
+  }
+  return best;
+}
+
+bool in_ball(const Point& x, const std::vector<Point>& A, int d) {
+  AA_REQUIRE(!A.empty(), "in_ball: empty set");
+  for (const Point& a : A) {
+    if (hamming(x, a) <= d) return true;
+  }
+  return false;
+}
+
+SetPredicate ball_predicate(std::vector<Point> A, int d) {
+  return [A = std::move(A), d](const Point& x) { return in_ball(x, A, d); };
+}
+
+}  // namespace aa::prob

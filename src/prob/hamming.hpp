@@ -1,0 +1,27 @@
+// Hamming distances between configurations and sets of configurations —
+// Definitions 6, 7, 8 of the paper.
+#pragma once
+
+#include <vector>
+
+#include "prob/product.hpp"
+
+namespace aa::prob {
+
+/// ∆(x, y): number of coordinates where the points differ.
+[[nodiscard]] int hamming(const Point& x, const Point& y);
+
+/// ∆(x, A) = min_{a ∈ A} ∆(x, a) (Definition 6). A must be non-empty.
+[[nodiscard]] int hamming_to_set(const Point& x, const std::vector<Point>& A);
+
+/// ∆(A, B) = min over pairs (Definition 7). Both sets must be non-empty.
+[[nodiscard]] int hamming_between_sets(const std::vector<Point>& A,
+                                       const std::vector<Point>& B);
+
+/// Membership in B(A, d) = {x : ∆(x, A) ≤ d} (Definition 8).
+[[nodiscard]] bool in_ball(const Point& x, const std::vector<Point>& A, int d);
+
+/// Predicate wrapper for B(A, d), usable with ProductSpace probabilities.
+[[nodiscard]] SetPredicate ball_predicate(std::vector<Point> A, int d);
+
+}  // namespace aa::prob

@@ -1,0 +1,91 @@
+#include "prob/hybrid.hpp"
+
+#include "util/check.hpp"
+
+namespace aa::prob {
+
+namespace {
+
+using Evaluator = std::function<double(const ProductSpace&, const SetPredicate&)>;
+
+HybridResult search(const ProductSpace& pi_n, const ProductSpace& pi_0,
+                    const SetPredicate& in_z0, const SetPredicate& in_z1,
+                    double eta, const Evaluator& prob_of) {
+  AA_REQUIRE(pi_n.dimension() == pi_0.dimension(),
+             "hybrid search: dimension mismatch");
+  AA_REQUIRE(eta > 0.0 && eta < 1.0, "hybrid search: eta out of (0,1)");
+
+  HybridResult r;
+  r.eta = eta;
+  const int n = pi_n.dimension();
+  for (int j = 0; j <= n; ++j) {
+    const ProductSpace pj = ProductSpace::hybrid(pi_n, pi_0, j);
+    const double p0 = prob_of(pj, in_z0);
+    if (p0 <= eta) {
+      r.j_star = j;
+      r.p_z0 = p0;
+      r.p_z1 = prob_of(pj, in_z1);
+      // Z0 and Z1 are disjoint whenever separated, so the union's mass is
+      // the sum; clamp for MC noise.
+      r.p_union = std::min(1.0, r.p_z0 + r.p_z1);
+      r.escape = 1.0 - r.p_union;
+      r.lemma_satisfied = r.p_union <= 2.0 * eta + 1e-9;
+      return r;
+    }
+  }
+  // Unreachable when the preconditions of Lemma 14 hold: j = n gives π_n,
+  // which places ≤ τ ≤ η mass on Z0 by assumption.
+  return r;
+}
+
+SetPredicate membership_of(const std::vector<Point>& set) {
+  AA_REQUIRE(!set.empty(), "hybrid search: empty target set");
+  return [&set](const Point& x) { return hamming_to_set(x, set) == 0; };
+}
+
+Evaluator exact_evaluator() {
+  return [](const ProductSpace& s, const SetPredicate& A) {
+    return s.exact_probability(A);
+  };
+}
+
+Evaluator mc_evaluator(std::size_t samples, Rng& rng) {
+  return [samples, &rng](const ProductSpace& s, const SetPredicate& A) {
+    return s.mc_probability(A, samples, rng);
+  };
+}
+
+}  // namespace
+
+HybridResult find_hybrid_exact(const ProductSpace& pi_n,
+                               const ProductSpace& pi_0,
+                               const std::vector<Point>& Z0,
+                               const std::vector<Point>& Z1, double eta) {
+  return search(pi_n, pi_0, membership_of(Z0), membership_of(Z1), eta,
+                exact_evaluator());
+}
+
+HybridResult find_hybrid_mc(const ProductSpace& pi_n, const ProductSpace& pi_0,
+                            const std::vector<Point>& Z0,
+                            const std::vector<Point>& Z1, double eta,
+                            std::size_t samples, Rng& rng) {
+  return search(pi_n, pi_0, membership_of(Z0), membership_of(Z1), eta,
+                mc_evaluator(samples, rng));
+}
+
+HybridResult find_hybrid_exact_pred(const ProductSpace& pi_n,
+                                    const ProductSpace& pi_0,
+                                    const SetPredicate& in_z0,
+                                    const SetPredicate& in_z1, double eta) {
+  return search(pi_n, pi_0, in_z0, in_z1, eta, exact_evaluator());
+}
+
+HybridResult find_hybrid_mc_pred(const ProductSpace& pi_n,
+                                 const ProductSpace& pi_0,
+                                 const SetPredicate& in_z0,
+                                 const SetPredicate& in_z1, double eta,
+                                 std::size_t samples, Rng& rng) {
+  return search(pi_n, pi_0, in_z0, in_z1, eta, mc_evaluator(samples, rng));
+}
+
+}  // namespace aa::prob

@@ -1,0 +1,65 @@
+// The coordinate-interpolation ("hybrid") argument of Lemma 14 / Lemma 21.
+//
+// Given two product distributions — π_0 that places ≤ τ mass on Z_1 and
+// π_n that places ≤ τ mass on Z_0 — interpolate one coordinate at a time.
+// Let j* be minimal with P_{π_{j*}}[Z_0] ≤ η. Then, because π_{j*} and
+// π_{j*−1} differ in one coordinate, P_{π_{j*}}[B(Z_0, 1)] ≥ P_{π_{j*−1}}[Z_0]
+// > η, and Talagrand + the ∆(Z_0, Z_1) > t separation force
+// P_{π_{j*}}[Z_1] ≤ η too. One window choice therefore avoids BOTH sets with
+// probability ≥ 1 − 2η.
+//
+// This module performs that search and verifies the escape probability,
+// exactly on enumerable spaces or by Monte-Carlo (experiment F6).
+#pragma once
+
+#include <vector>
+
+#include "prob/hamming.hpp"
+#include "prob/product.hpp"
+
+namespace aa::prob {
+
+struct HybridResult {
+  int j_star = -1;          ///< minimal j with P_{π_j}[Z0] ≤ η
+  double p_z0 = 1.0;        ///< P_{π_{j*}}[Z0]
+  double p_z1 = 1.0;        ///< P_{π_{j*}}[Z1]
+  double p_union = 1.0;     ///< P_{π_{j*}}[Z0 ∪ Z1]
+  double eta = 0.0;         ///< the threshold used
+  double escape = 0.0;      ///< 1 − p_union: probability of avoiding both
+  bool lemma_satisfied = false;  ///< p_union ≤ 2η (Lemma 14's guarantee)
+};
+
+/// Exact search: spaces must be enumerable. Z0/Z1 are explicit point lists
+/// (membership by equality); they should be Hamming-separated by > t for the
+/// lemma's guarantee to be meaningful.
+[[nodiscard]] HybridResult find_hybrid_exact(const ProductSpace& pi_n,
+                                             const ProductSpace& pi_0,
+                                             const std::vector<Point>& Z0,
+                                             const std::vector<Point>& Z1,
+                                             double eta);
+
+/// Monte-Carlo search with `samples` draws per hybrid evaluation.
+[[nodiscard]] HybridResult find_hybrid_mc(const ProductSpace& pi_n,
+                                          const ProductSpace& pi_0,
+                                          const std::vector<Point>& Z0,
+                                          const std::vector<Point>& Z1,
+                                          double eta, std::size_t samples,
+                                          Rng& rng);
+
+/// Predicate-based variants: Z0/Z1 given as membership predicates instead
+/// of explicit point lists (needed when the sets are half-spaces like
+/// "some processor decided 0" that no finite sample covers). The caller is
+/// responsible for Z0 and Z1 being disjoint.
+[[nodiscard]] HybridResult find_hybrid_exact_pred(const ProductSpace& pi_n,
+                                                  const ProductSpace& pi_0,
+                                                  const SetPredicate& in_z0,
+                                                  const SetPredicate& in_z1,
+                                                  double eta);
+[[nodiscard]] HybridResult find_hybrid_mc_pred(const ProductSpace& pi_n,
+                                               const ProductSpace& pi_0,
+                                               const SetPredicate& in_z0,
+                                               const SetPredicate& in_z1,
+                                               double eta,
+                                               std::size_t samples, Rng& rng);
+
+}  // namespace aa::prob

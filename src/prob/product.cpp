@@ -1,0 +1,137 @@
+#include "prob/product.hpp"
+
+#include "util/check.hpp"
+
+namespace aa::prob {
+
+ProductSpace::ProductSpace(std::vector<FiniteDist> coords)
+    : coords_(std::move(coords)) {
+  AA_REQUIRE(!coords_.empty(), "ProductSpace: need at least one coordinate");
+}
+
+ProductSpace ProductSpace::iid(const FiniteDist& d, int n) {
+  AA_REQUIRE(n > 0, "ProductSpace::iid: n must be positive");
+  return ProductSpace(std::vector<FiniteDist>(static_cast<std::size_t>(n), d));
+}
+
+const FiniteDist& ProductSpace::coord(int i) const {
+  AA_REQUIRE(i >= 0 && i < dimension(), "ProductSpace::coord: bad index");
+  return coords_[static_cast<std::size_t>(i)];
+}
+
+double ProductSpace::point_probability(const Point& x) const {
+  AA_REQUIRE(static_cast<int>(x.size()) == dimension(),
+             "point_probability: dimension mismatch");
+  double p = 1.0;
+  for (int i = 0; i < dimension(); ++i) {
+    p *= coords_[static_cast<std::size_t>(i)].p(x[static_cast<std::size_t>(i)]);
+    if (p == 0.0) return 0.0;
+  }
+  return p;
+}
+
+std::uint64_t ProductSpace::grid_size() const {
+  std::uint64_t total = 1;
+  for (const auto& c : coords_) {
+    const auto k = static_cast<std::uint64_t>(c.alphabet_size());
+    AA_REQUIRE(total <= UINT64_MAX / k, "ProductSpace: grid size overflow");
+    total *= k;
+  }
+  return total;
+}
+
+std::uint64_t ProductSpace::support_size() const {
+  std::uint64_t total = 1;
+  for (const auto& c : coords_) {
+    std::uint64_t k = 0;
+    for (int s = 0; s < c.alphabet_size(); ++s) {
+      if (c.p(s) > 0.0) ++k;
+    }
+    AA_REQUIRE(k > 0 && total <= UINT64_MAX / k,
+               "ProductSpace: support size overflow");
+    total *= k;
+  }
+  return total;
+}
+
+void ProductSpace::enumerate(
+    const std::function<void(const Point&, double)>& visit,
+    std::uint64_t max_points) const {
+  AA_REQUIRE(support_size() <= max_points,
+             "ProductSpace::enumerate: support too large");
+  const int n = dimension();
+  // Odometer over positive-mass symbols only: point-mass coordinates
+  // contribute one branch, not alphabet_size() branches.
+  std::vector<std::vector<int>> support(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const FiniteDist& c = coords_[static_cast<std::size_t>(i)];
+    for (int s = 0; s < c.alphabet_size(); ++s) {
+      if (c.p(s) > 0.0) support[static_cast<std::size_t>(i)].push_back(s);
+    }
+  }
+  std::vector<std::size_t> idx(static_cast<std::size_t>(n), 0);
+  Point x(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    x[static_cast<std::size_t>(i)] = support[static_cast<std::size_t>(i)][0];
+  while (true) {
+    visit(x, point_probability(x));
+    int i = n - 1;
+    while (i >= 0) {
+      auto& ii = idx[static_cast<std::size_t>(i)];
+      if (++ii < support[static_cast<std::size_t>(i)].size()) {
+        x[static_cast<std::size_t>(i)] =
+            support[static_cast<std::size_t>(i)][ii];
+        break;
+      }
+      ii = 0;
+      x[static_cast<std::size_t>(i)] = support[static_cast<std::size_t>(i)][0];
+      --i;
+    }
+    if (i < 0) break;
+  }
+}
+
+double ProductSpace::exact_probability(const SetPredicate& A,
+                                       std::uint64_t max_points) const {
+  double total = 0.0;
+  enumerate(
+      [&](const Point& x, double p) {
+        if (A(x)) total += p;
+      },
+      max_points);
+  return total;
+}
+
+double ProductSpace::mc_probability(const SetPredicate& A,
+                                    std::size_t samples, Rng& rng) const {
+  AA_REQUIRE(samples > 0, "mc_probability: need at least one sample");
+  std::size_t hits = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    if (A(sample(rng))) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(samples);
+}
+
+Point ProductSpace::sample(Rng& rng) const {
+  Point x(static_cast<std::size_t>(dimension()));
+  for (int i = 0; i < dimension(); ++i) {
+    x[static_cast<std::size_t>(i)] =
+        coords_[static_cast<std::size_t>(i)].sample(rng);
+  }
+  return x;
+}
+
+ProductSpace ProductSpace::hybrid(const ProductSpace& pi_n,
+                                  const ProductSpace& pi_0, int j) {
+  AA_REQUIRE(pi_n.dimension() == pi_0.dimension(),
+             "hybrid: dimension mismatch");
+  AA_REQUIRE(j >= 0 && j <= pi_n.dimension(), "hybrid: j out of range");
+  std::vector<FiniteDist> coords;
+  coords.reserve(static_cast<std::size_t>(pi_n.dimension()));
+  for (int i = 0; i < pi_n.dimension(); ++i) {
+    coords.push_back(i < j ? pi_n.coord(i) : pi_0.coord(i));
+  }
+  return ProductSpace(std::move(coords));
+}
+
+}  // namespace aa::prob

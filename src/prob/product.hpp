@@ -1,0 +1,80 @@
+// Product probability spaces Ω = Ω_1 × ... × Ω_n (§4.1).
+//
+// Points are configurations (vectors of symbols, one per coordinate). Exact
+// enumeration is available for small spaces; Monte-Carlo estimation for
+// large ones. These spaces model the joint distribution of the n processor
+// states after one acceptable window — which is a product measure because
+// each processor samples its local randomness independently (Lemma 13's
+// argument).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "prob/dist.hpp"
+#include "util/rng.hpp"
+
+namespace aa::prob {
+
+/// A configuration / point of the product space.
+using Point = std::vector<int>;
+
+/// Membership predicate for an event A ⊆ Ω.
+using SetPredicate = std::function<bool(const Point&)>;
+
+class ProductSpace {
+ public:
+  explicit ProductSpace(std::vector<FiniteDist> coords);
+
+  /// n i.i.d. copies of `d`.
+  static ProductSpace iid(const FiniteDist& d, int n);
+
+  [[nodiscard]] int dimension() const noexcept {
+    return static_cast<int>(coords_.size());
+  }
+  [[nodiscard]] const FiniteDist& coord(int i) const;
+  [[nodiscard]] const std::vector<FiniteDist>& coords() const noexcept {
+    return coords_;
+  }
+
+  /// Probability of the single point `x` (product of coordinate masses).
+  [[nodiscard]] double point_probability(const Point& x) const;
+
+  /// Number of points in the support grid (product of alphabet sizes);
+  /// throws if it would overflow the return type.
+  [[nodiscard]] std::uint64_t grid_size() const;
+
+  /// Number of positive-probability points (product of per-coordinate
+  /// support sizes) — what enumeration actually visits. Point-mass
+  /// coordinates contribute a factor of 1.
+  [[nodiscard]] std::uint64_t support_size() const;
+
+  /// Exact P[A] by full enumeration. Feasible only when support_size() is
+  /// small; throws if it exceeds `max_points`.
+  [[nodiscard]] double exact_probability(const SetPredicate& A,
+                                         std::uint64_t max_points = 1u
+                                             << 22) const;
+
+  /// Enumerate all grid points with positive probability, invoking
+  /// visit(point, probability). Throws if the grid exceeds `max_points`.
+  void enumerate(const std::function<void(const Point&, double)>& visit,
+                 std::uint64_t max_points = 1u << 22) const;
+
+  /// Monte-Carlo estimate of P[A].
+  [[nodiscard]] double mc_probability(const SetPredicate& A,
+                                      std::size_t samples, Rng& rng) const;
+
+  /// Sample one point.
+  [[nodiscard]] Point sample(Rng& rng) const;
+
+  /// The hybrid distribution π_j of Lemma 14: coordinates 1..j from `pi_n`,
+  /// coordinates j+1..n from `pi_0` (1-based j as in the paper; j ranges
+  /// 0..n). Requires equal dimensions.
+  static ProductSpace hybrid(const ProductSpace& pi_n,
+                             const ProductSpace& pi_0, int j);
+
+ private:
+  std::vector<FiniteDist> coords_;
+};
+
+}  // namespace aa::prob

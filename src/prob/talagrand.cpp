@@ -1,0 +1,78 @@
+#include "prob/talagrand.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace aa::prob {
+
+namespace {
+constexpr double kSlack = 1e-9;  // numerical slack for `holds`
+
+TalagrandCheck finalize(double p_a, double p_ball, double d, int n) {
+  TalagrandCheck c;
+  c.p_a = p_a;
+  c.p_ball = p_ball;
+  c.lhs = p_a * (1.0 - p_ball);
+  c.bound = talagrand_bound(d, n);
+  c.holds = c.lhs <= c.bound + kSlack;
+  c.tightness = (c.bound > 0.0) ? c.lhs / c.bound : 0.0;
+  return c;
+}
+}  // namespace
+
+double talagrand_bound(double d, int n) {
+  AA_REQUIRE(n > 0, "talagrand_bound: n must be positive");
+  AA_REQUIRE(d >= 0.0, "talagrand_bound: d must be non-negative");
+  return std::exp(-d * d / (4.0 * static_cast<double>(n)));
+}
+
+double tau_threshold(int t, int n) {
+  AA_REQUIRE(n > 0 && t >= 0, "tau_threshold: bad arguments");
+  const double td = static_cast<double>(t);
+  return std::exp(-td * td / (8.0 * static_cast<double>(n)));
+}
+
+double eta_threshold(int t, int n) {
+  AA_REQUIRE(n > 0 && t >= 1, "eta_threshold: bad arguments");
+  const double td = static_cast<double>(t - 1);
+  return std::exp(-td * td / (8.0 * static_cast<double>(n)));
+}
+
+TalagrandCheck check_exact(const ProductSpace& space,
+                           const std::vector<Point>& A, int d) {
+  AA_REQUIRE(!A.empty(), "check_exact: A must be non-empty");
+  double p_a = 0.0;
+  double p_ball = 0.0;
+  space.enumerate([&](const Point& x, double p) {
+    if (hamming_to_set(x, A) == 0) p_a += p;
+    if (in_ball(x, A, d)) p_ball += p;
+  });
+  return finalize(p_a, p_ball, static_cast<double>(d), space.dimension());
+}
+
+TalagrandCheck check_mc(const ProductSpace& space, const std::vector<Point>& A,
+                        int d, std::size_t samples, Rng& rng) {
+  AA_REQUIRE(!A.empty(), "check_mc: A must be non-empty");
+  AA_REQUIRE(samples > 0, "check_mc: need samples");
+  std::size_t hits_a = 0;
+  std::size_t hits_ball = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const Point x = space.sample(rng);
+    const int dist = hamming_to_set(x, A);
+    if (dist == 0) ++hits_a;
+    if (dist <= d) ++hits_ball;
+  }
+  const double denom = static_cast<double>(samples);
+  return finalize(static_cast<double>(hits_a) / denom,
+                  static_cast<double>(hits_ball) / denom,
+                  static_cast<double>(d), space.dimension());
+}
+
+double separated_mass_ceiling(int d, int n) {
+  AA_REQUIRE(n > 0 && d >= 0, "separated_mass_ceiling: bad arguments");
+  const double dd = static_cast<double>(d);
+  return std::exp(-dd * dd / (8.0 * static_cast<double>(n)));
+}
+
+}  // namespace aa::prob

@@ -1,0 +1,56 @@
+// Talagrand's concentration inequality in the Hamming-distance form the
+// paper uses (Lemma 9):
+//
+//     P[A] · (1 − P[B(A, d)]) ≤ e^{−d² / 4n}
+//
+// for any A ⊆ Ω (a product space of dimension n) and any d ≥ 0. This is the
+// engine of the paper's lower bound: two Hamming-separated sets cannot both
+// carry large product-measure weight.
+//
+// We provide the bound itself, exact verification on enumerable spaces, and
+// Monte-Carlo verification on large spaces (experiment F3).
+#pragma once
+
+#include <vector>
+
+#include "prob/hamming.hpp"
+#include "prob/product.hpp"
+
+namespace aa::prob {
+
+/// The right-hand side e^{−d²/4n}.
+[[nodiscard]] double talagrand_bound(double d, int n);
+
+/// The separation threshold τ = e^{−t²/8n} used throughout §4, and the
+/// escape threshold η = e^{−(t−1)²/8n} of Lemma 14.
+[[nodiscard]] double tau_threshold(int t, int n);
+[[nodiscard]] double eta_threshold(int t, int n);
+
+/// Outcome of checking Lemma 9 for a concrete (space, A, d).
+struct TalagrandCheck {
+  double p_a = 0.0;      ///< P[A]
+  double p_ball = 0.0;   ///< P[B(A, d)]
+  double lhs = 0.0;      ///< P[A]·(1 − P[B(A,d)])
+  double bound = 0.0;    ///< e^{−d²/4n}
+  bool holds = false;    ///< lhs ≤ bound (with tiny numerical slack)
+  /// Tightness ratio lhs / bound in [0, 1] when the bound holds.
+  double tightness = 0.0;
+};
+
+/// Exact check by enumerating the space. A is given as an explicit list of
+/// points (membership by equality).
+[[nodiscard]] TalagrandCheck check_exact(const ProductSpace& space,
+                                         const std::vector<Point>& A, int d);
+
+/// Monte-Carlo check: estimates P[A] and P[B(A,d)] by sampling. A is given
+/// as an explicit point list so that ball membership is computable.
+[[nodiscard]] TalagrandCheck check_mc(const ProductSpace& space,
+                                      const std::vector<Point>& A, int d,
+                                      std::size_t samples, Rng& rng);
+
+/// Corollary used by Lemma 13: if A and B are sets with ∆(A,B) > d, then
+/// min(P[A], P[B])² ≤ e^{−d²/4n}; i.e. both cannot exceed e^{−d²/8n}.
+/// Returns that ceiling for given d, n.
+[[nodiscard]] double separated_mass_ceiling(int d, int n);
+
+}  // namespace aa::prob

@@ -1,0 +1,115 @@
+#include "protocols/ben_or.hpp"
+
+#include "util/check.hpp"
+
+namespace aa::protocols {
+
+sim::Message make_report(int round, int value) {
+  sim::Message m;
+  m.round = round;
+  m.kind = kReportKind;
+  m.value = value;
+  return m;
+}
+
+sim::Message make_proposal(int round, int value_or_bot) {
+  sim::Message m;
+  m.round = round;
+  m.kind = kProposalKind;
+  m.value = value_or_bot;
+  return m;
+}
+
+BenOrProcess::BenOrProcess(int id, int n, int t, int input)
+    : id_(id), n_(n), t_(t), input_(input), x_(input) {
+  AA_REQUIRE(id >= 0 && id < n, "BenOrProcess: bad id");
+  AA_REQUIRE(input == 0 || input == 1, "BenOrProcess: input must be a bit");
+  AA_REQUIRE(t >= 0 && 2 * t < n, "BenOrProcess: requires t < n/2");
+}
+
+void BenOrProcess::on_start(sim::Outbox& out) {
+  out.broadcast(make_report(round_, x_));
+}
+
+void BenOrProcess::on_receive(const sim::Envelope& env, Rng& rng,
+                              sim::Outbox& out) {
+  const sim::Message& m = env.payload;
+  int phase = 0;
+  if (m.kind == kReportKind) phase = 1;
+  else if (m.kind == kProposalKind) phase = 2;
+  else return;
+  if (phase == 1 && m.value != 0 && m.value != 1) return;
+  if (phase == 2 && m.value != 0 && m.value != 1 && m.value != sim::kBot)
+    return;
+  votes_[{m.round, phase}].values.push_back(m.value);
+  try_advance(rng, out);
+}
+
+void BenOrProcess::try_advance(Rng& rng, sim::Outbox& out) {
+  // Loop: messages for future (round, phase) pairs may already be queued.
+  while (true) {
+    auto it = votes_.find({round_, phase_});
+    if (it == votes_.end()) return;
+    PhaseVotes& pv = it->second;
+    if (pv.acted || static_cast<int>(pv.values.size()) < n_ - t_) return;
+    pv.acted = true;
+    if (phase_ == 1) finish_phase1(out);
+    else finish_phase2(rng, out);
+  }
+}
+
+void BenOrProcess::finish_phase1(sim::Outbox& out) {
+  const auto& vs = votes_.at({round_, 1}).values;
+  int count[2] = {0, 0};
+  for (int i = 0; i < n_ - t_; ++i) {
+    const int v = vs[static_cast<std::size_t>(i)];
+    if (v == 0 || v == 1) ++count[v];
+  }
+  int proposal = sim::kBot;
+  // "More than n/2" — over ALL n processors, so two processors can never
+  // back conflicting proposals in the same round.
+  for (int v = 0; v <= 1; ++v) {
+    if (2 * count[v] > n_) proposal = v;
+  }
+  phase_ = 2;
+  out.broadcast(make_proposal(round_, proposal));
+}
+
+void BenOrProcess::finish_phase2(Rng& rng, sim::Outbox& out) {
+  const auto& vs = votes_.at({round_, 2}).values;
+  int count[2] = {0, 0};
+  for (int i = 0; i < n_ - t_; ++i) {
+    const int v = vs[static_cast<std::size_t>(i)];
+    if (v == 0 || v == 1) ++count[v];
+  }
+  // At most one value can be proposed at all in a round (see finish_phase1),
+  // so these branches cannot conflict.
+  for (int v = 0; v <= 1; ++v) {
+    if (count[v] >= t_ + 1 && output_ == sim::kBot) output_ = v;
+  }
+  if (count[0] >= 1) x_ = 0;
+  else if (count[1] >= 1) x_ = 1;
+  else x_ = rng.next_bool() ? 1 : 0;
+
+  ++round_;
+  phase_ = 1;
+  prune_old_rounds();
+  out.broadcast(make_report(round_, x_));
+}
+
+void BenOrProcess::prune_old_rounds() {
+  votes_.erase(votes_.begin(),
+               votes_.lower_bound(std::pair<int, int>{round_, 0}));
+}
+
+void BenOrProcess::on_reset() {
+  round_ = 1;
+  phase_ = 1;
+  x_ = input_;
+  votes_.clear();
+  // Note: no rejoin logic — Ben-Or is not reset-tolerant; it restarts at
+  // round 1 and its round-1 reports will be ignored by peers already in
+  // later rounds.
+}
+
+}  // namespace aa::protocols

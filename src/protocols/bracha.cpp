@@ -1,0 +1,222 @@
+#include "protocols/bracha.hpp"
+
+#include "util/check.hpp"
+
+namespace aa::protocols {
+
+std::int32_t pack_bracha_aux(int originator, int step, bool decide_flag) {
+  AA_REQUIRE(originator >= 0 && originator < (1 << 20),
+             "pack_bracha_aux: originator out of range");
+  AA_REQUIRE(step >= 1 && step <= 3, "pack_bracha_aux: step out of range");
+  return static_cast<std::int32_t>((originator << 3) | (step << 1) |
+                                   (decide_flag ? 1 : 0));
+}
+
+BrachaAux unpack_bracha_aux(std::int32_t aux) {
+  BrachaAux a;
+  a.decide_flag = (aux & 1) != 0;
+  a.step = (aux >> 1) & 0x3;
+  a.originator = aux >> 3;
+  return a;
+}
+
+BrachaProcess::BrachaProcess(int id, int n, int t, int input)
+    : id_(id), n_(n), t_(t), input_(input), x_(input) {
+  AA_REQUIRE(id >= 0 && id < n, "BrachaProcess: bad id");
+  AA_REQUIRE(input == 0 || input == 1, "BrachaProcess: input must be a bit");
+  AA_REQUIRE(t >= 0 && 3 * t < n, "BrachaProcess: requires t < n/3");
+}
+
+BrachaProcess::InstanceKey BrachaProcess::key_of(int originator, int round,
+                                                 int step) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(round)) << 24) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(originator))
+          << 4) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(step));
+}
+
+void BrachaProcess::on_start(sim::Outbox& out) {
+  rbc_broadcast(/*step=*/1, x_, /*decide_flag=*/false, out);
+}
+
+void BrachaProcess::rbc_broadcast(int step, int value, bool decide_flag,
+                                  sim::Outbox& out) {
+  sim::Message m;
+  m.round = round_;
+  m.kind = kRbcInitKind;
+  m.value = value;
+  m.aux = pack_bracha_aux(id_, step, decide_flag);
+  out.broadcast(m);
+}
+
+void BrachaProcess::on_receive(const sim::Envelope& env, Rng& rng,
+                               sim::Outbox& out) {
+  const sim::Message& m = env.payload;
+  if (m.kind != kRbcInitKind && m.kind != kRbcEchoKind &&
+      m.kind != kRbcReadyKind)
+    return;
+  handle_rbc(m, env.sender, out);
+  // handle_rbc marks freshly delivered instances; drain them.
+  // (Delivery is recorded inside handle_rbc via on_rbc_deliver call below.)
+  // We re-run the agreement advance after every RBC event because a single
+  // echo/ready can complete several pending deliveries in cascade.
+  try_advance(rng, out);
+}
+
+void BrachaProcess::handle_rbc(const sim::Message& m, int sender,
+                               sim::Outbox& out) {
+  const BrachaAux aux = unpack_bracha_aux(m.aux);
+  if (aux.step < 1 || aux.step > 3) return;
+  if (m.value != 0 && m.value != 1) return;
+  const InstanceKey k = key_of(aux.originator, m.round, aux.step);
+  RbcInstance& inst = instances_[k];
+  const Payload payload{m.value, aux.decide_flag};
+
+  auto relay = [&](std::int32_t kind) {
+    sim::Message r = m;
+    r.kind = kind;
+    out.broadcast(r);
+  };
+
+  switch (m.kind) {
+    case kRbcInitKind:
+      // Only the originator's own INIT counts; the FIRST one wins — a later
+      // conflicting INIT from an equivocator is ignored here, and its
+      // per-payload echo counts can never both reach quorum.
+      if (sender != aux.originator || inst.have_init) return;
+      inst.have_init = true;
+      if (!inst.sent_echo) {
+        inst.sent_echo = true;
+        relay(kRbcEchoKind);
+      }
+      break;
+    case kRbcEchoKind:
+      if (!inst.echo_senders[payload].insert(sender).second) return;
+      break;
+    case kRbcReadyKind:
+      if (!inst.ready_senders[payload].insert(sender).second) return;
+      break;
+    default:
+      return;
+  }
+  maybe_progress_instance(k, aux.originator, m.round, aux.step, out);
+}
+
+void BrachaProcess::maybe_progress_instance(InstanceKey k, int originator,
+                                            int round, int step,
+                                            sim::Outbox& out) {
+  RbcInstance& inst = instances_[k];
+  const int echo_threshold = (n_ + t_) / 2 + 1;  // strictly more than (n+t)/2
+  // Quorums are evaluated per payload: two conflicting payloads cannot both
+  // assemble > (n+t)/2 echoes from n honest-counting receivers.
+  for (const auto& [payload, echoes] : inst.echo_senders) {
+    if (inst.sent_ready) break;
+    if (static_cast<int>(echoes.size()) >= echo_threshold) {
+      inst.sent_ready = true;
+      sim::Message r;
+      r.round = round;
+      r.kind = kRbcReadyKind;
+      r.value = payload.first;
+      r.aux = pack_bracha_aux(originator, step, payload.second);
+      out.broadcast(r);
+    }
+  }
+  for (const auto& [payload, readies] : inst.ready_senders) {
+    if (!inst.sent_ready && static_cast<int>(readies.size()) >= t_ + 1) {
+      // Ready amplification for this payload.
+      inst.sent_ready = true;
+      sim::Message r;
+      r.round = round;
+      r.kind = kRbcReadyKind;
+      r.value = payload.first;
+      r.aux = pack_bracha_aux(originator, step, payload.second);
+      out.broadcast(r);
+    }
+    if (!inst.delivered && static_cast<int>(readies.size()) >= 2 * t_ + 1) {
+      inst.delivered = true;
+      step_votes_[{round, step}].delivered.emplace_back(payload.first,
+                                                        payload.second);
+    }
+  }
+}
+
+void BrachaProcess::try_advance(Rng& rng, sim::Outbox& out) {
+  while (true) {
+    auto it = step_votes_.find({round_, step_});
+    if (it == step_votes_.end()) return;
+    StepVotes& sv = it->second;
+    if (sv.acted || static_cast<int>(sv.delivered.size()) < n_ - t_) return;
+    sv.acted = true;
+    finish_step(rng, out);
+  }
+}
+
+void BrachaProcess::finish_step(Rng& rng, sim::Outbox& out) {
+  const auto& got = step_votes_.at({round_, step_}).delivered;
+  int count[2] = {0, 0};
+  int flagged[2] = {0, 0};
+  for (int i = 0; i < n_ - t_; ++i) {
+    const auto& [v, flag] = got[static_cast<std::size_t>(i)];
+    ++count[v];
+    if (flag) ++flagged[v];
+  }
+
+  switch (step_) {
+    case 1:
+      // x := majority of the n−t delivered values (ties keep x).
+      if (count[0] > count[1]) x_ = 0;
+      else if (count[1] > count[0]) x_ = 1;
+      x_flag_ = false;
+      step_ = 2;
+      break;
+    case 2:
+      // Attach the decide flag if some value has more than n/2 support.
+      x_flag_ = false;
+      for (int v = 0; v <= 1; ++v) {
+        if (2 * count[v] > n_) {
+          x_ = v;
+          x_flag_ = true;
+        }
+      }
+      step_ = 3;
+      break;
+    case 3: {
+      int winner = sim::kBot;
+      // flagged[0] and flagged[1] cannot both be ≥ t+1: flags require
+      // > n/2 support in step 2, and two conflicting majorities cannot
+      // both exist among honest-content messages.
+      for (int v = 0; v <= 1; ++v) {
+        if (flagged[v] >= t_ + 1) winner = v;
+      }
+      if (winner != sim::kBot && flagged[winner] >= 2 * t_ + 1) {
+        if (output_ == sim::kBot) output_ = winner;
+        x_ = winner;
+      } else if (winner != sim::kBot) {
+        x_ = winner;
+      } else {
+        x_ = rng.next_bool() ? 1 : 0;
+      }
+      x_flag_ = false;
+      ++round_;
+      step_ = 1;
+      // Prune bookkeeping from completed rounds.
+      step_votes_.erase(step_votes_.begin(),
+                        step_votes_.lower_bound(std::pair<int, int>{round_, 0}));
+      break;
+    }
+    default:
+      AA_CHECK(false, "invalid Bracha step");
+  }
+  rbc_broadcast(step_, x_, x_flag_, out);
+}
+
+void BrachaProcess::on_reset() {
+  round_ = 1;
+  step_ = 1;
+  x_ = input_;
+  x_flag_ = false;
+  instances_.clear();
+  step_votes_.clear();
+}
+
+}  // namespace aa::protocols

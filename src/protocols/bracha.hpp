@@ -1,0 +1,121 @@
+// Bracha's asynchronous agreement (PODC 1984): reliable broadcast plus a
+// three-step voting loop, resilience t < n/3.
+//
+// Reliable broadcast (per broadcast instance = (originator, round, step)):
+//   * originator sends INIT(v) to all;
+//   * on first INIT(v): send ECHO(v) to all;
+//   * on ≥ ⌈(n+t+1)/2⌉ ECHO(v) or ≥ t+1 READY(v): send READY(v) to all
+//     (once);
+//   * on ≥ 2t+1 READY(v): RBC-deliver v for that instance.
+//
+// Agreement loop (values carry an optional decide-flag "d"):
+//   step 1: RBC-broadcast x. Await n−t delivered values → x := majority.
+//   step 2: RBC-broadcast x. Await n−t → if some v has count > n/2,
+//           attach the decide flag: x := (d, v).
+//   step 3: RBC-broadcast x (+flag). Await n−t →
+//             ≥ 2t+1 flagged v → DECIDE v;  ≥ t+1 flagged v → x := v;
+//             else x := fresh coin. Round++, back to step 1.
+//
+// Reliable-broadcast bookkeeping counts echoes/readies PER PAYLOAD
+// (value + decide flag): an equivocating originator that sends INIT(0) to
+// half the network and INIT(1) to the other half cannot assemble an echo
+// quorum for either payload, so no honest processor RBC-delivers from it —
+// the classic equivocation defence (exercised by experiment T4 via
+// ByzantineProcess).
+//
+// Scope note: we implement Bracha's broadcast and voting faithfully, but not
+// his full message *validation* layer (justifying each step value against
+// the previous step's deliveries). Validation defends against Byzantine
+// senders lying about their protocol STATE; the adversaries in this
+// repository schedule, silence, crash, reset, or equivocate values — the
+// paper's strongly adaptive adversary explicitly "lacks the power to have
+// corrupted processors lie about their local random bits". DESIGN.md
+// records this substitution.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sim/process.hpp"
+
+namespace aa::protocols {
+
+inline constexpr std::int32_t kRbcInitKind = 4;
+inline constexpr std::int32_t kRbcEchoKind = 5;
+inline constexpr std::int32_t kRbcReadyKind = 6;
+
+/// aux packing for Bracha messages: originator id, agreement step (1..3),
+/// and the decide flag.
+[[nodiscard]] std::int32_t pack_bracha_aux(int originator, int step,
+                                           bool decide_flag);
+struct BrachaAux {
+  int originator;
+  int step;
+  bool decide_flag;
+};
+[[nodiscard]] BrachaAux unpack_bracha_aux(std::int32_t aux);
+
+class BrachaProcess final : public sim::Process {
+ public:
+  BrachaProcess(int id, int n, int t, int input);
+
+  void on_start(sim::Outbox& out) override;
+  void on_receive(const sim::Envelope& env, Rng& rng,
+                  sim::Outbox& out) override;
+  /// Bracha is not reset-tolerant: a reset erases all broadcast bookkeeping
+  /// and the processor restarts from round 1 (see the T2 matrix).
+  void on_reset() override;
+
+  [[nodiscard]] int input() const override { return input_; }
+  [[nodiscard]] int output() const override { return output_; }
+  [[nodiscard]] int round() const override { return round_; }
+  [[nodiscard]] int estimate() const override { return x_; }
+  [[nodiscard]] const char* protocol_name() const override { return "bracha"; }
+
+ private:
+  /// A broadcast payload: the value plus Bracha's decide flag.
+  using Payload = std::pair<int, bool>;
+
+  /// One reliable-broadcast instance: (originator, round, step).
+  /// Echo/ready quorums are tracked per payload so an equivocating
+  /// originator cannot mix support across conflicting payloads.
+  struct RbcInstance {
+    bool have_init = false;
+    std::map<Payload, std::set<int>> echo_senders;
+    std::map<Payload, std::set<int>> ready_senders;
+    bool sent_echo = false;
+    bool sent_ready = false;
+    bool delivered = false;
+  };
+  /// Votes gathered for one (round, step) of the agreement loop.
+  struct StepVotes {
+    std::vector<std::pair<int, bool>> delivered;  ///< (value, decide_flag)
+    bool acted = false;
+  };
+
+  using InstanceKey = std::uint64_t;  ///< packed (originator, round, step)
+  static InstanceKey key_of(int originator, int round, int step);
+
+  void rbc_broadcast(int step, int value, bool decide_flag, sim::Outbox& out);
+  void handle_rbc(const sim::Message& m, int sender, sim::Outbox& out);
+  void maybe_progress_instance(InstanceKey k, int originator, int round,
+                               int step, sim::Outbox& out);
+  void try_advance(Rng& rng, sim::Outbox& out);
+  void finish_step(Rng& rng, sim::Outbox& out);
+
+  int id_;
+  int n_;
+  int t_;
+  int input_;
+  int output_ = sim::kBot;
+  int round_ = 1;
+  int step_ = 1;  ///< agreement step (1..3) currently awaited
+  int x_;
+  bool x_flag_ = false;  ///< decide flag attached to x (set in step 2)
+  std::map<InstanceKey, RbcInstance> instances_;
+  std::map<std::pair<int, int>, StepVotes> step_votes_;  ///< (round, step)
+};
+
+}  // namespace aa::protocols

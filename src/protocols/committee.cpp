@@ -1,0 +1,126 @@
+#include "protocols/committee.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace aa::protocols {
+
+namespace {
+
+int default_final_size(int n) {
+  const int lg = static_cast<int>(std::ceil(std::log2(std::max(2, n))));
+  return std::max(7, lg);
+}
+
+}  // namespace
+
+CommitteeOutcome run_committee_agreement(const CommitteeParams& params,
+                                         const std::vector<int>& inputs,
+                                         Rng& rng) {
+  const int n = params.n;
+  const int t = params.t;
+  AA_REQUIRE(n > 0, "committee: n must be positive");
+  AA_REQUIRE(t >= 0 && t < n, "committee: need 0 <= t < n");
+  AA_REQUIRE(static_cast<int>(inputs.size()) == n,
+             "committee: one input per processor");
+  for (int b : inputs) AA_REQUIRE(b == 0 || b == 1, "committee: inputs are bits");
+
+  CommitteeOutcome out;
+  const int target =
+      params.final_committee_size > 0 ? params.final_committee_size
+                                      : default_final_size(n);
+
+  // Current committee: initially everyone.
+  std::vector<int> committee(static_cast<std::size_t>(n));
+  std::iota(committee.begin(), committee.end(), 0);
+
+  // Non-adaptive corruption: a random t-subset fixed before the run.
+  std::vector<bool> corrupted(static_cast<std::size_t>(n), false);
+  if (!params.adaptive_adversary) {
+    std::vector<int> ids(static_cast<std::size_t>(n));
+    std::iota(ids.begin(), ids.end(), 0);
+    for (int i = 0; i < t; ++i) {
+      const std::size_t j =
+          static_cast<std::size_t>(i) +
+          rng.uniform_index(ids.size() - static_cast<std::size_t>(i));
+      std::swap(ids[static_cast<std::size_t>(i)], ids[j]);
+      corrupted[static_cast<std::size_t>(ids[static_cast<std::size_t>(i)])] =
+          true;
+    }
+  }
+
+  // Iterated halving elections: each round, a uniformly random half of the
+  // current committee survives. Each election costs `rounds_per_election`
+  // (in [16] the small groups run Bracha among themselves — constant size,
+  // constant expected rounds).
+  while (static_cast<int>(committee.size()) > target) {
+    const std::size_t keep = (committee.size() + 1) / 2;
+    for (std::size_t i = 0; i < keep; ++i) {
+      const std::size_t j = i + rng.uniform_index(committee.size() - i);
+      std::swap(committee[i], committee[j]);
+    }
+    committee.resize(keep);
+    ++out.election_rounds;
+    out.rounds += params.rounds_per_election;
+  }
+  out.final_committee_size = static_cast<int>(committee.size());
+
+  // Adaptive corruption: NOW the adversary sees the final committee and
+  // spends its budget there — the paper's §1 attack.
+  if (params.adaptive_adversary) {
+    int budget = t;
+    for (int member : committee) {
+      if (budget == 0) break;
+      corrupted[static_cast<std::size_t>(member)] = true;
+      --budget;
+    }
+  }
+  for (int member : committee) {
+    if (corrupted[static_cast<std::size_t>(member)]) ++out.final_corrupted;
+  }
+
+  // The final committee runs Bracha internally (resilience 1/3) and
+  // announces. Charge a constant number of rounds: the committee is small
+  // and [16] seeds it with a common coin. If a third or more of the final
+  // committee is corrupted, the run fails (invalid output possible).
+  out.rounds += 2 * params.rounds_per_election;
+  if (3 * out.final_corrupted >= out.final_committee_size) {
+    out.success = false;
+    return out;
+  }
+
+  // Honest-majority committee: decide the majority input of its honest
+  // members (valid: it equals some processor's input).
+  int count[2] = {0, 0};
+  for (int member : committee) {
+    if (!corrupted[static_cast<std::size_t>(member)])
+      ++count[inputs[static_cast<std::size_t>(member)]];
+  }
+  out.decision = count[1] > count[0] ? 1 : 0;
+  out.success = true;
+  return out;
+}
+
+double committee_corruption_tail(int n, int c, int s, int k) {
+  AA_REQUIRE(n > 0 && c >= 0 && c <= n, "corruption_tail: bad c");
+  AA_REQUIRE(s >= 0 && s <= n, "corruption_tail: bad s");
+  if (k <= 0) return 1.0;
+  if (k > s || k > c) return 0.0;
+  // Hypergeometric upper tail via log-space terms.
+  auto log_choose = [](int a, int b) {
+    if (b < 0 || b > a) return -1e300;
+    return std::lgamma(a + 1.0) - std::lgamma(b + 1.0) -
+           std::lgamma(a - b + 1.0);
+  };
+  const double log_denom = log_choose(n, s);
+  double tail = 0.0;
+  for (int i = k; i <= std::min(s, c); ++i) {
+    tail += std::exp(log_choose(c, i) + log_choose(n - c, s - i) - log_denom);
+  }
+  return std::min(1.0, tail);
+}
+
+}  // namespace aa::protocols

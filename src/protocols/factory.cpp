@@ -1,0 +1,66 @@
+#include "protocols/factory.hpp"
+
+#include "protocols/ben_or.hpp"
+#include "protocols/bracha.hpp"
+#include "protocols/forgetful.hpp"
+#include "protocols/reset_agreement.hpp"
+#include "util/check.hpp"
+
+namespace aa::protocols {
+
+std::string protocol_kind_name(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::Reset: return "reset-agreement";
+    case ProtocolKind::BenOr: return "ben-or";
+    case ProtocolKind::Bracha: return "bracha";
+    case ProtocolKind::Forgetful: return "forgetful";
+  }
+  return "unknown";
+}
+
+std::vector<std::unique_ptr<sim::Process>> make_processes(
+    ProtocolKind kind, int t, const std::vector<int>& inputs,
+    std::optional<Thresholds> th) {
+  const int n = static_cast<int>(inputs.size());
+  AA_REQUIRE(n > 0, "make_processes: need at least one input");
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  procs.reserve(inputs.size());
+  for (int id = 0; id < n; ++id) {
+    const int input = inputs[static_cast<std::size_t>(id)];
+    switch (kind) {
+      case ProtocolKind::Reset:
+        procs.push_back(std::make_unique<ResetProcess>(
+            id, n, input, th.value_or(canonical_thresholds(n, t))));
+        break;
+      case ProtocolKind::BenOr:
+        procs.push_back(std::make_unique<BenOrProcess>(id, n, t, input));
+        break;
+      case ProtocolKind::Bracha:
+        procs.push_back(std::make_unique<BrachaProcess>(id, n, t, input));
+        break;
+      case ProtocolKind::Forgetful:
+        procs.push_back(std::make_unique<ForgetfulProcess>(
+            id, n, input, th.value_or(forgetful_thresholds(n, t))));
+        break;
+    }
+  }
+  return procs;
+}
+
+std::vector<int> unanimous_inputs(int n, int value) {
+  AA_REQUIRE(n > 0, "unanimous_inputs: n must be positive");
+  AA_REQUIRE(value == 0 || value == 1, "unanimous_inputs: value must be a bit");
+  return std::vector<int>(static_cast<std::size_t>(n), value);
+}
+
+std::vector<int> split_inputs(int n, double fraction_ones) {
+  AA_REQUIRE(n > 0, "split_inputs: n must be positive");
+  AA_REQUIRE(fraction_ones >= 0.0 && fraction_ones <= 1.0,
+             "split_inputs: fraction out of [0,1]");
+  std::vector<int> inputs(static_cast<std::size_t>(n), 0);
+  const int ones = static_cast<int>(fraction_ones * n);
+  for (int i = n - ones; i < n; ++i) inputs[static_cast<std::size_t>(i)] = 1;
+  return inputs;
+}
+
+}  // namespace aa::protocols

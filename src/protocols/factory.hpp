@@ -1,0 +1,32 @@
+// Uniform construction of process vectors for the message-passing
+// protocols, so harnesses, tests, and benches can be parameterized by
+// protocol kind.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "protocols/thresholds.hpp"
+#include "sim/process.hpp"
+
+namespace aa::protocols {
+
+enum class ProtocolKind { Reset, BenOr, Bracha, Forgetful };
+
+[[nodiscard]] std::string protocol_kind_name(ProtocolKind kind);
+
+/// Build one process per input bit. `th` is honoured by Reset/Forgetful
+/// (defaulting to canonical/forgetful thresholds when absent) and ignored by
+/// Ben-Or / Bracha, which are parameterized by (n, t) alone.
+[[nodiscard]] std::vector<std::unique_ptr<sim::Process>> make_processes(
+    ProtocolKind kind, int t, const std::vector<int>& inputs,
+    std::optional<Thresholds> th = std::nullopt);
+
+/// Convenience input patterns.
+[[nodiscard]] std::vector<int> unanimous_inputs(int n, int value);
+/// Exactly ⌊n·fraction_ones⌋ ones, placed at the high ids.
+[[nodiscard]] std::vector<int> split_inputs(int n, double fraction_ones);
+
+}  // namespace aa::protocols

@@ -1,0 +1,73 @@
+#include "protocols/forgetful.hpp"
+
+#include "protocols/reset_agreement.hpp"  // make_vote / kVoteKind
+#include "util/check.hpp"
+
+namespace aa::protocols {
+
+Thresholds forgetful_thresholds(int n, int t) {
+  AA_REQUIRE(n > 0 && t >= 0, "forgetful_thresholds: bad arguments");
+  Thresholds th;
+  th.t1 = n - t;
+  if (t > 0 && 6 * t < n) {
+    th.t2 = n - 2 * t;
+    th.t3 = n - 3 * t;
+  } else {
+    th.t3 = n / 2 + 1;
+    th.t2 = th.t3 + t;
+  }
+  return th;
+}
+
+ForgetfulProcess::ForgetfulProcess(int id, int n, int input, Thresholds th)
+    : id_(id), n_(n), th_(th), input_(input), x_(input) {
+  AA_REQUIRE(id >= 0 && id < n, "ForgetfulProcess: bad id");
+  AA_REQUIRE(input == 0 || input == 1, "ForgetfulProcess: input must be a bit");
+  AA_REQUIRE(th.t1 >= th.t2 && th.t2 >= th.t3 && th.t3 > 0,
+             "ForgetfulProcess: need T1 >= T2 >= T3 > 0");
+  AA_REQUIRE(2 * th.t3 > n, "ForgetfulProcess: need 2*T3 > n");
+}
+
+void ForgetfulProcess::on_start(sim::Outbox& out) {
+  out.broadcast(make_vote(round_, x_));
+}
+
+void ForgetfulProcess::on_receive(const sim::Envelope& env, Rng& rng,
+                                  sim::Outbox& out) {
+  const sim::Message& m = env.payload;
+  if (m.kind != kVoteKind) return;
+  if (m.value != 0 && m.value != 1) return;
+  if (m.round < round_) return;  // forgetful: stale rounds are invisible
+  votes_[m.round].push_back(m.value);
+  try_advance(rng, out);
+}
+
+void ForgetfulProcess::try_advance(Rng& rng, sim::Outbox& out) {
+  while (true) {
+    const auto it = votes_.find(round_);
+    if (it == votes_.end() || static_cast<int>(it->second.size()) < th_.t1)
+      return;
+    const std::vector<int>& vs = it->second;
+    int count[2] = {0, 0};
+    for (int i = 0; i < th_.t1; ++i) ++count[vs[static_cast<std::size_t>(i)]];
+    for (int v = 0; v <= 1; ++v) {
+      if (count[v] >= th_.t2 && output_ == sim::kBot) output_ = v;
+    }
+    if (count[0] >= th_.t3) x_ = 0;
+    else if (count[1] >= th_.t3) x_ = 1;
+    else x_ = rng.next_bool() ? 1 : 0;
+    ++round_;
+    // Full communication: having heard n − t, speak to all n.
+    out.broadcast(make_vote(round_, x_));
+    // Forgetfulness: drop every record from rounds before the new one.
+    votes_.erase(votes_.begin(), votes_.lower_bound(round_));
+  }
+}
+
+void ForgetfulProcess::on_reset() {
+  round_ = 1;
+  x_ = input_;
+  votes_.clear();
+}
+
+}  // namespace aa::protocols

@@ -1,0 +1,66 @@
+// The §5 algorithm class: forgetful, fully communicative agreement for the
+// crash model — the class Theorem 17's exponential lower bound covers.
+//
+//   * Forgetful (Definition 15): each message depends only on the input bit
+//     and the messages received / randomness drawn since the previous
+//     sending event. Our processor keeps only (round, x, input, output) and
+//     the current round's arrivals; everything older is discarded.
+//   * Fully communicative (Definition 16): whenever the processor has the
+//     most recent messages from n − t processors, it sends to all n.
+//
+// The voting rule mirrors the §3 algorithm with T1 = n − t:
+//   ≥ T2 matching votes → decide;  ≥ T3 → adopt;  else coin.
+// Defaults mirror the §3 canonical setting where possible: for t < n/6,
+// T3 = n − 3t and T2 = n − 2t (so a decision propagates: any two first-T1
+// vote sets overlap in ≥ T1 − t senders, and T2 − (n − T1) ≥ T3 makes every
+// peer adopt the decided value). For larger t, fall back to T3 = ⌊n/2⌋ + 1,
+// T2 = T3 + t.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "protocols/thresholds.hpp"
+#include "sim/process.hpp"
+
+namespace aa::protocols {
+
+/// Default §5 thresholds for (n, t): T1 = n − t always; for t < n/6,
+/// T2 = n − 2t and T3 = n − 3t (canonical §3 shape); otherwise
+/// T3 = ⌊n/2⌋ + 1 and T2 = T3 + t.
+[[nodiscard]] Thresholds forgetful_thresholds(int n, int t);
+
+class ForgetfulProcess final : public sim::Process {
+ public:
+  ForgetfulProcess(int id, int n, int input, Thresholds th);
+
+  void on_start(sim::Outbox& out) override;
+  void on_receive(const sim::Envelope& env, Rng& rng,
+                  sim::Outbox& out) override;
+  /// The §5 model has no resets; if one happens anyway, restart at round 1.
+  void on_reset() override;
+
+  [[nodiscard]] int input() const override { return input_; }
+  [[nodiscard]] int output() const override { return output_; }
+  [[nodiscard]] int round() const override { return round_; }
+  [[nodiscard]] int estimate() const override { return x_; }
+  [[nodiscard]] const char* protocol_name() const override {
+    return "forgetful";
+  }
+
+ private:
+  void try_advance(Rng& rng, sim::Outbox& out);
+
+  int id_;
+  int n_;
+  Thresholds th_;
+  int input_;
+  int output_ = sim::kBot;
+  int round_ = 1;
+  int x_;
+  /// Arrival-ordered votes for rounds ≥ round_ only (forgetfulness: prior
+  /// rounds are erased as soon as the round advances).
+  std::map<int, std::vector<int>> votes_;
+};
+
+}  // namespace aa::protocols

@@ -1,0 +1,95 @@
+#include "protocols/reset_agreement.hpp"
+
+#include "util/check.hpp"
+
+namespace aa::protocols {
+
+sim::Message make_vote(int round, int value) {
+  sim::Message m;
+  m.round = round;
+  m.kind = kVoteKind;
+  m.value = value;
+  return m;
+}
+
+ResetProcess::ResetProcess(int id, int n, int input, Thresholds th)
+    : id_(id), n_(n), th_(th), input_(input), x_(input) {
+  AA_REQUIRE(id >= 0 && id < n, "ResetProcess: bad id");
+  AA_REQUIRE(input == 0 || input == 1, "ResetProcess: input must be a bit");
+  AA_REQUIRE(th.t1 >= th.t2 && th.t2 >= th.t3 && th.t3 > 0,
+             "ResetProcess: thresholds must satisfy T1 >= T2 >= T3 > 0");
+  AA_REQUIRE(2 * th.t3 > th.t1,
+             "ResetProcess: need 2*T3 > T1 for step 3 to be unambiguous");
+}
+
+void ResetProcess::on_start(sim::Outbox& out) {
+  out.broadcast(make_vote(round_, x_));
+}
+
+void ResetProcess::on_receive(const sim::Envelope& env, Rng& rng,
+                              sim::Outbox& out) {
+  const sim::Message& m = env.payload;
+  if (m.kind != kVoteKind) return;
+  if (m.value != 0 && m.value != 1) return;
+  votes_[m.round].push_back(m.value);
+
+  if (rejoining_) {
+    // Wait for T1 votes sharing a common round, adopt it, re-enter step 3.
+    if (static_cast<int>(votes_[m.round].size()) >= th_.t1) {
+      round_ = m.round;
+      rejoining_ = false;
+      step3_and_advance(rng, out);
+      try_advance(rng, out);
+    }
+    return;
+  }
+  try_advance(rng, out);
+}
+
+void ResetProcess::try_advance(Rng& rng, sim::Outbox& out) {
+  while (true) {
+    const auto it = votes_.find(round_);
+    if (it == votes_.end() || static_cast<int>(it->second.size()) < th_.t1)
+      return;
+    step3_and_advance(rng, out);
+  }
+}
+
+void ResetProcess::step3_and_advance(Rng& rng, sim::Outbox& out) {
+  const std::vector<int>& vs = votes_.at(round_);
+  AA_CHECK(static_cast<int>(vs.size()) >= th_.t1,
+           "step 3 requires T1 recorded votes");
+  int count[2] = {0, 0};
+  for (int i = 0; i < th_.t1; ++i) ++count[vs[static_cast<std::size_t>(i)]];
+
+  // Step 3. T2 >= T3 and 2*T3 > T1 make the winning value unique.
+  for (int v = 0; v <= 1; ++v) {
+    if (count[v] >= th_.t2 && output_ == sim::kBot) output_ = v;
+  }
+  if (count[0] >= th_.t3) x_ = 0;
+  else if (count[1] >= th_.t3) x_ = 1;
+  else x_ = rng.next_bool() ? 1 : 0;
+
+  // Step 4.
+  ++round_;
+  prune_old_rounds();
+  out.broadcast(make_vote(round_, x_));
+}
+
+void ResetProcess::prune_old_rounds() {
+  votes_.erase(votes_.begin(), votes_.lower_bound(round_));
+}
+
+void ResetProcess::on_reset() {
+  // Everything except input, output, identity (and the engine-side reset
+  // counter) is erased.
+  round_ = 1;  // placeholder; masked by rejoining_ until a round is adopted
+  x_ = sim::kBot;
+  votes_.clear();
+  rejoining_ = true;
+  // A freshly reset processor refrains from sending until it resumes normal
+  // operation — it stages nothing here, and the engine clears any staged
+  // messages at the reset step.
+}
+
+}  // namespace aa::protocols

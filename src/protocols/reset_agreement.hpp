@@ -1,0 +1,76 @@
+// The paper's §3 algorithm: randomized agreement tolerating a strongly
+// adaptive (resetting) adversary for t < n/6 (Theorem 4).
+//
+// Per round r, every processor p broadcasts (r, x_p), waits for T1 messages
+// with matching round, then:
+//   * ≥ T2 of the T1 agree on v  →  write v to the output bit (write-once)
+//   * ≥ T3 of the T1 agree on v  →  x_p := v
+//   * otherwise                  →  x_p := fresh uniform bit
+// and advances to round r + 1.
+//
+// Reset handling (the paper's "handling resets" paragraph): a reset is
+// detectable; the processor then refrains from sending, waits until it has
+// seen T1 messages (r_q, x_q) sharing a common round r, adopts r_p := r, and
+// re-enters at step 3 using those T1 messages.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "protocols/thresholds.hpp"
+#include "sim/process.hpp"
+
+namespace aa::protocols {
+
+/// Message kind used by ResetProcess (and ForgetfulProcess): a round vote.
+inline constexpr std::int32_t kVoteKind = 1;
+
+/// Build the (r, x) vote message.
+[[nodiscard]] sim::Message make_vote(int round, int value);
+
+class ResetProcess final : public sim::Process {
+ public:
+  ResetProcess(int id, int n, int input, Thresholds th);
+
+  void on_start(sim::Outbox& out) override;
+  void on_receive(const sim::Envelope& env, Rng& rng,
+                  sim::Outbox& out) override;
+  void on_reset() override;
+
+  [[nodiscard]] int input() const override { return input_; }
+  [[nodiscard]] int output() const override { return output_; }
+  [[nodiscard]] int round() const override {
+    return rejoining_ ? sim::kBot : round_;
+  }
+  [[nodiscard]] int estimate() const override {
+    return rejoining_ ? sim::kBot : x_;
+  }
+  [[nodiscard]] const char* protocol_name() const override {
+    return "reset-agreement";
+  }
+
+  [[nodiscard]] bool rejoining() const noexcept { return rejoining_; }
+  [[nodiscard]] const Thresholds& thresholds() const noexcept { return th_; }
+
+ private:
+  /// Step 3 + step 4 on the first T1 votes recorded for round `round_`.
+  void step3_and_advance(Rng& rng, sim::Outbox& out);
+  /// Run step 3 for as many consecutive rounds as already have T1 votes
+  /// (messages for future rounds can arrive before we get there).
+  void try_advance(Rng& rng, sim::Outbox& out);
+  void prune_old_rounds();
+
+  int id_;
+  int n_;
+  Thresholds th_;
+  int input_;
+  int output_ = sim::kBot;
+  int round_ = 1;
+  int x_;
+  bool rejoining_ = false;
+  /// Arrival-ordered vote values per round; only the first T1 entries of a
+  /// round are ever consulted (the paper's "wait until T1 messages").
+  std::map<int, std::vector<int>> votes_;
+};
+
+}  // namespace aa::protocols

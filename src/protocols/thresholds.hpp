@@ -1,0 +1,40 @@
+// Threshold parameters T1 ≥ T2 ≥ T3 of the §3 algorithm, and the
+// constraints Theorem 4 places on them:
+//
+//     n − 2t ≥ T1 ≥ T2 ≥ T3 + t,   2·T3 > n,   (and 2·T3 > T1 for step 3
+//     to be well-defined — implied by 2T3 > n ≥ T1).
+//
+// Theorem 4's canonical setting for t < n/6 is T1 = n − 2t, T2 = T1,
+// T3 = n − 3t. Smaller t admits T2 < T1, which speeds decisions (ablation
+// T1 in DESIGN.md).
+#pragma once
+
+#include <string>
+
+namespace aa::protocols {
+
+struct Thresholds {
+  int t1 = 0;  ///< messages to wait for per round
+  int t2 = 0;  ///< same-value count that triggers a DECISION
+  int t3 = 0;  ///< same-value count that deterministically adopts x = v
+
+  friend bool operator==(const Thresholds&, const Thresholds&) = default;
+};
+
+/// Theorem 4's canonical thresholds: T1 = T2 = n − 2t, T3 = n − 3t.
+[[nodiscard]] Thresholds canonical_thresholds(int n, int t);
+
+/// Check every Theorem 4 constraint; on failure returns a human-readable
+/// explanation, on success an empty string.
+[[nodiscard]] std::string threshold_violation(int n, int t,
+                                              const Thresholds& th);
+
+/// True iff threshold_violation is empty.
+[[nodiscard]] bool thresholds_valid(int n, int t, const Thresholds& th);
+
+/// Largest t for which canonical thresholds satisfy Theorem 4 at this n
+/// (i.e. the resilience ceiling: the biggest t < n/6 that still admits a
+/// valid setting; returns 0 if none).
+[[nodiscard]] int max_supported_t(int n);
+
+}  // namespace aa::protocols

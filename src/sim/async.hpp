@@ -1,0 +1,59 @@
+// Fine-grained asynchronous driver for the §5 crash-failure model.
+//
+// Here there are no acceptable windows: the adversary schedules one delivery
+// at a time and may crash up to t processors, under the classic constraint
+// that every message sent to a non-crashed processor is eventually
+// delivered. Running time is measured as the longest message chain before
+// the first decision (§2's discussion / §5).
+//
+// Engine note: in this model a processor's staged messages are published
+// immediately after each receiving step (receive + compute + send is one
+// atomic unit) — standard for crash-model analyses and equivalent here since
+// no reset can intervene between a processor's receive and its send.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "sim/execution.hpp"
+#include "sim/types.hpp"
+
+namespace aa::sim {
+
+/// One scheduling decision by the asynchronous adversary.
+struct DeliverAction {
+  MsgId id;
+};
+struct CrashAction {
+  ProcId p;
+};
+struct StopAction {};  ///< adversary gives up / nothing left to do
+using AsyncAction = std::variant<DeliverAction, CrashAction, StopAction>;
+
+/// Full-information asynchronous adversary with a crash budget.
+class AsyncAdversary {
+ public:
+  virtual ~AsyncAdversary() = default;
+  virtual AsyncAction next(const Execution& exec) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Result of an async run.
+struct AsyncRunResult {
+  std::int64_t deliveries = 0;    ///< receiving steps taken
+  std::int64_t crashes = 0;       ///< crash actions taken
+  bool stopped_by_adversary = false;
+  bool hit_step_limit = false;
+};
+
+/// Drive the execution: publish all initial sends, then repeatedly apply the
+/// adversary's actions until the predicate holds, the adversary stops, or
+/// `max_deliveries` receiving steps have occurred. Enforces the crash budget
+/// `t` and that deliveries target live processors. `until_all_decided`
+/// selects the stopping condition (first decision vs all live decided).
+AsyncRunResult run_async(Execution& exec, AsyncAdversary& adv, int t,
+                         std::int64_t max_deliveries,
+                         bool until_all_decided = false);
+
+}  // namespace aa::sim

@@ -1,0 +1,100 @@
+#include "sim/buffer.hpp"
+
+#include "util/check.hpp"
+
+namespace aa::sim {
+
+MessageBuffer::MessageBuffer(int n) : n_(n), by_receiver_(static_cast<std::size_t>(n)) {
+  AA_REQUIRE(n > 0, "MessageBuffer: n must be positive");
+}
+
+MsgId MessageBuffer::add(ProcId sender, ProcId receiver,
+                         const Message& payload, std::int64_t window,
+                         std::int64_t chain) {
+  AA_REQUIRE(sender >= 0 && sender < n_, "MessageBuffer::add: bad sender");
+  AA_REQUIRE(receiver >= 0 && receiver < n_, "MessageBuffer::add: bad receiver");
+  const MsgId id = static_cast<MsgId>(all_.size());
+  all_.push_back(Envelope{id, sender, receiver, payload, window, chain});
+  state_.push_back(State::Pending);
+  by_receiver_[static_cast<std::size_t>(receiver)].push_back(id);
+  ++pending_;
+  return id;
+}
+
+const Envelope& MessageBuffer::get(MsgId id) const {
+  AA_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < all_.size(),
+             "MessageBuffer::get: bad id");
+  return all_[static_cast<std::size_t>(id)];
+}
+
+bool MessageBuffer::is_pending(MsgId id) const {
+  AA_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < all_.size(),
+             "MessageBuffer: bad id");
+  return state_[static_cast<std::size_t>(id)] == State::Pending;
+}
+
+bool MessageBuffer::is_delivered(MsgId id) const {
+  AA_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < all_.size(),
+             "MessageBuffer: bad id");
+  return state_[static_cast<std::size_t>(id)] == State::Delivered;
+}
+
+bool MessageBuffer::is_dropped(MsgId id) const {
+  AA_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < all_.size(),
+             "MessageBuffer: bad id");
+  return state_[static_cast<std::size_t>(id)] == State::Dropped;
+}
+
+void MessageBuffer::mark_delivered(MsgId id) {
+  AA_CHECK(is_pending(id), "mark_delivered: message not pending");
+  state_[static_cast<std::size_t>(id)] = State::Delivered;
+  --pending_;
+  ++delivered_;
+}
+
+void MessageBuffer::mark_dropped(MsgId id) {
+  AA_CHECK(is_pending(id), "mark_dropped: message not pending");
+  state_[static_cast<std::size_t>(id)] = State::Dropped;
+  --pending_;
+  ++dropped_;
+}
+
+std::vector<MsgId> MessageBuffer::pending_to(ProcId receiver) const {
+  AA_REQUIRE(receiver >= 0 && receiver < n_, "pending_to: bad receiver");
+  std::vector<MsgId> out;
+  for (MsgId id : by_receiver_[static_cast<std::size_t>(receiver)]) {
+    if (state_[static_cast<std::size_t>(id)] == State::Pending)
+      out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<MsgId> MessageBuffer::pending_from_to(ProcId sender,
+                                                  ProcId receiver) const {
+  std::vector<MsgId> out;
+  for (MsgId id : by_receiver_[static_cast<std::size_t>(receiver)]) {
+    const auto idx = static_cast<std::size_t>(id);
+    if (state_[idx] == State::Pending && all_[idx].sender == sender)
+      out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<MsgId> MessageBuffer::pending_in_window(std::int64_t w) const {
+  std::vector<MsgId> out;
+  for (std::size_t i = 0; i < all_.size(); ++i) {
+    if (state_[i] == State::Pending && all_[i].window == w)
+      out.push_back(static_cast<MsgId>(i));
+  }
+  return out;
+}
+
+std::vector<MsgId> MessageBuffer::all_pending() const {
+  std::vector<MsgId> out;
+  for (std::size_t i = 0; i < all_.size(); ++i) {
+    if (state_[i] == State::Pending) out.push_back(static_cast<MsgId>(i));
+  }
+  return out;
+}
+
+}  // namespace aa::sim

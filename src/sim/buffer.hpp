@@ -1,0 +1,71 @@
+// MessageBuffer: the in-flight message store of §2.
+//
+// The adversary has full information: it can inspect every pending envelope.
+// Delivery and drops are explicit engine events; a message is in exactly one
+// of three states: pending, delivered, dropped. (Dropping models the
+// acceptable-window semantics where messages from silenced senders are never
+// delivered; the async crash model never drops except to crashed receivers.)
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace aa::sim {
+
+class MessageBuffer {
+ public:
+  explicit MessageBuffer(int n);
+
+  /// Add a new in-flight message; returns its id.
+  MsgId add(ProcId sender, ProcId receiver, const Message& payload,
+            std::int64_t window, std::int64_t chain);
+
+  /// Envelope lookup (any state).
+  [[nodiscard]] const Envelope& get(MsgId id) const;
+
+  [[nodiscard]] bool is_pending(MsgId id) const;
+  [[nodiscard]] bool is_delivered(MsgId id) const;
+  [[nodiscard]] bool is_dropped(MsgId id) const;
+
+  /// Transition pending → delivered. Precondition: pending.
+  void mark_delivered(MsgId id);
+  /// Transition pending → dropped. Precondition: pending.
+  void mark_dropped(MsgId id);
+
+  /// Ids of all pending messages addressed to `receiver` (send order).
+  [[nodiscard]] std::vector<MsgId> pending_to(ProcId receiver) const;
+
+  /// Ids of pending messages to `receiver` from `sender` (send order).
+  [[nodiscard]] std::vector<MsgId> pending_from_to(ProcId sender,
+                                                   ProcId receiver) const;
+
+  /// Ids of all pending messages sent during window `w`.
+  [[nodiscard]] std::vector<MsgId> pending_in_window(std::int64_t w) const;
+
+  /// All pending ids (send order).
+  [[nodiscard]] std::vector<MsgId> all_pending() const;
+
+  [[nodiscard]] std::size_t total_sent() const noexcept { return all_.size(); }
+  [[nodiscard]] std::size_t pending_count() const noexcept { return pending_; }
+  [[nodiscard]] std::size_t delivered_count() const noexcept {
+    return delivered_;
+  }
+  [[nodiscard]] std::size_t dropped_count() const noexcept { return dropped_; }
+  [[nodiscard]] int n() const noexcept { return n_; }
+
+ private:
+  enum class State : std::uint8_t { Pending, Delivered, Dropped };
+
+  int n_;
+  std::vector<Envelope> all_;
+  std::vector<State> state_;
+  // Per-receiver index of message ids (never shrinks; state checked on scan).
+  std::vector<std::vector<MsgId>> by_receiver_;
+  std::size_t pending_ = 0;
+  std::size_t delivered_ = 0;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace aa::sim

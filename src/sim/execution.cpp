@@ -1,0 +1,161 @@
+#include "sim/execution.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace aa::sim {
+
+Execution::Execution(std::vector<std::unique_ptr<Process>> procs,
+                     std::uint64_t seed, ExecutionConfig cfg)
+    : n_(static_cast<int>(procs.size())),
+      cfg_(cfg),
+      procs_(std::move(procs)),
+      buffer_(n_),
+      crashed_(static_cast<std::size_t>(n_), false),
+      resets_(static_cast<std::size_t>(n_), 0),
+      chain_(static_cast<std::size_t>(n_), 0) {
+  AA_REQUIRE(n_ > 0, "Execution: need at least one processor");
+  Rng root(seed);
+  rngs_.reserve(static_cast<std::size_t>(n_));
+  staged_.reserve(static_cast<std::size_t>(n_));
+  for (ProcId p = 0; p < n_; ++p) {
+    AA_REQUIRE(procs_[static_cast<std::size_t>(p)] != nullptr,
+               "Execution: null process");
+    rngs_.push_back(root.fork(static_cast<std::uint64_t>(p)));
+    staged_.emplace_back(n_);
+  }
+  for (ProcId p = 0; p < n_; ++p) {
+    procs_[static_cast<std::size_t>(p)]->on_start(
+        staged_[static_cast<std::size_t>(p)]);
+  }
+}
+
+std::vector<MsgId> Execution::sending_step(ProcId p) {
+  AA_REQUIRE(p >= 0 && p < n_, "sending_step: bad proc id");
+  record(StepKind::Send, p);
+  std::vector<MsgId> published;
+  if (crashed_[static_cast<std::size_t>(p)]) return published;
+  Outbox& out = staged_[static_cast<std::size_t>(p)];
+  // Complete-response semantics: an empty outbox means the step is a no-op.
+  for (const Outbox::Item& item : out.items()) {
+    published.push_back(buffer_.add(p, item.to, item.msg, window_,
+                                    chain_[static_cast<std::size_t>(p)] + 1));
+  }
+  out.clear();
+  return published;
+}
+
+void Execution::receiving_step(MsgId id) {
+  AA_CHECK(buffer_.is_pending(id), "receiving_step: message not pending");
+  const Envelope& env = buffer_.get(id);
+  const ProcId p = env.receiver;
+  AA_CHECK(!crashed_[static_cast<std::size_t>(p)],
+           "receiving_step: delivery to a crashed processor");
+  record(StepKind::Receive, p, id);
+  buffer_.mark_delivered(id);
+  chain_[static_cast<std::size_t>(p)] =
+      std::max(chain_[static_cast<std::size_t>(p)], env.chain);
+  const int out_before = procs_[static_cast<std::size_t>(p)]->output();
+  procs_[static_cast<std::size_t>(p)]->on_receive(
+      env, rngs_[static_cast<std::size_t>(p)],
+      staged_[static_cast<std::size_t>(p)]);
+  check_output_write_once(p, out_before);
+}
+
+void Execution::resetting_step(ProcId p) {
+  AA_REQUIRE(p >= 0 && p < n_, "resetting_step: bad proc id");
+  AA_CHECK(!crashed_[static_cast<std::size_t>(p)],
+           "resetting_step: cannot reset a crashed processor");
+  record(StepKind::Reset, p);
+  const int out_before = procs_[static_cast<std::size_t>(p)]->output();
+  procs_[static_cast<std::size_t>(p)]->on_reset();
+  check_output_write_once(p, out_before);
+  // Erased memory cannot send: staged-but-unsent messages are lost too.
+  staged_[static_cast<std::size_t>(p)].clear();
+  ++resets_[static_cast<std::size_t>(p)];
+  ++total_resets_;
+}
+
+void Execution::crash(ProcId p) {
+  AA_REQUIRE(p >= 0 && p < n_, "crash: bad proc id");
+  if (crashed_[static_cast<std::size_t>(p)]) return;
+  record(StepKind::Crash, p);
+  crashed_[static_cast<std::size_t>(p)] = true;
+  staged_[static_cast<std::size_t>(p)].clear();
+  ++crashed_count_;
+}
+
+void Execution::end_window() {
+  for (MsgId id : buffer_.pending_in_window(window_)) buffer_.mark_dropped(id);
+  ++window_;
+}
+
+void Execution::advance_window_keep_pending() { ++window_; }
+
+const Process& Execution::process(ProcId p) const {
+  AA_REQUIRE(p >= 0 && p < n_, "process: bad proc id");
+  return *procs_[static_cast<std::size_t>(p)];
+}
+
+bool Execution::crashed(ProcId p) const {
+  AA_REQUIRE(p >= 0 && p < n_, "crashed: bad proc id");
+  return crashed_[static_cast<std::size_t>(p)];
+}
+
+int Execution::reset_count(ProcId p) const {
+  AA_REQUIRE(p >= 0 && p < n_, "reset_count: bad proc id");
+  return resets_[static_cast<std::size_t>(p)];
+}
+
+std::int64_t Execution::chain_depth(ProcId p) const {
+  AA_REQUIRE(p >= 0 && p < n_, "chain_depth: bad proc id");
+  return chain_[static_cast<std::size_t>(p)];
+}
+
+bool Execution::has_staged(ProcId p) const {
+  AA_REQUIRE(p >= 0 && p < n_, "has_staged: bad proc id");
+  return !staged_[static_cast<std::size_t>(p)].empty();
+}
+
+int Execution::output(ProcId p) const { return process(p).output(); }
+
+std::optional<Decision> Execution::first_decision() const {
+  if (decisions_.empty()) return std::nullopt;
+  return decisions_.front();
+}
+
+bool Execution::outputs_agree() const {
+  int seen = kBot;
+  for (ProcId p = 0; p < n_; ++p) {
+    const int o = output(p);
+    if (o == kBot) continue;
+    if (seen == kBot) seen = o;
+    else if (seen != o) return false;
+  }
+  return true;
+}
+
+bool Execution::all_live_decided() const {
+  for (ProcId p = 0; p < n_; ++p) {
+    if (!crashed_[static_cast<std::size_t>(p)] && output(p) == kBot)
+      return false;
+  }
+  return true;
+}
+
+void Execution::record(StepKind k, ProcId p, MsgId m) {
+  ++steps_;
+  if (cfg_.record_events) events_.push_back(Event{k, p, m, window_});
+}
+
+void Execution::check_output_write_once(ProcId p, int before) {
+  const int after = procs_[static_cast<std::size_t>(p)]->output();
+  if (before == after) return;
+  AA_CHECK(before == kBot, "output bit is write-once but was rewritten");
+  AA_CHECK(after == 0 || after == 1, "output bit must be 0 or 1");
+  decisions_.push_back(Decision{p, after, window_, steps_,
+                                chain_[static_cast<std::size_t>(p)]});
+}
+
+}  // namespace aa::sim

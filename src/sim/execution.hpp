@@ -1,0 +1,150 @@
+// Execution: one run of an algorithm under adversarial control, expressed as
+// the fine-grained step sequence of §2 (sending / receiving / resetting
+// steps, plus crash for the §5 model).
+//
+// Engine-enforced model invariants:
+//  * A sending step is a complete response to prior events: two consecutive
+//    sending steps with no intervening receiving/resetting step make the
+//    second a no-op (DESIGN.md decision D1).
+//  * Receiving steps are the only randomized steps; each processor draws
+//    from its own forked Rng stream (decision D3).
+//  * The output bit is write-once: the engine snapshots it around every step
+//    and faults if a protocol ever changes a written output.
+//  * Resets erase staged (unsent) messages too — erased memory cannot send.
+//  * Crashed processors take no further steps; crashing is permanent.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/buffer.hpp"
+#include "sim/process.hpp"
+#include "sim/types.hpp"
+#include "util/rng.hpp"
+
+namespace aa::sim {
+
+/// One recorded step (kept only when ExecutionConfig::record_events).
+struct Event {
+  StepKind kind;
+  ProcId proc;
+  MsgId msg = kNoMsg;       ///< delivered message (Receive only)
+  std::int64_t window = 0;  ///< window counter at the time of the step
+};
+
+/// Record of a decision (output-bit write).
+struct Decision {
+  ProcId proc;
+  int value;                ///< 0 or 1
+  std::int64_t window;      ///< window index at decision time
+  std::int64_t step;        ///< global step index at decision time
+  std::int64_t chain;       ///< message-chain depth of the decider
+};
+
+struct ExecutionConfig {
+  bool record_events = false;  ///< keep the full step log (memory-heavy)
+};
+
+class Execution {
+ public:
+  /// Takes ownership of the per-processor protocol instances (index = id).
+  /// Calls each process's on_start to stage initial messages.
+  Execution(std::vector<std::unique_ptr<Process>> procs, std::uint64_t seed,
+            ExecutionConfig cfg = {});
+
+  Execution(const Execution&) = delete;
+  Execution& operator=(const Execution&) = delete;
+  Execution(Execution&&) = default;
+  Execution& operator=(Execution&&) = default;
+
+  [[nodiscard]] int n() const noexcept { return n_; }
+
+  // ---- the three step kinds of §2 (+ crash for §5) ----
+
+  /// Sending step: publish `p`'s staged messages into the buffer.
+  /// Returns the ids published (empty when the step is a no-op).
+  std::vector<MsgId> sending_step(ProcId p);
+
+  /// Receiving step: deliver pending message `id` to its recipient and run
+  /// the (randomized) local computation.
+  void receiving_step(MsgId id);
+
+  /// Resetting step: erase `p`'s memory per §2 (input/output/id/reset
+  /// counter survive; everything else, including staged messages, is lost).
+  void resetting_step(ProcId p);
+
+  /// Crash (only used by the §5 crash-model driver): `p` halts forever.
+  void crash(ProcId p);
+
+  // ---- window bookkeeping ----
+
+  /// Current acceptable-window index (starts at 0).
+  [[nodiscard]] std::int64_t window() const noexcept { return window_; }
+
+  /// Close the current window: drop all still-pending messages that were
+  /// sent in it (silenced senders' messages are never delivered under the
+  /// acceptable-window regime) and advance the window counter.
+  void end_window();
+
+  /// Advance the window counter WITHOUT dropping (async/crash model, where
+  /// every message must remain eligible for eventual delivery).
+  void advance_window_keep_pending();
+
+  // ---- full-information views ----
+
+  [[nodiscard]] const Process& process(ProcId p) const;
+  [[nodiscard]] const MessageBuffer& buffer() const noexcept { return buffer_; }
+  [[nodiscard]] bool crashed(ProcId p) const;
+  [[nodiscard]] int crashed_count() const noexcept { return crashed_count_; }
+  [[nodiscard]] int reset_count(ProcId p) const;
+  [[nodiscard]] std::int64_t total_resets() const noexcept {
+    return total_resets_;
+  }
+  [[nodiscard]] std::int64_t step_count() const noexcept { return steps_; }
+  [[nodiscard]] std::int64_t chain_depth(ProcId p) const;
+  [[nodiscard]] bool has_staged(ProcId p) const;
+
+  /// Output of processor p (kBot / 0 / 1).
+  [[nodiscard]] int output(ProcId p) const;
+  /// Number of processors with a written output bit.
+  [[nodiscard]] int decided_count() const noexcept {
+    return static_cast<int>(decisions_.size());
+  }
+  [[nodiscard]] const std::vector<Decision>& decisions() const noexcept {
+    return decisions_;
+  }
+  /// First decision, if any.
+  [[nodiscard]] std::optional<Decision> first_decision() const;
+  /// True iff every written output agrees (vacuously true with no outputs).
+  [[nodiscard]] bool outputs_agree() const;
+  /// True iff every non-crashed processor has decided.
+  [[nodiscard]] bool all_live_decided() const;
+
+  [[nodiscard]] const std::vector<Event>& events() const noexcept {
+    return events_;
+  }
+
+ private:
+  void record(StepKind k, ProcId p, MsgId m = kNoMsg);
+  void check_output_write_once(ProcId p, int before);
+
+  int n_;
+  ExecutionConfig cfg_;
+  std::vector<std::unique_ptr<Process>> procs_;
+  MessageBuffer buffer_;
+  std::vector<Rng> rngs_;
+  std::vector<Outbox> staged_;
+  std::vector<bool> crashed_;
+  std::vector<int> resets_;
+  std::vector<std::int64_t> chain_;
+  std::vector<Decision> decisions_;
+  std::vector<Event> events_;
+  std::int64_t window_ = 0;
+  std::int64_t steps_ = 0;
+  std::int64_t total_resets_ = 0;
+  int crashed_count_ = 0;
+};
+
+}  // namespace aa::sim

@@ -1,0 +1,87 @@
+// Process: the per-processor protocol interface.
+//
+// §2 of the paper defines an algorithm as a family of distributions on
+// (new state, outgoing messages) parameterized by (current state, received
+// message). We realize that as a virtual interface: `on_receive` is the only
+// randomized entry point (matching the paper: "receiving steps ... will be
+// the only kind of step that involves randomization"), and outgoing messages
+// are *staged* with the engine and only placed into the buffer at the next
+// sending step, preserving the paper's separation of sending and receiving
+// steps (needed for the reset semantics).
+#pragma once
+
+#include <vector>
+
+#include "sim/types.hpp"
+#include "util/rng.hpp"
+
+namespace aa::sim {
+
+/// Collector for messages a process wants to send. The engine stages these
+/// and publishes them at the process's next sending step.
+class Outbox {
+ public:
+  explicit Outbox(int n) : n_(n) {}
+
+  /// Queue a message to one receiver.
+  void send(ProcId to, const Message& m) { queued_.push_back({to, m}); }
+
+  /// Queue the same message to every processor (including self; the paper
+  /// notes self-delivery is redundant but harmless — our protocols rely on
+  /// counting their own vote, so we keep it).
+  void broadcast(const Message& m) {
+    for (ProcId p = 0; p < n_; ++p) queued_.push_back({p, m});
+  }
+
+  struct Item {
+    ProcId to;
+    Message msg;
+  };
+  [[nodiscard]] const std::vector<Item>& items() const noexcept {
+    return queued_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return queued_.empty(); }
+  void clear() noexcept { queued_.clear(); }
+  [[nodiscard]] int n() const noexcept { return n_; }
+
+ private:
+  int n_;
+  std::vector<Item> queued_;
+};
+
+/// Protocol behaviour of one processor. Implementations live in
+/// src/protocols/. The engine owns the Rng streams and the staged outboxes.
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  /// Called once before the first sending step: stage initial messages
+  /// (e.g. the round-1 vote).
+  virtual void on_start(Outbox& out) = 0;
+
+  /// A receiving step delivered `env`. Perform the local (possibly
+  /// randomized) computation and stage any responses.
+  virtual void on_receive(const Envelope& env, Rng& rng, Outbox& out) = 0;
+
+  /// A resetting step: erase all memory EXCEPT the input bit, the output
+  /// bit, the identity, and the reset counter (which the engine maintains;
+  /// resets are detectable per §2). Implementations must return to a state
+  /// from which the protocol's reset-recovery path runs.
+  virtual void on_reset() = 0;
+
+  // --- full-information introspection (read by adversaries & checkers) ---
+
+  /// Immutable input bit (0/1).
+  [[nodiscard]] virtual int input() const = 0;
+  /// Write-once output bit: kBot until decided, then 0/1 forever.
+  [[nodiscard]] virtual int output() const = 0;
+  /// Current round number r_p (protocols without rounds return 0; a freshly
+  /// reset processor that has not yet rejoined returns kBot).
+  [[nodiscard]] virtual int round() const = 0;
+  /// Current estimate x_p (kBot if none, e.g. mid-rejoin).
+  [[nodiscard]] virtual int estimate() const = 0;
+  /// Short human-readable protocol name (diagnostics).
+  [[nodiscard]] virtual const char* protocol_name() const = 0;
+};
+
+}  // namespace aa::sim

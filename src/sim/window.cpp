@@ -1,0 +1,97 @@
+#include "sim/window.hpp"
+
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace aa::sim {
+
+void validate_window_plan(const WindowPlan& plan, int n, int t) {
+  AA_REQUIRE(static_cast<int>(plan.delivery_order.size()) == n,
+             "window plan must provide a delivery order for every receiver");
+  for (int i = 0; i < n; ++i) {
+    const auto& order = plan.delivery_order[static_cast<std::size_t>(i)];
+    std::unordered_set<ProcId> seen;
+    for (ProcId s : order) {
+      AA_REQUIRE(s >= 0 && s < n, "window plan: sender id out of range");
+      AA_REQUIRE(seen.insert(s).second,
+                 "window plan: duplicate sender in delivery order");
+    }
+    AA_REQUIRE(static_cast<int>(seen.size()) >= n - t,
+               "window plan: |S_i| must be >= n - t (Definition 1)");
+  }
+  std::unordered_set<ProcId> rs;
+  for (ProcId p : plan.resets) {
+    AA_REQUIRE(p >= 0 && p < n, "window plan: reset id out of range");
+    AA_REQUIRE(rs.insert(p).second, "window plan: duplicate reset target");
+  }
+  AA_REQUIRE(static_cast<int>(rs.size()) <= t,
+             "window plan: at most t resets per window (Definition 1)");
+}
+
+int run_acceptable_window(Execution& exec, WindowAdversary& adv, int t) {
+  const int n = exec.n();
+  // Phase 1: all n processors take sending steps.
+  std::vector<MsgId> batch;
+  for (ProcId p = 0; p < n; ++p) {
+    for (MsgId id : exec.sending_step(p)) batch.push_back(id);
+  }
+  // Phase 2: adversary inspects the batch (full information) and plans.
+  WindowPlan plan = adv.plan_window(exec, batch);
+  validate_window_plan(plan, n, t);
+
+  // Index the batch by (sender, receiver) for ordered delivery.
+  // Protocols may send several messages to the same peer in one window
+  // (e.g. Bracha's RBC echoes); preserve send order within a pair.
+  std::vector<std::vector<std::vector<MsgId>>> by_pair(
+      static_cast<std::size_t>(n),
+      std::vector<std::vector<MsgId>>(static_cast<std::size_t>(n)));
+  for (MsgId id : batch) {
+    if (!exec.buffer().is_pending(id)) continue;
+    const Envelope& env = exec.buffer().get(id);
+    by_pair[static_cast<std::size_t>(env.sender)]
+           [static_cast<std::size_t>(env.receiver)].push_back(id);
+  }
+
+  int deliveries = 0;
+  for (ProcId i = 0; i < n; ++i) {
+    if (exec.crashed(i)) continue;
+    for (ProcId s : plan.delivery_order[static_cast<std::size_t>(i)]) {
+      for (MsgId id : by_pair[static_cast<std::size_t>(s)]
+                             [static_cast<std::size_t>(i)]) {
+        if (!exec.buffer().is_pending(id)) continue;
+        exec.receiving_step(id);
+        ++deliveries;
+      }
+    }
+  }
+
+  // Phase 3: at most t resetting steps.
+  for (ProcId p : plan.resets) exec.resetting_step(p);
+
+  // Window boundary: undelivered batch messages are dropped.
+  exec.end_window();
+  return deliveries;
+}
+
+std::int64_t run_until_first_decision(Execution& exec, WindowAdversary& adv,
+                                      int t, std::int64_t max_windows) {
+  std::int64_t w = 0;
+  while (w < max_windows && exec.decided_count() == 0) {
+    run_acceptable_window(exec, adv, t);
+    ++w;
+  }
+  return w;
+}
+
+std::int64_t run_until_all_decided(Execution& exec, WindowAdversary& adv,
+                                   int t, std::int64_t max_windows) {
+  std::int64_t w = 0;
+  while (w < max_windows && !exec.all_live_decided()) {
+    run_acceptable_window(exec, adv, t);
+    ++w;
+  }
+  return w;
+}
+
+}  // namespace aa::sim

@@ -1,0 +1,71 @@
+// Acceptable windows — Definition 1 of the paper.
+//
+//   "First, all n processors take sending steps. Then, for sets
+//    S_1,...,S_n ⊆ [n] all of size ≥ n−t, a sequence of receiving steps
+//    follows that delivers to each processor i the messages just sent to it
+//    from processors in the set S_i. Finally, a sequence of at most t
+//    resetting steps occurs."
+//
+// The strongly adaptive adversary chooses the S_i sets AFTER seeing the
+// just-sent messages (full information), and additionally controls the
+// per-receiver delivery ORDER — order matters because the §3 algorithm acts
+// on the first T1 matching-round messages it receives.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/execution.hpp"
+#include "sim/types.hpp"
+
+namespace aa::sim {
+
+/// The adversary's choice for one acceptable window.
+/// `delivery_order[i]` is the ordered list of sender identities whose
+/// just-sent messages are delivered to receiver i — its underlying SET must
+/// have size ≥ n − t (Definition 1). Senders in the list that sent nothing
+/// to i this window are permitted (delivering nothing is a no-op).
+/// `resets` lists ≤ t distinct processors to reset at the window's end.
+struct WindowPlan {
+  std::vector<std::vector<ProcId>> delivery_order;
+  std::vector<ProcId> resets;
+};
+
+/// Throws AA_REQUIRE-style errors unless `plan` is an acceptable window for
+/// (n, t): n receivers, every S_i a duplicate-free subset of [0,n) with
+/// |S_i| ≥ n − t, and ≤ t distinct resets.
+void validate_window_plan(const WindowPlan& plan, int n, int t);
+
+/// A strongly adaptive (window) adversary: full information, chooses the
+/// delivery sets/order and resets for each window.
+class WindowAdversary {
+ public:
+  virtual ~WindowAdversary() = default;
+
+  /// Plan the window. `batch` holds the ids of all messages just published
+  /// by the window's sending steps. Implementations may inspect the whole
+  /// execution (states, buffer contents) — the model is full-information.
+  virtual WindowPlan plan_window(const Execution& exec,
+                                 const std::vector<MsgId>& batch) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Drive one acceptable window: sending steps for all n processors, the
+/// adversary's deliveries (validated against Definition 1 with budget t),
+/// then the adversary's resets, then end_window() (undelivered messages from
+/// this window are dropped — silenced senders are never heard).
+/// Returns the number of receiving steps taken.
+int run_acceptable_window(Execution& exec, WindowAdversary& adv, int t);
+
+/// Convenience: run windows until some processor decides or `max_windows`
+/// elapse. Returns the number of windows run.
+std::int64_t run_until_first_decision(Execution& exec, WindowAdversary& adv,
+                                      int t, std::int64_t max_windows);
+
+/// Run windows until ALL (non-crashed) processors decide or `max_windows`
+/// elapse. Returns the number of windows run.
+std::int64_t run_until_all_decided(Execution& exec, WindowAdversary& adv,
+                                   int t, std::int64_t max_windows);
+
+}  // namespace aa::sim

@@ -1,0 +1,44 @@
+// Lightweight runtime-check macros used across the library.
+//
+// AA_CHECK(cond, msg)   — precondition / invariant check; throws std::logic_error.
+// AA_REQUIRE(cond, msg) — argument validation; throws std::invalid_argument.
+//
+// Both are always on: this is a research library whose correctness claims are
+// the point, so we never compile checks out.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace aa {
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* kind, const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (std::string(kind) == "AA_REQUIRE") throw std::invalid_argument(os.str());
+  throw std::logic_error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace aa
+
+#define AA_CHECK(cond, msg)                                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::aa::detail::throw_check_failure("AA_CHECK", #cond, __FILE__,         \
+                                        __LINE__, (msg));                    \
+  } while (0)
+
+#define AA_REQUIRE(cond, msg)                                                \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::aa::detail::throw_check_failure("AA_REQUIRE", #cond, __FILE__,       \
+                                        __LINE__, (msg));                    \
+  } while (0)

@@ -1,0 +1,46 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace aa {
+
+Histogram::Histogram(double bucket_width, double origin)
+    : width_(bucket_width), origin_(origin) {
+  AA_REQUIRE(bucket_width > 0.0, "Histogram bucket width must be positive");
+}
+
+void Histogram::add(double x) {
+  double idx_f = std::floor((x - origin_) / width_);
+  const std::size_t idx =
+      idx_f < 0 ? 0 : static_cast<std::size_t>(idx_f);
+  if (idx >= counts_.size()) counts_.resize(idx + 1, 0);
+  ++counts_[idx];
+  ++total_;
+}
+
+double Histogram::bucket_low(std::size_t i) const noexcept {
+  return origin_ + static_cast<double>(i) * width_;
+}
+
+std::string Histogram::render(std::size_t max_bar) const {
+  std::ostringstream os;
+  const std::size_t peak =
+      counts_.empty() ? 0 : *std::max_element(counts_.begin(), counts_.end());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double lo = bucket_low(i);
+    os << "[" << lo << ", " << lo + width_ << ")";
+    os << "  " << counts_[i] << "  ";
+    if (peak > 0) {
+      const std::size_t bar = counts_[i] * max_bar / peak;
+      for (std::size_t b = 0; b < bar; ++b) os << '#';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace aa

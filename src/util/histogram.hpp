@@ -1,0 +1,35 @@
+// Fixed-width bucket histogram with ASCII rendering, used by benches to show
+// distributions of windows-to-decision.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace aa {
+
+class Histogram {
+ public:
+  /// Buckets of width `bucket_width` starting at `origin`. Values below the
+  /// origin clamp into the first bucket; the bucket list grows on demand.
+  explicit Histogram(double bucket_width, double origin = 0.0);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const noexcept { return total_; }
+  [[nodiscard]] const std::vector<std::size_t>& buckets() const noexcept {
+    return counts_;
+  }
+  [[nodiscard]] double bucket_low(std::size_t i) const noexcept;
+
+  /// Multi-line ASCII bar rendering, widest bar `max_bar` characters.
+  [[nodiscard]] std::string render(std::size_t max_bar = 50) const;
+
+ private:
+  double width_;
+  double origin_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace aa

@@ -1,0 +1,8 @@
+// rng.hpp is header-only; this translation unit exists so the library has a
+// stable archive member for the module and to host any future out-of-line
+// helpers.
+#include "util/rng.hpp"
+
+namespace aa {
+// (intentionally empty)
+}  // namespace aa

@@ -1,0 +1,58 @@
+// Streaming statistics used by the experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace aa {
+
+/// Welford online accumulator: mean / variance / min / max in one pass,
+/// numerically stable.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 when fewer than two samples).
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Sum of all samples.
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+  /// Half-width of the ~95% normal-approximation confidence interval on the
+  /// mean (1.96 * stderr). Zero with fewer than two samples.
+  [[nodiscard]] double ci95_halfwidth() const noexcept;
+
+  /// Merge another accumulator (parallel-merge formula).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact percentile of a sample (linear interpolation between order
+/// statistics). `q` in [0,1]. Copies + sorts: intended for result vectors of
+/// modest size, not streaming use.
+[[nodiscard]] double percentile(std::vector<double> xs, double q);
+
+/// Median shorthand.
+[[nodiscard]] double median(std::vector<double> xs);
+
+/// Ordinary least squares fit y ≈ a + b·x. Returns {a, b}.
+/// Used to fit log(windows) vs n when measuring exponential growth (F1/F5).
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination
+};
+[[nodiscard]] LinearFit least_squares(const std::vector<double>& x,
+                                      const std::vector<double>& y);
+
+}  // namespace aa

@@ -1,0 +1,47 @@
+// Aligned ASCII table + CSV emission for benchmark harness output.
+//
+// Every bench binary prints one or more of these tables; the same rows can be
+// dumped as CSV for downstream plotting.
+#pragma once
+
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace aa {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row (must match the header count).
+  void add_row(std::vector<std::string> cells);
+
+  /// Formatting helpers for numeric cells.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt_int(long long v);
+  static std::string fmt_sci(double v, int precision = 3);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return headers_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const;
+
+  /// Render with column alignment and a separator under the header.
+  [[nodiscard]] std::string render() const;
+
+  /// RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Print `render()` to the stream with a title line.
+  void print(std::ostream& os, const std::string& title) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace aa

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "adversary/async_adversaries.hpp"
+#include "protocols/factory.hpp"
+#include "sim/async.hpp"
+
+namespace aa::adversary {
+namespace {
+
+using protocols::ProtocolKind;
+using sim::Execution;
+
+TEST(RandomAsyncScheduler, StopsWhenNothingPending) {
+  Execution e(protocols::make_processes(ProtocolKind::BenOr, 1,
+                                        protocols::split_inputs(4, 0.5)),
+              1);
+  // No sending steps yet → nothing pending.
+  RandomAsyncScheduler sched(Rng(1));
+  const sim::AsyncAction a = sched.next(e);
+  EXPECT_TRUE(std::holds_alternative<sim::StopAction>(a));
+}
+
+TEST(RandomAsyncScheduler, DeliversOnlyPendingToLive) {
+  Execution e(protocols::make_processes(ProtocolKind::BenOr, 1,
+                                        protocols::split_inputs(4, 0.5)),
+              1);
+  for (int p = 0; p < 4; ++p) e.sending_step(p);
+  e.crash(2);
+  RandomAsyncScheduler sched(Rng(2));
+  for (int i = 0; i < 30; ++i) {
+    const sim::AsyncAction a = sched.next(e);
+    if (const auto* d = std::get_if<sim::DeliverAction>(&a)) {
+      EXPECT_NE(e.buffer().get(d->id).receiver, 2);
+      EXPECT_TRUE(e.buffer().is_pending(d->id));
+    }
+  }
+}
+
+TEST(FixedCrashScheduler, CrashesFirstThenDelivers) {
+  Execution e(protocols::make_processes(ProtocolKind::BenOr, 2,
+                                        protocols::split_inputs(6, 0.5)),
+              1);
+  for (int p = 0; p < 6; ++p) e.sending_step(p);
+  FixedCrashScheduler sched({1, 4}, Rng(3));
+  const auto a1 = sched.next(e);
+  ASSERT_TRUE(std::holds_alternative<sim::CrashAction>(a1));
+  EXPECT_EQ(std::get<sim::CrashAction>(a1).p, 1);
+  e.crash(1);
+  const auto a2 = sched.next(e);
+  ASSERT_TRUE(std::holds_alternative<sim::CrashAction>(a2));
+  EXPECT_EQ(std::get<sim::CrashAction>(a2).p, 4);
+  e.crash(4);
+  const auto a3 = sched.next(e);
+  EXPECT_TRUE(std::holds_alternative<sim::DeliverAction>(a3));
+}
+
+TEST(AsyncSplitKeeper, DeliversCurrentRoundVotesFirst) {
+  const int n = 16;
+  const int t = 2;
+  Execution e(
+      protocols::make_processes(ProtocolKind::Forgetful, t,
+                                protocols::split_inputs(n, 0.5)),
+      1);
+  for (int p = 0; p < n; ++p) e.sending_step(p);
+  AsyncSplitKeeper keeper;
+  const sim::AsyncAction a = keeper.next(e);
+  ASSERT_TRUE(std::holds_alternative<sim::DeliverAction>(a));
+  const auto& env = e.buffer().get(std::get<sim::DeliverAction>(a).id);
+  EXPECT_EQ(env.payload.round, 1);
+}
+
+TEST(AsyncSplitKeeper, KeepsDeliveredPrefixBalanced) {
+  const int n = 16;
+  const int t = 2;
+  Execution e(
+      protocols::make_processes(ProtocolKind::Forgetful, t,
+                                protocols::split_inputs(n, 0.5)),
+      2);
+  for (int p = 0; p < n; ++p) e.sending_step(p);
+  AsyncSplitKeeper keeper;
+  // Deliver the first 8 scheduled messages and check the per-receiver
+  // value balance never exceeds 1 while both values remain available.
+  std::vector<std::array<int, 2>> delivered(
+      static_cast<std::size_t>(n), {0, 0});
+  for (int step = 0; step < 8; ++step) {
+    const sim::AsyncAction a = keeper.next(e);
+    ASSERT_TRUE(std::holds_alternative<sim::DeliverAction>(a));
+    const sim::MsgId id = std::get<sim::DeliverAction>(a).id;
+    const auto& env = e.buffer().get(id);
+    ASSERT_TRUE(env.payload.value == 0 || env.payload.value == 1);
+    auto& d = delivered[static_cast<std::size_t>(env.receiver)];
+    ++d[static_cast<std::size_t>(env.payload.value)];
+    EXPECT_LE(std::abs(d[0] - d[1]), 1)
+        << "receiver " << env.receiver << " unbalanced at step " << step;
+    e.receiving_step(id);
+    e.sending_step(env.receiver);
+  }
+}
+
+TEST(AsyncSplitKeeper, StopsOnlyWhenTrulyEmpty) {
+  Execution e(protocols::make_processes(ProtocolKind::Forgetful, 1,
+                                        protocols::split_inputs(8, 0.5)),
+              3);
+  AsyncSplitKeeper keeper;
+  // Nothing published yet.
+  EXPECT_TRUE(std::holds_alternative<sim::StopAction>(keeper.next(e)));
+  for (int p = 0; p < 8; ++p) e.sending_step(p);
+  EXPECT_TRUE(std::holds_alternative<sim::DeliverAction>(keeper.next(e)));
+}
+
+TEST(AsyncSplitKeeper, EndToEndStallsSplitInputs) {
+  const int n = 16;
+  const int t = 2;
+  Execution e(
+      protocols::make_processes(ProtocolKind::Forgetful, t,
+                                protocols::split_inputs(n, 0.5)),
+      5);
+  AsyncSplitKeeper keeper;
+  const auto r = sim::run_async(e, keeper, t, 4 * n * n);
+  // Either stalled (step limit) or, rarely, the coins aligned.
+  if (r.hit_step_limit) EXPECT_EQ(e.decided_count(), 0);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace aa::adversary

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "adversary/window_adversaries.hpp"
+#include "protocols/factory.hpp"
+#include "sim/window.hpp"
+
+namespace aa::adversary {
+namespace {
+
+using protocols::ProtocolKind;
+using sim::Execution;
+
+Execution make_exec(int n, int t, std::uint64_t seed) {
+  return Execution(protocols::make_processes(
+                       ProtocolKind::Reset, t, protocols::split_inputs(n, 0.5)),
+                   seed);
+}
+
+std::vector<sim::MsgId> send_all(Execution& e) {
+  std::vector<sim::MsgId> batch;
+  for (int p = 0; p < e.n(); ++p) {
+    for (sim::MsgId id : e.sending_step(p)) batch.push_back(id);
+  }
+  return batch;
+}
+
+TEST(FairAdversary, PlansFullDelivery) {
+  const int n = 8;
+  const int t = 1;
+  Execution e = make_exec(n, t, 1);
+  const auto batch = send_all(e);
+  FairWindowAdversary fair;
+  const sim::WindowPlan plan = fair.plan_window(e, batch);
+  EXPECT_NO_THROW(sim::validate_window_plan(plan, n, t));
+  EXPECT_TRUE(plan.resets.empty());
+  for (const auto& order : plan.delivery_order)
+    EXPECT_EQ(order.size(), static_cast<std::size_t>(n));
+}
+
+TEST(SilencerAdversary, NeverDeliversFromSilenced) {
+  const int n = 13;
+  const int t = 2;
+  Execution e = make_exec(n, t, 2);
+  const auto batch = send_all(e);
+  SilencerWindowAdversary silencer({0, 5});
+  const sim::WindowPlan plan = silencer.plan_window(e, batch);
+  EXPECT_NO_THROW(sim::validate_window_plan(plan, n, t));
+  for (const auto& order : plan.delivery_order) {
+    EXPECT_EQ(std::count(order.begin(), order.end(), 0), 0);
+    EXPECT_EQ(std::count(order.begin(), order.end(), 5), 0);
+    EXPECT_EQ(order.size(), static_cast<std::size_t>(n - 2));
+  }
+}
+
+TEST(RandomAdversary, ProducesValidPlansAcrossWindows) {
+  const int n = 10;
+  const int t = 2;
+  Execution e = make_exec(n, t, 3);
+  RandomWindowAdversary rnd(t, 0.3, Rng(5));
+  for (int w = 0; w < 20; ++w) {
+    // Plans must be valid every window regardless of protocol state.
+    const auto batch = e.buffer().pending_in_window(e.window());
+    const sim::WindowPlan plan = rnd.plan_window(e, batch);
+    EXPECT_NO_THROW(sim::validate_window_plan(plan, n, t));
+    EXPECT_LE(plan.resets.size(), static_cast<std::size_t>(t));
+  }
+}
+
+TEST(ResetStormAdversary, ResetsExactlyTDistinct) {
+  const int n = 19;
+  const int t = 3;
+  Execution e = make_exec(n, t, 4);
+  ResetStormAdversary storm(t, Rng(7));
+  const auto batch = send_all(e);
+  const sim::WindowPlan plan = storm.plan_window(e, batch);
+  EXPECT_NO_THROW(sim::validate_window_plan(plan, n, t));
+  EXPECT_EQ(plan.resets.size(), static_cast<std::size_t>(t));
+}
+
+TEST(BalanceVotes, AlternatesWithinRound) {
+  // 3 zeros (senders 0,1,2) + 3 ones (senders 3,4,5), one round.
+  std::vector<std::tuple<sim::ProcId, int, int>> votes;
+  for (int s = 0; s < 3; ++s) votes.emplace_back(s, 1, 0);
+  for (int s = 3; s < 6; ++s) votes.emplace_back(s, 1, 1);
+  const auto order = balance_votes(votes);
+  ASSERT_EQ(order.size(), 6u);
+  // Every prefix of length L carries at most ⌈L/2⌉ of either value.
+  int c0 = 0;
+  int c1 = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    (order[i] < 3 ? c0 : c1)++;
+    const int limit = static_cast<int>(i / 2 + 1);
+    EXPECT_LE(c0, limit) << "prefix " << i;
+    EXPECT_LE(c1, limit) << "prefix " << i;
+  }
+}
+
+TEST(BalanceVotes, MajorityFirstWhenUneven) {
+  // 4 zeros, 2 ones: prefix of any length L has ≤ ⌈L/2⌉ ones (the scarce
+  // value is spread out), though zeros eventually pile up.
+  std::vector<std::tuple<sim::ProcId, int, int>> votes;
+  for (int s = 0; s < 4; ++s) votes.emplace_back(s, 1, 0);
+  for (int s = 4; s < 6; ++s) votes.emplace_back(s, 1, 1);
+  const auto order = balance_votes(votes);
+  // First element must be the majority value (a zero-voter id < 4).
+  EXPECT_LT(order.front(), 4);
+}
+
+TEST(BalanceVotes, RoundsAscend) {
+  std::vector<std::tuple<sim::ProcId, int, int>> votes;
+  votes.emplace_back(0, 2, 0);  // round 2
+  votes.emplace_back(1, 1, 1);  // round 1
+  votes.emplace_back(2, 1, 0);
+  const auto order = balance_votes(votes);
+  ASSERT_EQ(order.size(), 3u);
+  // Round-1 senders (1, 2) come before the round-2 sender (0).
+  EXPECT_EQ(order.back(), 0);
+}
+
+TEST(SplitKeeper, PlanIsValidAndDeliversEveryone) {
+  const int n = 12;
+  const int t = 2;
+  Execution e = make_exec(n, t, 6);
+  const auto batch = send_all(e);
+  SplitKeeperAdversary keeper;
+  const sim::WindowPlan plan = keeper.plan_window(e, batch);
+  EXPECT_NO_THROW(sim::validate_window_plan(plan, n, t));
+  EXPECT_TRUE(plan.resets.empty());
+  // S_i = [n]: only the order is adversarial.
+  for (const auto& order : plan.delivery_order)
+    EXPECT_EQ(order.size(), static_cast<std::size_t>(n));
+}
+
+TEST(SplitKeeper, PreventsFirstWindowDecisionOnSplitInputs) {
+  const int n = 12;
+  const int t = 2;
+  Execution e = make_exec(n, t, 8);
+  SplitKeeperAdversary keeper;
+  sim::run_acceptable_window(e, keeper, t);
+  // A 6/6 split delivered in balanced order never reaches T3 = n − 3t = 6?
+  // T3 = 6; balanced prefix of T1 = 8 gives exactly 4/4 → below T3 → no
+  // decision, everyone flips a coin.
+  EXPECT_EQ(e.decided_count(), 0);
+}
+
+TEST(SplitKeeper, SlowsDecisionRelativeToFair) {
+  const int n = 16;
+  const int t = 2;
+  double fair_total = 0;
+  double keeper_total = 0;
+  const int trials = 10;
+  for (std::uint64_t seed = 1; seed <= trials; ++seed) {
+    {
+      Execution e = make_exec(n, t, seed);
+      FairWindowAdversary fair;
+      fair_total += static_cast<double>(
+          sim::run_until_first_decision(e, fair, t, 1000000));
+    }
+    {
+      Execution e = make_exec(n, t, seed);
+      SplitKeeperAdversary keeper;
+      keeper_total += static_cast<double>(
+          sim::run_until_first_decision(e, keeper, t, 1000000));
+    }
+  }
+  EXPECT_GT(keeper_total, 2.0 * fair_total);
+}
+
+TEST(SplitKeeper, CannotBlockUnanimity) {
+  const int n = 12;
+  const int t = 2;
+  Execution e(protocols::make_processes(ProtocolKind::Reset, t,
+                                        protocols::unanimous_inputs(n, 0)),
+              9);
+  SplitKeeperAdversary keeper;
+  sim::run_acceptable_window(e, keeper, t);
+  EXPECT_EQ(e.decided_count(), n);
+}
+
+TEST(AdversaryNames, AreDistinct) {
+  FairWindowAdversary a;
+  SilencerWindowAdversary b({0});
+  RandomWindowAdversary c(1, 0.0, Rng(1));
+  ResetStormAdversary d(1, Rng(1));
+  SplitKeeperAdversary e;
+  const std::vector<std::string> names{a.name(), b.name(), c.name(), d.name(),
+                                       e.name()};
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    for (std::size_t j = i + 1; j < names.size(); ++j)
+      EXPECT_NE(names[i], names[j]);
+  }
+}
+
+}  // namespace
+}  // namespace aa::adversary

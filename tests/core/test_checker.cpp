@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "adversary/async_adversaries.hpp"
+#include "adversary/window_adversaries.hpp"
+#include "core/checker.hpp"
+
+namespace aa::core {
+namespace {
+
+using protocols::ProtocolKind;
+
+TEST(MeasureOneWindow, ResetAgreementCleanUnderRandomAdversary) {
+  const int n = 13;
+  const int t = 2;
+  const MeasureOneReport rep = check_measure_one_window(
+      ProtocolKind::Reset, protocols::split_inputs(n, 0.5), t,
+      [t](std::uint64_t seed) {
+        return std::make_unique<adversary::RandomWindowAdversary>(t, 0.2,
+                                                                  Rng(seed));
+      },
+      /*trials=*/30, /*max_windows=*/100000, /*seed0=*/1000);
+  EXPECT_TRUE(rep.clean()) << rep.agreement_violations << " / "
+                           << rep.validity_violations;
+  EXPECT_EQ(rep.trials, 30);
+  EXPECT_EQ(rep.all_decided_runs, 30);  // termination in every trial
+  EXPECT_GT(rep.mean_windows_to_first, 0.0);
+}
+
+TEST(MeasureOneWindow, ResetAgreementCleanUnderResetStorm) {
+  const int n = 13;
+  const int t = 2;
+  const MeasureOneReport rep = check_measure_one_window(
+      ProtocolKind::Reset, protocols::split_inputs(n, 0.5), t,
+      [t](std::uint64_t seed) {
+        return std::make_unique<adversary::ResetStormAdversary>(t, Rng(seed));
+      },
+      20, 200000, 2000);
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(rep.all_decided_runs, 20);
+}
+
+TEST(MeasureOneWindow, ViolatingSeedsRecorded) {
+  // Deliberately break the threshold contract (T2 too small ⇒ premature,
+  // possibly conflicting decisions) and confirm the checker CATCHES it.
+  // n=8, t=1: T1=6, T2=4, T3=4 violates 2*T3 > n and T2 >= T3 + t.
+  const int n = 8;
+  const int t = 1;
+  const protocols::Thresholds broken{6, 4, 4};
+  ASSERT_FALSE(protocols::thresholds_valid(n, t, broken));
+  const MeasureOneReport rep = check_measure_one_window(
+      ProtocolKind::Reset, protocols::split_inputs(n, 0.5), t,
+      [t](std::uint64_t seed) {
+        return std::make_unique<adversary::RandomWindowAdversary>(t, 0.0,
+                                                                  Rng(seed));
+      },
+      40, 2000, 3000, broken);
+  // With T2 = T3 = 4 out of T1 = 6 and a 4/4 split, conflicting decisions
+  // occur with substantial probability within 40 trials.
+  EXPECT_GT(rep.agreement_violations, 0);
+  EXPECT_EQ(rep.violating_seeds.size(),
+            static_cast<std::size_t>(rep.agreement_violations +
+                                     rep.validity_violations));
+}
+
+TEST(MeasureOneAsync, BenOrCleanUnderCrashes) {
+  const int n = 9;
+  const int t = 2;
+  const MeasureOneReport rep = check_measure_one_async(
+      ProtocolKind::BenOr, protocols::split_inputs(n, 0.5), t,
+      [](std::uint64_t seed) {
+        return std::make_unique<adversary::FixedCrashScheduler>(
+            std::vector<sim::ProcId>{0, 1}, Rng(seed));
+      },
+      15, 5'000'000, 4000);
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(rep.decided_runs, 15);
+}
+
+TEST(MeasureOneAsync, ForgetfulCleanUnderRandomScheduler) {
+  const int n = 12;
+  const int t = 1;
+  const MeasureOneReport rep = check_measure_one_async(
+      ProtocolKind::Forgetful, protocols::split_inputs(n, 0.5), t,
+      [](std::uint64_t seed) {
+        return std::make_unique<adversary::RandomAsyncScheduler>(Rng(seed));
+      },
+      15, 5'000'000, 5000);
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(rep.all_decided_runs, 15);
+}
+
+TEST(MeasureOneWindow, SeedsAreSequentialFromSeed0) {
+  // Two identical invocations give identical reports (replayability).
+  auto run = [] {
+    return check_measure_one_window(
+        ProtocolKind::Reset, protocols::split_inputs(13, 0.5), 2,
+        [](std::uint64_t seed) {
+          return std::make_unique<adversary::RandomWindowAdversary>(2, 0.1,
+                                                                    Rng(seed));
+        },
+        10, 100000, 77);
+  };
+  const MeasureOneReport a = run();
+  const MeasureOneReport b = run();
+  EXPECT_EQ(a.mean_windows_to_first, b.mean_windows_to_first);
+  EXPECT_EQ(a.decided_runs, b.decided_runs);
+}
+
+}  // namespace
+}  // namespace aa::core

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "adversary/async_adversaries.hpp"
+#include "adversary/window_adversaries.hpp"
+#include "core/harness.hpp"
+
+namespace aa::core {
+namespace {
+
+using protocols::ProtocolKind;
+
+TEST(WindowHarness, UnanimousFastPath) {
+  adversary::FairWindowAdversary fair;
+  const WindowRunResult r = run_window_experiment(
+      ProtocolKind::Reset, protocols::unanimous_inputs(12, 1), 1, fair, 100,
+      7);
+  EXPECT_TRUE(r.decided);
+  EXPECT_EQ(r.decision, 1);
+  EXPECT_EQ(r.windows_to_first, 1);
+  EXPECT_TRUE(r.agreement);
+  EXPECT_TRUE(r.validity);
+}
+
+TEST(WindowHarness, UntilAllRunsLonger) {
+  adversary::FairWindowAdversary fair1;
+  adversary::FairWindowAdversary fair2;
+  const auto inputs = protocols::split_inputs(12, 0.5);
+  const WindowRunResult first = run_window_experiment(
+      ProtocolKind::Reset, inputs, 1, fair1, 100000, 7, std::nullopt, false);
+  const WindowRunResult all = run_window_experiment(
+      ProtocolKind::Reset, inputs, 1, fair2, 100000, 7, std::nullopt, true);
+  EXPECT_TRUE(first.decided);
+  EXPECT_TRUE(all.all_decided);
+  EXPECT_GE(all.windows_total, first.windows_total);
+}
+
+TEST(WindowHarness, RespectsMaxWindows) {
+  adversary::SplitKeeperAdversary keeper;
+  const WindowRunResult r = run_window_experiment(
+      ProtocolKind::Reset, protocols::split_inputs(20, 0.5), 3, keeper, 2, 7);
+  EXPECT_LE(r.windows_total, 2);
+}
+
+TEST(WindowHarness, DeterministicInSeed) {
+  auto run = [](std::uint64_t seed) {
+    adversary::FairWindowAdversary fair;
+    return run_window_experiment(ProtocolKind::Reset,
+                                 protocols::split_inputs(12, 0.5), 1, fair,
+                                 100000, seed)
+        .windows_to_first;
+  };
+  EXPECT_EQ(run(42), run(42));
+}
+
+TEST(WindowHarness, CustomThresholdsHonoured) {
+  // Large slack (small t): a lower T2 must not break agreement.
+  const int n = 36;
+  const int t = 2;
+  const protocols::Thresholds th{n - 2 * t, n - 2 * t - 3,
+                                 n - 2 * t - 3 - t};
+  adversary::FairWindowAdversary fair;
+  const WindowRunResult r =
+      run_window_experiment(ProtocolKind::Reset, protocols::split_inputs(n, 0.5),
+                            t, fair, 100000, 11, th, true);
+  EXPECT_TRUE(r.all_decided);
+  EXPECT_TRUE(r.agreement);
+}
+
+TEST(AsyncHarness, BenOrRunsToDecision) {
+  adversary::RandomAsyncScheduler sched(Rng(3));
+  const AsyncRunOutcome r = run_async_experiment(
+      ProtocolKind::BenOr, protocols::split_inputs(9, 0.5), 2, sched,
+      5'000'000, 13);
+  EXPECT_TRUE(r.decided);
+  EXPECT_TRUE(r.agreement);
+  EXPECT_TRUE(r.validity);
+  EXPECT_GT(r.chain_at_decision, 0);
+}
+
+TEST(AsyncHarness, ReportsStepLimit) {
+  adversary::RandomAsyncScheduler sched(Rng(3));
+  const AsyncRunOutcome r = run_async_experiment(
+      ProtocolKind::BenOr, protocols::split_inputs(9, 0.5), 2, sched, 3, 13);
+  EXPECT_TRUE(r.hit_limit);
+  EXPECT_FALSE(r.decided);
+}
+
+TEST(CheckValidity, FlagsOutputNotAmongInputs) {
+  // check_validity is driven through the harness; unit-test the helper
+  // against a crafted execution: every processor has input 0, then we fake
+  // an output of 1 by running a unanimity-0 run (outputs must be 0) and
+  // asserting validity against inputs "all ones" fails.
+  adversary::FairWindowAdversary fair;
+  sim::Execution exec(
+      protocols::make_processes(ProtocolKind::Reset, 1,
+                                protocols::unanimous_inputs(12, 0)),
+      7);
+  sim::run_until_all_decided(exec, fair, 1, 100);
+  ASSERT_TRUE(exec.all_live_decided());
+  EXPECT_TRUE(check_validity(exec, protocols::unanimous_inputs(12, 0)));
+  // Against a hypothetical all-ones input vector, the 0 outputs are invalid.
+  EXPECT_FALSE(check_validity(exec, protocols::unanimous_inputs(12, 1)));
+}
+
+TEST(CheckAgreement, TrueOnAgreeingRun) {
+  adversary::FairWindowAdversary fair;
+  sim::Execution exec(
+      protocols::make_processes(ProtocolKind::Reset, 1,
+                                protocols::split_inputs(12, 0.5)),
+      3);
+  sim::run_until_all_decided(exec, fair, 1, 100000);
+  EXPECT_TRUE(check_agreement(exec));
+}
+
+}  // namespace
+}  // namespace aa::core

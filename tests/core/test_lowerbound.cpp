@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/lowerbound.hpp"
+#include "prob/talagrand.hpp"
+
+namespace aa::core {
+namespace {
+
+TEST(Theorem5Constants, BasicShape) {
+  const TheoremConstants tc = theorem5_constants(128, 1.0 / 7.0);
+  EXPECT_EQ(tc.n, 128);
+  EXPECT_EQ(tc.t, 18);
+  EXPECT_NEAR(tc.alpha, (1.0 / 49.0) / 9.0, 1e-12);
+  EXPECT_GT(tc.big_c, 0.0);
+  EXPECT_GT(tc.e_windows, 0.0);
+  EXPECT_GT(tc.tau, 0.0);
+  EXPECT_LT(tc.tau, 1.0);
+  EXPECT_GT(tc.eta, tc.tau);
+}
+
+TEST(Theorem5Constants, EGrowsExponentiallyInN) {
+  const double c = 0.15;
+  const TheoremConstants a = theorem5_constants(100, c);
+  const TheoremConstants b = theorem5_constants(200, c);
+  const TheoremConstants d = theorem5_constants(400, c);
+  // log10 E is linear in n with slope α/ln(10).
+  const double slope1 = b.log10_e - a.log10_e;
+  const double slope2 = (d.log10_e - b.log10_e) / 2.0;
+  EXPECT_NEAR(slope1 / 100.0, a.alpha / std::log(10.0), 1e-9);
+  EXPECT_NEAR(slope2 / 100.0, a.alpha / std::log(10.0), 1e-9);
+}
+
+TEST(Theorem5Constants, Equation3Holds) {
+  // C e^{αn} ≤ ¼ e^{(cn−1)²/8n} for every n we can check.
+  const double c = 0.2;
+  const TheoremConstants tc = theorem5_constants(64, c);
+  for (int n = 1; n <= 2000; ++n) {
+    const double lhs = std::log(tc.big_c) + tc.alpha * n;
+    const double cn1 = c * n - 1.0;
+    const double rhs = std::log(0.25) + cn1 * cn1 / (8.0 * n);
+    EXPECT_LE(lhs, rhs + 1e-9) << "n=" << n;
+  }
+}
+
+TEST(Theorem5Constants, SuccessProbabilityAtLeastHalfForLargeN) {
+  // The paper's conclusion: with E = C e^{αn}, the adversary succeeds for
+  // ≥ E windows with probability ≥ 1/2.
+  for (double c : {0.1, 1.0 / 6.0, 0.25}) {
+    const TheoremConstants tc = theorem5_constants(256, c);
+    EXPECT_GE(tc.success_lb, 0.5) << "c=" << c;
+  }
+}
+
+TEST(Theorem5Constants, ThresholdsMatchProbModule) {
+  const TheoremConstants tc = theorem5_constants(96, 0.125);
+  EXPECT_DOUBLE_EQ(tc.tau, prob::tau_threshold(tc.t, 96));
+  EXPECT_DOUBLE_EQ(tc.eta, prob::eta_threshold(tc.t, 96));
+}
+
+TEST(Theorem5Constants, Validation) {
+  EXPECT_THROW((void)theorem5_constants(0, 0.1), std::invalid_argument);
+  EXPECT_THROW((void)theorem5_constants(10, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)theorem5_constants(10, 1.0), std::invalid_argument);
+}
+
+TEST(Theorem5Constants, LargerCMeansFasterGrowth) {
+  const TheoremConstants small = theorem5_constants(300, 0.05);
+  const TheoremConstants large = theorem5_constants(300, 0.25);
+  EXPECT_GT(large.alpha, small.alpha);
+  EXPECT_GT(large.log10_e - std::log10(large.big_c),
+            small.log10_e - std::log10(small.big_c));
+}
+
+}  // namespace
+}  // namespace aa::core

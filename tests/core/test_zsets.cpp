@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "adversary/window_adversaries.hpp"
+#include "core/zsets.hpp"
+#include "prob/talagrand.hpp"
+#include "protocols/factory.hpp"
+#include "sim/window.hpp"
+
+namespace aa::core {
+namespace {
+
+using protocols::Thresholds;
+using protocols::canonical_thresholds;
+
+TEST(AbstractConfig, InitialFromInputs) {
+  const AbstractConfig c = initial_config({0, 1, 1});
+  EXPECT_EQ(c.n(), 3);
+  EXPECT_EQ(c.x, (std::vector<int>{0, 1, 1}));
+  EXPECT_EQ(c.out, (std::vector<int>{-1, -1, -1}));
+  EXPECT_THROW((void)initial_config({0, 2}), std::invalid_argument);
+}
+
+TEST(EncodeConfig, AlphabetMapping) {
+  AbstractConfig c;
+  c.x = {0, 1, kXRejoining, 1, 0};
+  c.out = {-1, -1, -1, 1, 0};
+  const prob::Point p = encode_config(c);
+  EXPECT_EQ(p, (prob::Point{0, 1, 2, 4, 3}));
+}
+
+TEST(ApplyAbstractWindow, UnanimousDecidesEveryone) {
+  const int n = 12;
+  const int t = 1;
+  const Thresholds th = canonical_thresholds(n, t);
+  const AbstractConfig c = initial_config(protocols::unanimous_inputs(n, 1));
+  Rng rng(1);
+  const std::vector<bool> no_r(n, false);
+  const std::vector<bool> all_s(n, true);
+  const AbstractConfig next = apply_abstract_window(c, no_r, all_s, th, t, rng);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(next.out[static_cast<std::size_t>(i)], 1);
+    EXPECT_EQ(next.x[static_cast<std::size_t>(i)], 1);
+  }
+}
+
+TEST(ApplyAbstractWindow, ResetsMarkRejoining) {
+  const int n = 12;
+  const int t = 2;
+  const Thresholds th = canonical_thresholds(n, t);
+  const AbstractConfig c = initial_config(protocols::unanimous_inputs(n, 0));
+  Rng rng(1);
+  std::vector<bool> in_r(n, false);
+  in_r[0] = in_r[1] = true;
+  const std::vector<bool> all_s(n, true);
+  const AbstractConfig next = apply_abstract_window(c, in_r, all_s, th, t, rng);
+  EXPECT_EQ(next.x[0], kXRejoining);
+  EXPECT_EQ(next.x[1], kXRejoining);
+  EXPECT_EQ(next.x[2], 0);
+  // Output decided BEFORE the reset is preserved.
+  EXPECT_EQ(next.out[0], 0);
+}
+
+TEST(ApplyAbstractWindow, TooFewSendersMeansNoProgress) {
+  const int n = 12;
+  const int t = 2;
+  const Thresholds th = canonical_thresholds(n, t);  // T1 = 8
+  AbstractConfig c = initial_config(protocols::unanimous_inputs(n, 1));
+  // 5 processors are mid-rejoin: only 7 < T1 senders in S.
+  for (int i = 0; i < 5; ++i) c.x[static_cast<std::size_t>(i)] = kXRejoining;
+  Rng rng(1);
+  std::vector<bool> in_s(n, false);
+  for (int i = 0; i < n - t; ++i) in_s[static_cast<std::size_t>(i)] = true;
+  const std::vector<bool> no_r(n, false);
+  const AbstractConfig next = apply_abstract_window(c, no_r, in_s, th, t, rng);
+  EXPECT_EQ(next, c);  // nothing changed
+}
+
+TEST(ApplyAbstractWindow, Validation) {
+  const int n = 8;
+  const int t = 1;
+  const Thresholds th = canonical_thresholds(n, t);
+  const AbstractConfig c = initial_config(protocols::unanimous_inputs(n, 0));
+  Rng rng(1);
+  std::vector<bool> small_s(n, false);  // |S| = 0
+  const std::vector<bool> no_r(n, false);
+  EXPECT_THROW(
+      (void)apply_abstract_window(c, no_r, small_s, th, t, rng),
+      std::invalid_argument);
+  std::vector<bool> big_r(n, true);  // |R| = n > t
+  const std::vector<bool> all_s(n, true);
+  EXPECT_THROW((void)apply_abstract_window(c, big_r, all_s, th, t, rng),
+               std::invalid_argument);
+}
+
+TEST(AbstractModel, MatchesRealEngineOnFairLockstep) {
+  // Faithfulness cross-check (DESIGN): the abstract transition under
+  // (R = ∅, S = [n]) must equal the engine's FairWindowAdversary window for
+  // the deterministic unanimous case.
+  const int n = 12;
+  const int t = 1;
+  const Thresholds th = canonical_thresholds(n, t);
+  // Engine:
+  sim::Execution e(protocols::make_processes(
+                       protocols::ProtocolKind::Reset, t,
+                       protocols::unanimous_inputs(n, 1), th),
+                   5);
+  adversary::FairWindowAdversary fair;
+  sim::run_acceptable_window(e, fair, t);
+  // Abstract:
+  Rng rng(5);
+  const std::vector<bool> no_r(n, false);
+  const std::vector<bool> all_s(n, true);
+  const AbstractConfig next = apply_abstract_window(
+      initial_config(protocols::unanimous_inputs(n, 1)), no_r, all_s, th, t,
+      rng);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(e.output(i), next.out[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(e.process(i).estimate(), next.x[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(CoinFlippers, DetectsRandomizingWindows) {
+  const int n = 12;
+  const int t = 1;
+  const Thresholds th = canonical_thresholds(n, t);  // T1=10 T3=9
+  const std::vector<bool> all_s(n, true);
+  // Unanimous: deterministic, nobody flips.
+  {
+    const auto flips = coin_flippers(
+        initial_config(protocols::unanimous_inputs(n, 1)), all_s, th);
+    for (bool f : flips) EXPECT_FALSE(f);
+  }
+  // Even split: the first T1 votes are 6/4 — below T3, everyone flips.
+  {
+    const auto flips = coin_flippers(
+        initial_config(protocols::split_inputs(n, 0.5)), all_s, th);
+    for (bool f : flips) EXPECT_TRUE(f);
+  }
+  // Too few senders (everyone rejoining): no progress, no flips.
+  {
+    AbstractConfig c = initial_config(protocols::split_inputs(n, 0.5));
+    for (int i = 0; i < n; ++i) c.x[static_cast<std::size_t>(i)] = kXRejoining;
+    const auto flips = coin_flippers(c, all_s, th);
+    for (bool f : flips) EXPECT_FALSE(f);
+  }
+}
+
+TEST(ApplyAbstractWindowDet, CoinCallbackOnlyForFlippers) {
+  const int n = 12;
+  const int t = 1;
+  const Thresholds th = canonical_thresholds(n, t);
+  const std::vector<bool> all_s(n, true);
+  const std::vector<bool> no_r(n, false);
+  int calls = 0;
+  const auto counting_coin = [&calls](int) {
+    ++calls;
+    return 1;
+  };
+  // Deterministic window: callback never invoked.
+  (void)apply_abstract_window_det(
+      initial_config(protocols::unanimous_inputs(n, 0)), no_r, all_s, th, t,
+      counting_coin);
+  EXPECT_EQ(calls, 0);
+  // Randomizing window: once per processor.
+  (void)apply_abstract_window_det(
+      initial_config(protocols::split_inputs(n, 0.5)), no_r, all_s, th, t,
+      counting_coin);
+  EXPECT_EQ(calls, n);
+}
+
+TEST(ZSetEstimator, Z0MembershipExact) {
+  const int n = 12;
+  const int t = 1;
+  const ZSetEstimator est(n, t, canonical_thresholds(n, t));
+  AbstractConfig c = initial_config(protocols::split_inputs(n, 0.5));
+  EXPECT_FALSE(est.in_z0(c, 0));
+  EXPECT_FALSE(est.in_z0(c, 1));
+  c.out[3] = 0;
+  EXPECT_TRUE(est.in_z0(c, 0));
+  EXPECT_FALSE(est.in_z0(c, 1));
+}
+
+TEST(ZSetEstimator, TauDefaultsToPaperValue) {
+  const int n = 24;
+  const int t = 3;
+  const ZSetEstimator est(n, t, canonical_thresholds(n, t));
+  EXPECT_DOUBLE_EQ(est.tau(), prob::tau_threshold(t, n));
+}
+
+TEST(ZSetEstimator, UnanimousConfigIsDeepInItsZk) {
+  // All-ones undecided configuration: one canonical window decides 1 with
+  // probability 1, so it belongs to Z^1_1 and (inductively) Z^k_1.
+  const int n = 12;
+  const int t = 1;
+  const ZSetEstimator est(n, t, canonical_thresholds(n, t));
+  const AbstractConfig c = initial_config(protocols::unanimous_inputs(n, 1));
+  Rng rng(9);
+  EXPECT_NEAR(est.prob_reach_z(c, 1, 1, 50, rng), 1.0, 1e-12);
+  EXPECT_TRUE(est.in_zk(c, 1, 1, 50, rng));
+  EXPECT_TRUE(est.in_zk(c, 1, 2, 20, rng));
+  // And certainly not in Z^1_0.
+  EXPECT_FALSE(est.in_zk(c, 0, 1, 50, rng));
+}
+
+TEST(SampleReachable, ProducesValidConfigs) {
+  const int n = 10;
+  const int t = 1;
+  Rng rng(3);
+  const auto configs =
+      sample_reachable_configs(n, t, canonical_thresholds(n, t), 50, 6, rng);
+  EXPECT_EQ(configs.size(), 50u);
+  for (const AbstractConfig& c : configs) {
+    ASSERT_EQ(c.n(), n);
+    int conflicting = 0;
+    bool saw0 = false;
+    bool saw1 = false;
+    for (int o : c.out) {
+      if (o == 0) saw0 = true;
+      if (o == 1) saw1 = true;
+    }
+    if (saw0 && saw1) ++conflicting;
+    EXPECT_EQ(conflicting, 0) << "reachable config with conflicting outputs";
+  }
+}
+
+TEST(Separation, Z0SeparationExceedsT) {
+  // Lemma 11 empirically: reachable configs that decided 0 vs decided 1
+  // are > t apart. (k = 0 uses exact membership.)
+  const int n = 12;
+  const int t = 1;
+  Rng rng(11);
+  const SeparationReport rep = measure_separation(
+      n, t, canonical_thresholds(n, t), /*k=*/0, /*config_samples=*/400,
+      /*mc_samples=*/1, rng);
+  ASSERT_GT(rep.z0_count, 0);
+  ASSERT_GT(rep.z1_count, 0);
+  EXPECT_GT(rep.min_distance, t);
+  EXPECT_TRUE(rep.satisfies_lemma);
+}
+
+TEST(Separation, Z1SeparationExceedsT) {
+  const int n = 12;
+  const int t = 1;
+  Rng rng(13);
+  const SeparationReport rep = measure_separation(
+      n, t, canonical_thresholds(n, t), /*k=*/1, /*config_samples=*/150,
+      /*mc_samples=*/40, rng);
+  if (rep.z0_count > 0 && rep.z1_count > 0) {
+    EXPECT_GT(rep.min_distance, t) << "z0=" << rep.z0_count
+                                   << " z1=" << rep.z1_count;
+  }
+  EXPECT_TRUE(rep.satisfies_lemma);
+}
+
+}  // namespace
+}  // namespace aa::core

@@ -1,0 +1,158 @@
+// Faithfulness cross-validation: the abstract lockstep model used by the
+// Z-set machinery (core/zsets.hpp) must agree with the real engine running
+// ResetProcess under the corresponding acceptable windows. We compare on
+// DETERMINISTIC trajectories (no coin flips), where both sides are exactly
+// computable, across a grid of configurations and window choices.
+#include <gtest/gtest.h>
+
+#include "adversary/window_adversaries.hpp"
+#include "core/zsets.hpp"
+#include "protocols/factory.hpp"
+#include "protocols/reset_agreement.hpp"
+#include "sim/window.hpp"
+
+namespace aa::core {
+namespace {
+
+using protocols::ProtocolKind;
+using protocols::Thresholds;
+
+/// Engine-side: run `windows` acceptable windows with S = [n] \ silenced
+/// (ascending-id delivery, matching the abstract model's ordering), no
+/// resets.
+std::pair<std::vector<int>, std::vector<int>> engine_run(
+    int n, int t, const Thresholds& th, const std::vector<int>& inputs,
+    const std::vector<sim::ProcId>& silenced, int windows) {
+  sim::Execution e(
+      protocols::make_processes(ProtocolKind::Reset, t, inputs, th), 7);
+  adversary::SilencerWindowAdversary adv(silenced);
+  for (int w = 0; w < windows; ++w) sim::run_acceptable_window(e, adv, t);
+  std::vector<int> xs;
+  std::vector<int> outs;
+  for (int p = 0; p < n; ++p) {
+    xs.push_back(e.process(p).estimate());
+    outs.push_back(e.output(p));
+  }
+  return {xs, outs};
+}
+
+/// Abstract-side: same windows on the abstract configuration.
+std::pair<std::vector<int>, std::vector<int>> abstract_run(
+    int n, int t, const Thresholds& th, const std::vector<int>& inputs,
+    const std::vector<sim::ProcId>& silenced, int windows) {
+  std::vector<bool> in_s(static_cast<std::size_t>(n), true);
+  for (sim::ProcId p : silenced) in_s[static_cast<std::size_t>(p)] = false;
+  const std::vector<bool> no_r(static_cast<std::size_t>(n), false);
+  AbstractConfig c = initial_config(inputs);
+  const auto no_coin = [](int) -> int {
+    ADD_FAILURE() << "trajectory was supposed to be deterministic";
+    return 0;
+  };
+  for (int w = 0; w < windows; ++w) {
+    c = apply_abstract_window_det(c, no_r, in_s, th, t, no_coin);
+  }
+  return {c.x, c.out};
+}
+
+struct EqCase {
+  const char* label;
+  int n;
+  int t;
+  double ones;           ///< input fraction (placed at high ids)
+  std::vector<sim::ProcId> silenced;
+  int windows;
+};
+
+class EquivalenceTest : public ::testing::TestWithParam<EqCase> {};
+
+TEST_P(EquivalenceTest, EngineMatchesAbstractOnDeterministicPaths) {
+  const EqCase& c = GetParam();
+  const auto th = protocols::canonical_thresholds(c.n, c.t);
+  const auto inputs = protocols::split_inputs(c.n, c.ones);
+  // Precondition: the trajectory must be coin-free; verify via the
+  // abstract model's flip indicator window by window.
+  {
+    std::vector<bool> in_s(static_cast<std::size_t>(c.n), true);
+    for (sim::ProcId p : c.silenced) in_s[static_cast<std::size_t>(p)] = false;
+    const std::vector<bool> no_r(static_cast<std::size_t>(c.n), false);
+    AbstractConfig cfg = initial_config(inputs);
+    for (int w = 0; w < c.windows; ++w) {
+      const auto flips = coin_flippers(cfg, in_s, th);
+      for (bool f : flips) ASSERT_FALSE(f) << "case is not deterministic";
+      cfg = apply_abstract_window_det(cfg, no_r, in_s, th, c.t,
+                                      [](int) { return 0; });
+    }
+  }
+  const auto [ex, eo] =
+      engine_run(c.n, c.t, th, inputs, c.silenced, c.windows);
+  const auto [ax, ao] =
+      abstract_run(c.n, c.t, th, inputs, c.silenced, c.windows);
+  EXPECT_EQ(ex, ax) << c.label << ": estimates diverge";
+  EXPECT_EQ(eo, ao) << c.label << ": outputs diverge";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EquivalenceTest,
+    ::testing::Values(
+        // Unanimous: decides in window 1 everywhere.
+        EqCase{"unanimous0", 12, 1, 0.0, {}, 2},
+        EqCase{"unanimous1", 12, 1, 1.0, {}, 2},
+        EqCase{"unanimous_silenced", 12, 1, 1.0, {3}, 2},
+        // Tiny minority: deterministically absorbed, then decided.
+        EqCase{"near_unanimous", 13, 2, 1.0 / 13, {}, 3},
+        EqCase{"near_unanimous_silenced", 13, 2, 1.0 / 13, {0, 1}, 3},
+        // Larger instance, minority under T1 - T3.
+        EqCase{"n19_small_minority", 19, 3, 2.0 / 19, {}, 3},
+        EqCase{"n19_silenced", 19, 3, 2.0 / 19, {4, 9, 14}, 3}),
+    [](const ::testing::TestParamInfo<EqCase>& info) {
+      return info.param.label;
+    });
+
+TEST(Equivalence, ResetPathMatchesToo) {
+  // One reset round-trip, deterministic inputs: engine resets processor 0
+  // at the end of window 1 (scripted), abstract model applies R = {0}.
+  const int n = 13;
+  const int t = 2;
+  const auto th = protocols::canonical_thresholds(n, t);
+  const auto inputs = protocols::unanimous_inputs(n, 1);
+
+  // Engine.
+  class OneResetAdversary final : public sim::WindowAdversary {
+   public:
+    sim::WindowPlan plan_window(const sim::Execution& exec,
+                                const std::vector<sim::MsgId>&) override {
+      sim::WindowPlan plan;
+      std::vector<sim::ProcId> everyone;
+      for (int i = 0; i < exec.n(); ++i) everyone.push_back(i);
+      plan.delivery_order.assign(static_cast<std::size_t>(exec.n()),
+                                 everyone);
+      if (exec.window() == 0) plan.resets = {0};
+      return plan;
+    }
+    [[nodiscard]] std::string name() const override { return "one-reset"; }
+  };
+  sim::Execution e(
+      protocols::make_processes(ProtocolKind::Reset, t, inputs, th), 3);
+  OneResetAdversary adv;
+  sim::run_acceptable_window(e, adv, t);  // window 0: all decide 1; reset 0
+  sim::run_acceptable_window(e, adv, t);  // window 1: 0 rejoins
+
+  // Abstract.
+  AbstractConfig c = initial_config(inputs);
+  std::vector<bool> in_s(static_cast<std::size_t>(n), true);
+  std::vector<bool> r0(static_cast<std::size_t>(n), false);
+  r0[0] = true;
+  const std::vector<bool> no_r(static_cast<std::size_t>(n), false);
+  const auto no_coin = [](int) { return 0; };
+  c = apply_abstract_window_det(c, r0, in_s, th, t, no_coin);
+  c = apply_abstract_window_det(c, no_r, in_s, th, t, no_coin);
+
+  for (int p = 0; p < n; ++p) {
+    EXPECT_EQ(e.output(p), c.out[static_cast<std::size_t>(p)]) << "proc " << p;
+    EXPECT_EQ(e.process(p).estimate(), c.x[static_cast<std::size_t>(p)])
+        << "proc " << p;
+  }
+}
+
+}  // namespace
+}  // namespace aa::core

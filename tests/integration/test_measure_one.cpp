@@ -1,0 +1,151 @@
+// Integration: measure-one correctness & termination (Definitions 2 & 3)
+// for every protocol under its intended adversary class, Monte-Carlo over
+// many seeds. These are the headline Theorem 4 checks.
+#include <gtest/gtest.h>
+
+#include "adversary/async_adversaries.hpp"
+#include "adversary/window_adversaries.hpp"
+#include "core/checker.hpp"
+
+namespace aa::core {
+namespace {
+
+using protocols::ProtocolKind;
+
+struct WindowCase {
+  const char* label;
+  int n;
+  int t;
+  double ones;
+};
+
+class ResetMeasureOneTest : public ::testing::TestWithParam<WindowCase> {};
+
+TEST_P(ResetMeasureOneTest, CleanUnderRandomWindows) {
+  const WindowCase wc = GetParam();
+  const MeasureOneReport rep = check_measure_one_window(
+      ProtocolKind::Reset, protocols::split_inputs(wc.n, wc.ones), wc.t,
+      [&wc](std::uint64_t seed) {
+        return std::make_unique<adversary::RandomWindowAdversary>(wc.t, 0.25,
+                                                                  Rng(seed));
+      },
+      /*trials=*/15, /*max_windows=*/300000, /*seed0=*/9000);
+  EXPECT_TRUE(rep.clean()) << wc.label;
+  EXPECT_EQ(rep.all_decided_runs, 15) << wc.label << ": termination failed";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ResetMeasureOneTest,
+    ::testing::Values(WindowCase{"n7_t1_split", 7, 1, 0.5},
+                      WindowCase{"n13_t2_split", 13, 2, 0.5},
+                      WindowCase{"n13_t2_skew", 13, 2, 0.25},
+                      WindowCase{"n19_t3_split", 19, 3, 0.5},
+                      WindowCase{"n19_t3_ones", 19, 3, 1.0},
+                      WindowCase{"n25_t4_zeros", 25, 4, 0.0}),
+    [](const ::testing::TestParamInfo<WindowCase>& info) {
+      return info.param.label;
+    });
+
+TEST(MeasureOne, ResetSurvivesSplitKeeperEventually) {
+  // Even the exponential-time adversary cannot prevent termination forever
+  // (measure one termination); at n = 12 the wait is affordable.
+  const int n = 12;
+  const int t = 1;
+  const MeasureOneReport rep = check_measure_one_window(
+      ProtocolKind::Reset, protocols::split_inputs(n, 0.5), t,
+      [](std::uint64_t) {
+        return std::make_unique<adversary::SplitKeeperAdversary>();
+      },
+      10, 1'000'000, 100);
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(rep.all_decided_runs, 10);
+}
+
+TEST(MeasureOne, ResetSurvivesSilencerForever) {
+  // A fixed t-set silenced for the whole run: the classical crash schedule.
+  const int n = 13;
+  const int t = 2;
+  const MeasureOneReport rep = check_measure_one_window(
+      ProtocolKind::Reset, protocols::split_inputs(n, 0.5), t,
+      [](std::uint64_t) {
+        return std::make_unique<adversary::SilencerWindowAdversary>(
+            std::vector<sim::ProcId>{0, 1});
+      },
+      15, 300000, 200);
+  EXPECT_TRUE(rep.clean());
+  // The SILENCED processors still hear everything and decide; all 13 finish.
+  EXPECT_EQ(rep.all_decided_runs, 15);
+}
+
+TEST(MeasureOne, BrachaCleanUnderFairWindows) {
+  const int n = 10;
+  const int t = 3;
+  const MeasureOneReport rep = check_measure_one_window(
+      ProtocolKind::Bracha, protocols::split_inputs(n, 0.5), t,
+      [](std::uint64_t) {
+        return std::make_unique<adversary::FairWindowAdversary>();
+      },
+      10, 500000, 300);
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(rep.all_decided_runs, 10);
+}
+
+TEST(MeasureOne, BenOrCleanUnderCrashSchedules) {
+  const int n = 11;
+  const int t = 3;
+  const MeasureOneReport rep = check_measure_one_async(
+      ProtocolKind::BenOr, protocols::split_inputs(n, 0.5), t,
+      [n, t](std::uint64_t seed) {
+        // Crash a random t-subset at random times via seed-derived choices.
+        Rng r(seed);
+        std::vector<sim::ProcId> victims;
+        while (static_cast<int>(victims.size()) < t) {
+          const auto v = static_cast<sim::ProcId>(r.uniform_index(
+              static_cast<std::size_t>(n)));
+          bool dup = false;
+          for (sim::ProcId u : victims) dup = dup || (u == v);
+          if (!dup) victims.push_back(v);
+        }
+        return std::make_unique<adversary::FixedCrashScheduler>(victims,
+                                                                Rng(seed));
+      },
+      12, 5'000'000, 400);
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(rep.all_decided_runs, 12);
+}
+
+TEST(MeasureOne, ForgetfulCleanUnderSplitKeeperShortHorizon) {
+  // The split-keeper may stall decisions (that is its purpose) but must
+  // never induce an agreement/validity violation.
+  const int n = 16;
+  const int t = 2;
+  const MeasureOneReport rep = check_measure_one_async(
+      ProtocolKind::Forgetful, protocols::split_inputs(n, 0.5), t,
+      [](std::uint64_t) {
+        return std::make_unique<adversary::AsyncSplitKeeper>();
+      },
+      10, 20000, 500);
+  EXPECT_TRUE(rep.clean());
+}
+
+TEST(MeasureOne, ValidityUnderUnanimityForAllProtocols) {
+  for (const ProtocolKind kind :
+       {ProtocolKind::Reset, ProtocolKind::Bracha}) {
+    for (int v = 0; v <= 1; ++v) {
+      const int n = 10;
+      const int t = kind == ProtocolKind::Reset ? 1 : 3;
+      const MeasureOneReport rep = check_measure_one_window(
+          kind, protocols::unanimous_inputs(n, v), t,
+          [](std::uint64_t) {
+            return std::make_unique<adversary::FairWindowAdversary>();
+          },
+          5, 100000, 600 + static_cast<std::uint64_t>(v));
+      EXPECT_TRUE(rep.clean()) << protocols::protocol_kind_name(kind)
+                               << " v=" << v;
+      EXPECT_EQ(rep.all_decided_runs, 5);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aa::core

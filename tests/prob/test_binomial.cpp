@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "prob/binomial.hpp"
+
+namespace aa::prob {
+namespace {
+
+TEST(LogChoose, SmallValues) {
+  EXPECT_NEAR(std::exp(log_choose(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_choose(10, 5)), 252.0, 1e-6);
+  EXPECT_NEAR(std::exp(log_choose(4, 0)), 1.0, 1e-12);
+}
+
+TEST(LogChoose, OutOfRangeIsMinusInfinity) {
+  EXPECT_EQ(log_choose(3, 4), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(log_choose(3, -1), -std::numeric_limits<double>::infinity());
+}
+
+TEST(BinomPmf, FairCoinValues) {
+  EXPECT_NEAR(binom_pmf(4, 2, 0.5), 6.0 / 16.0, 1e-12);
+  EXPECT_NEAR(binom_pmf(4, 0, 0.5), 1.0 / 16.0, 1e-12);
+}
+
+TEST(BinomPmf, SumsToOne) {
+  for (double p : {0.1, 0.5, 0.93}) {
+    double total = 0.0;
+    for (int k = 0; k <= 20; ++k) total += binom_pmf(20, k, p);
+    EXPECT_NEAR(total, 1.0, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(BinomPmf, DegenerateP) {
+  EXPECT_DOUBLE_EQ(binom_pmf(5, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(binom_pmf(5, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binom_pmf(5, 5, 1.0), 1.0);
+}
+
+TEST(BinomCdf, Boundaries) {
+  EXPECT_DOUBLE_EQ(binom_cdf(10, -1, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(binom_cdf(10, 10, 0.5), 1.0);
+  EXPECT_NEAR(binom_cdf(4, 2, 0.5), (1 + 4 + 6) / 16.0, 1e-12);
+}
+
+TEST(BinomTail, ComplementsCdf) {
+  for (int k = 0; k <= 12; ++k) {
+    EXPECT_NEAR(binom_tail_ge(12, k, 0.3) + binom_cdf(12, k - 1, 0.3), 1.0,
+                1e-9);
+  }
+}
+
+TEST(BinomTail, HoeffdingDominatesExactTail) {
+  const int n = 100;
+  for (double eps : {0.05, 0.1, 0.2}) {
+    const auto k = static_cast<std::int64_t>(std::ceil(n * (0.5 + eps)));
+    EXPECT_LE(binom_tail_ge(n, k, 0.5), hoeffding_upper(n, eps) + 1e-12)
+        << "eps=" << eps;
+  }
+}
+
+TEST(StrongMajority, ExponentiallySmallInN) {
+  // The §3 running-time mechanism: probability that n fair coins produce
+  // ≥ k agreeing values, k ≈ (1/2 + c)n, decays exponentially.
+  const double p16 = strong_majority_probability(16, 13);
+  const double p32 = strong_majority_probability(32, 26);
+  const double p64 = strong_majority_probability(64, 52);
+  EXPECT_GT(p16, p32);
+  EXPECT_GT(p32, p64);
+  EXPECT_LT(p64, 1e-5);
+  // Log-linear decay: the ratio of logs roughly doubles with n.
+  EXPECT_GT(std::log(p32) / std::log(p16), 1.5);
+}
+
+TEST(StrongMajority, WeakThresholdIsCertain) {
+  EXPECT_DOUBLE_EQ(strong_majority_probability(10, 5), 1.0);
+}
+
+TEST(StrongMajority, ExactSmallCase) {
+  // n=3, k=2: P[#1 ≥ 2] = 4/8; doubling (either value) = 1.0.
+  EXPECT_NEAR(strong_majority_probability(3, 2), 1.0, 1e-12);
+  // n=3, k=3: 2 * (1/8) = 0.25.
+  EXPECT_NEAR(strong_majority_probability(3, 3), 0.25, 1e-12);
+}
+
+TEST(ExpectedRounds, GeometricMean) {
+  EXPECT_DOUBLE_EQ(expected_rounds_until(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(expected_rounds_until(1.0), 1.0);
+  EXPECT_THROW((void)expected_rounds_until(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aa::prob

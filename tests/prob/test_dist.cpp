@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "prob/dist.hpp"
+
+namespace aa::prob {
+namespace {
+
+TEST(FiniteDist, ValidConstruction) {
+  FiniteDist d({0.25, 0.75});
+  EXPECT_EQ(d.alphabet_size(), 2);
+  EXPECT_DOUBLE_EQ(d.p(0), 0.25);
+  EXPECT_DOUBLE_EQ(d.p(1), 0.75);
+}
+
+TEST(FiniteDist, RenormalizesTinyError) {
+  FiniteDist d({0.5, 0.5 - 1e-9});
+  EXPECT_NEAR(d.p(0) + d.p(1), 1.0, 1e-15);
+}
+
+TEST(FiniteDist, RejectsBadInput) {
+  EXPECT_THROW(FiniteDist({}), std::invalid_argument);
+  EXPECT_THROW(FiniteDist({-0.1, 1.1}), std::invalid_argument);
+  EXPECT_THROW(FiniteDist({0.4, 0.4}), std::invalid_argument);  // sums to 0.8
+  EXPECT_THROW(FiniteDist({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(FiniteDist, PointMass) {
+  const FiniteDist d = FiniteDist::point_mass(2, 4);
+  EXPECT_DOUBLE_EQ(d.p(2), 1.0);
+  EXPECT_DOUBLE_EQ(d.p(0), 0.0);
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(d.sample(rng), 2);
+}
+
+TEST(FiniteDist, PointMassValidation) {
+  EXPECT_THROW(FiniteDist::point_mass(4, 4), std::invalid_argument);
+  EXPECT_THROW(FiniteDist::point_mass(-1, 4), std::invalid_argument);
+}
+
+TEST(FiniteDist, UniformIsUniform) {
+  const FiniteDist d = FiniteDist::uniform(5);
+  for (int s = 0; s < 5; ++s) EXPECT_DOUBLE_EQ(d.p(s), 0.2);
+}
+
+TEST(FiniteDist, BernoulliParameter) {
+  const FiniteDist d = FiniteDist::bernoulli(0.3);
+  EXPECT_DOUBLE_EQ(d.p(1), 0.3);
+  EXPECT_DOUBLE_EQ(d.p(0), 0.7);
+  EXPECT_THROW(FiniteDist::bernoulli(1.5), std::invalid_argument);
+}
+
+TEST(FiniteDist, SampleFrequenciesMatchProbabilities) {
+  const FiniteDist d({0.1, 0.2, 0.7});
+  Rng rng(77);
+  std::vector<int> counts(3, 0);
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) ++counts[static_cast<std::size_t>(d.sample(rng))];
+  EXPECT_NEAR(counts[0] / static_cast<double>(draws), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(draws), 0.2, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(draws), 0.7, 0.01);
+}
+
+TEST(FiniteDist, SampleHandlesZeroMassSymbols) {
+  const FiniteDist d({0.0, 1.0, 0.0});
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(d.sample(rng), 1);
+}
+
+TEST(FiniteDist, RandomDistributionIsValid) {
+  Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    const FiniteDist d = FiniteDist::random(4, rng);
+    double total = 0.0;
+    for (int s = 0; s < 4; ++s) {
+      EXPECT_GE(d.p(s), 0.0);
+      total += d.p(s);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(FiniteDist, POutOfRangeThrows) {
+  const FiniteDist d = FiniteDist::uniform(2);
+  EXPECT_THROW((void)d.p(2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aa::prob

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "prob/hamming.hpp"
+#include "util/rng.hpp"
+
+namespace aa::prob {
+namespace {
+
+TEST(Hamming, PointToPoint) {
+  EXPECT_EQ(hamming({0, 1, 2}, {0, 1, 2}), 0);
+  EXPECT_EQ(hamming({0, 1, 2}, {1, 1, 2}), 1);
+  EXPECT_EQ(hamming({0, 0, 0}, {1, 1, 1}), 3);
+}
+
+TEST(Hamming, DimensionMismatchThrows) {
+  EXPECT_THROW((void)hamming({0}, {0, 1}), std::invalid_argument);
+}
+
+TEST(Hamming, PointToSetTakesMinimum) {
+  const std::vector<Point> A{{0, 0, 0}, {1, 1, 1}};
+  EXPECT_EQ(hamming_to_set({0, 0, 1}, A), 1);
+  EXPECT_EQ(hamming_to_set({1, 1, 1}, A), 0);
+  EXPECT_EQ(hamming_to_set({1, 1, 0}, A), 1);  // closer to the second point
+}
+
+TEST(Hamming, EmptySetThrows) {
+  EXPECT_THROW((void)hamming_to_set({0}, {}), std::invalid_argument);
+  EXPECT_THROW((void)hamming_between_sets({}, {{0}}), std::invalid_argument);
+}
+
+TEST(Hamming, SetToSetMinimum) {
+  const std::vector<Point> A{{0, 0, 0, 0}};
+  const std::vector<Point> B{{1, 1, 1, 1}, {0, 0, 1, 1}};
+  EXPECT_EQ(hamming_between_sets(A, B), 2);
+}
+
+TEST(Hamming, SetToSetZeroOnOverlap) {
+  const std::vector<Point> A{{0, 1}, {1, 0}};
+  const std::vector<Point> B{{1, 0}};
+  EXPECT_EQ(hamming_between_sets(A, B), 0);
+}
+
+TEST(Hamming, InBallMembership) {
+  const std::vector<Point> A{{0, 0, 0, 0}};
+  EXPECT_TRUE(in_ball({0, 0, 0, 0}, A, 0));
+  EXPECT_TRUE(in_ball({1, 0, 0, 0}, A, 1));
+  EXPECT_FALSE(in_ball({1, 1, 0, 0}, A, 1));
+  EXPECT_TRUE(in_ball({1, 1, 1, 1}, A, 4));
+}
+
+TEST(Hamming, BallPredicateMatchesInBall) {
+  const std::vector<Point> A{{0, 0}, {1, 1}};
+  const SetPredicate pred = ball_predicate(A, 1);
+  EXPECT_TRUE(pred({0, 1}));   // distance 1 from both
+  EXPECT_TRUE(pred({0, 0}));   // in A
+  const std::vector<Point> far{{2, 2}};
+  EXPECT_EQ(hamming_to_set({2, 2}, A), 2);
+  EXPECT_FALSE(pred({2, 2}));
+}
+
+// Property: triangle inequality ∆(x,z) ≤ ∆(x,y) + ∆(y,z) on random points.
+TEST(Hamming, TriangleInequalityProperty) {
+  Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    Point x(8), y(8), z(8);
+    for (int i = 0; i < 8; ++i) {
+      x[static_cast<std::size_t>(i)] = static_cast<int>(rng.uniform_int(0, 2));
+      y[static_cast<std::size_t>(i)] = static_cast<int>(rng.uniform_int(0, 2));
+      z[static_cast<std::size_t>(i)] = static_cast<int>(rng.uniform_int(0, 2));
+    }
+    EXPECT_LE(hamming(x, z), hamming(x, y) + hamming(y, z));
+  }
+}
+
+// Property: ∆(A,B) ≤ ∆(a, B) for any a ∈ A.
+TEST(Hamming, SetDistanceIsLowerBoundProperty) {
+  Rng rng(23);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Point> A, B;
+    for (int k = 0; k < 4; ++k) {
+      Point a(6), b(6);
+      for (int i = 0; i < 6; ++i) {
+        a[static_cast<std::size_t>(i)] = static_cast<int>(rng.uniform_int(0, 1));
+        b[static_cast<std::size_t>(i)] = static_cast<int>(rng.uniform_int(0, 1));
+      }
+      A.push_back(a);
+      B.push_back(b);
+    }
+    const int d = hamming_between_sets(A, B);
+    for (const Point& a : A) EXPECT_LE(d, hamming_to_set(a, B));
+  }
+}
+
+}  // namespace
+}  // namespace aa::prob

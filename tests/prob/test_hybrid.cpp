@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "prob/hybrid.hpp"
+#include "prob/talagrand.hpp"
+
+namespace aa::prob {
+namespace {
+
+// Construct the textbook Lemma 14 scenario: Z0 = low-weight points,
+// Z1 = high-weight points (Hamming-separated), π_n concentrated away from
+// Z0, π_0 concentrated away from Z1.
+struct Scenario {
+  ProductSpace pi_n;
+  ProductSpace pi_0;
+  std::vector<Point> z0;
+  std::vector<Point> z1;
+};
+
+Scenario make_scenario(int n, int z0_weight_max, int z1_weight_min) {
+  // π_n: Bernoulli(0.9) per coordinate → mass on HIGH weight (avoids Z0).
+  // π_0: Bernoulli(0.1) per coordinate → mass on LOW weight (avoids Z1).
+  Scenario s{ProductSpace::iid(FiniteDist::bernoulli(0.9), n),
+             ProductSpace::iid(FiniteDist::bernoulli(0.1), n),
+             {},
+             {}};
+  s.pi_n.enumerate([&](const Point& x, double) {
+    int w = 0;
+    for (int xi : x) w += xi;
+    if (w <= z0_weight_max) s.z0.push_back(x);
+    if (w >= z1_weight_min) s.z1.push_back(x);
+  });
+  return s;
+}
+
+TEST(HybridExact, FindsEscapeDistribution) {
+  const int n = 8;
+  const Scenario s = make_scenario(n, 1, 7);  // separation ≥ 6 > t = 5
+  const double eta = 0.25;
+  const HybridResult r = find_hybrid_exact(s.pi_n, s.pi_0, s.z0, s.z1, eta);
+  ASSERT_GE(r.j_star, 0);
+  EXPECT_LE(r.p_z0, eta);
+  EXPECT_LE(r.p_z1, eta + 1e-9);
+  EXPECT_TRUE(r.lemma_satisfied);
+  EXPECT_GE(r.escape, 1.0 - 2 * eta - 1e-9);
+}
+
+TEST(HybridExact, JStarIsMinimal) {
+  const int n = 8;
+  const Scenario s = make_scenario(n, 1, 7);
+  const double eta = 0.25;
+  const HybridResult r = find_hybrid_exact(s.pi_n, s.pi_0, s.z0, s.z1, eta);
+  ASSERT_GT(r.j_star, 0);
+  // j* − 1 must NOT satisfy the Z0 condition.
+  const ProductSpace prev = ProductSpace::hybrid(s.pi_n, s.pi_0, r.j_star - 1);
+  const double p_prev = prev.exact_probability([&](const Point& x) {
+    return hamming_to_set(x, s.z0) == 0;
+  });
+  EXPECT_GT(p_prev, eta);
+}
+
+TEST(HybridExact, EndpointDistributionsBehave) {
+  const int n = 8;
+  const Scenario s = make_scenario(n, 1, 7);
+  // π_0 = hybrid(·,·,0) avoids Z1; π_n = hybrid(·,·,n) avoids Z0.
+  const double p0_z1 = s.pi_0.exact_probability(
+      [&](const Point& x) { return hamming_to_set(x, s.z1) == 0; });
+  const double pn_z0 = s.pi_n.exact_probability(
+      [&](const Point& x) { return hamming_to_set(x, s.z0) == 0; });
+  EXPECT_LT(p0_z1, 0.01);
+  EXPECT_LT(pn_z0, 0.01);
+}
+
+TEST(HybridExact, JStarZeroWhenPiZeroAlreadyAvoidsBoth) {
+  const int n = 6;
+  // Z0 = all-ones only; π_0 (low weight) avoids it immediately.
+  Scenario s = make_scenario(n, -1, 6);  // z0 empty via weight<=-1 — rebuild:
+  s.z0 = {Point(static_cast<std::size_t>(n), 1)};
+  s.z1 = {Point(static_cast<std::size_t>(n), 0)};
+  // π_0 = Bern(0.1): P[all ones] tiny → j* = 0.
+  const HybridResult r = find_hybrid_exact(s.pi_n, s.pi_0, s.z0, s.z1, 0.3);
+  EXPECT_EQ(r.j_star, 0);
+}
+
+TEST(HybridMc, AgreesWithExact) {
+  const int n = 8;
+  const Scenario s = make_scenario(n, 1, 7);
+  const double eta = 0.25;
+  const HybridResult exact = find_hybrid_exact(s.pi_n, s.pi_0, s.z0, s.z1, eta);
+  Rng rng(13);
+  const HybridResult mc =
+      find_hybrid_mc(s.pi_n, s.pi_0, s.z0, s.z1, eta, 40000, rng);
+  EXPECT_NEAR(mc.p_z0, exact.p_z0, 0.02);
+  EXPECT_NEAR(mc.p_z1, exact.p_z1, 0.02);
+  // MC j* may differ by a step near the threshold; it must still escape.
+  EXPECT_TRUE(mc.lemma_satisfied);
+}
+
+TEST(Hybrid, Validation) {
+  const ProductSpace a = ProductSpace::iid(FiniteDist::uniform(2), 3);
+  const ProductSpace b = ProductSpace::iid(FiniteDist::uniform(2), 4);
+  const std::vector<Point> z{{0, 0, 0}};
+  EXPECT_THROW((void)find_hybrid_exact(a, b, z, z, 0.1),
+               std::invalid_argument);
+  EXPECT_THROW((void)find_hybrid_exact(a, a, {}, z, 0.1),
+               std::invalid_argument);
+  EXPECT_THROW((void)find_hybrid_exact(a, a, z, z, 0.0),
+               std::invalid_argument);
+}
+
+TEST(HybridPred, PredicateVariantMatchesPointListVariant) {
+  const int n = 8;
+  const Scenario s = make_scenario(n, 1, 7);
+  const double eta = 0.25;
+  const HybridResult from_lists =
+      find_hybrid_exact(s.pi_n, s.pi_0, s.z0, s.z1, eta);
+  const SetPredicate in_z0 = [](const Point& x) {
+    int w = 0;
+    for (int xi : x) w += xi;
+    return w <= 1;
+  };
+  const SetPredicate in_z1 = [](const Point& x) {
+    int w = 0;
+    for (int xi : x) w += xi;
+    return w >= 7;
+  };
+  const HybridResult from_preds =
+      find_hybrid_exact_pred(s.pi_n, s.pi_0, in_z0, in_z1, eta);
+  EXPECT_EQ(from_preds.j_star, from_lists.j_star);
+  EXPECT_NEAR(from_preds.p_z0, from_lists.p_z0, 1e-12);
+  EXPECT_NEAR(from_preds.p_z1, from_lists.p_z1, 1e-12);
+}
+
+TEST(HybridPred, McPredicateVariantWorks) {
+  const int n = 8;
+  const Scenario s = make_scenario(n, 1, 7);
+  const SetPredicate in_z0 = [](const Point& x) {
+    int w = 0;
+    for (int xi : x) w += xi;
+    return w <= 1;
+  };
+  const SetPredicate in_z1 = [](const Point& x) {
+    int w = 0;
+    for (int xi : x) w += xi;
+    return w >= 7;
+  };
+  Rng rng(99);
+  const HybridResult r =
+      find_hybrid_mc_pred(s.pi_n, s.pi_0, in_z0, in_z1, 0.25, 30000, rng);
+  EXPECT_GE(r.j_star, 0);
+  EXPECT_TRUE(r.lemma_satisfied);
+}
+
+// Property: with Lemma 14's own η = e^{−(t−1)²/8n} and genuinely separated
+// sets, the hybrid search always finds an escape distribution.
+class HybridPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HybridPropertyTest, AlwaysEscapesWithPaperEta) {
+  const int n = 8;
+  const int t = 5;
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  // Random biased product endpoints.
+  std::vector<FiniteDist> hi, lo;
+  for (int i = 0; i < n; ++i) {
+    hi.push_back(FiniteDist::bernoulli(0.8 + 0.15 * rng.next_double()));
+    lo.push_back(FiniteDist::bernoulli(0.05 + 0.15 * rng.next_double()));
+  }
+  const ProductSpace pi_n{hi};
+  const ProductSpace pi_0{lo};
+  std::vector<Point> z0, z1;
+  pi_n.enumerate([&](const Point& x, double) {
+    int w = 0;
+    for (int xi : x) w += xi;
+    if (w <= 1) z0.push_back(x);
+    if (w >= 7) z1.push_back(x);
+  });
+  const double eta = eta_threshold(t, n);
+  // Precondition of the lemma: endpoints avoid their respective sets w.p.
+  // ≥ 1 − τ. Verify, then run the search.
+  const double tau = tau_threshold(t, n);
+  const double pn_z0 = pi_n.exact_probability(
+      [&](const Point& x) { return hamming_to_set(x, z0) == 0; });
+  const double p0_z1 = pi_0.exact_probability(
+      [&](const Point& x) { return hamming_to_set(x, z1) == 0; });
+  if (pn_z0 > tau || p0_z1 > tau) return;  // precondition not met; skip
+  const HybridResult r = find_hybrid_exact(pi_n, pi_0, z0, z1, eta);
+  ASSERT_GE(r.j_star, 0);
+  EXPECT_TRUE(r.lemma_satisfied) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSweep, HybridPropertyTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace aa::prob

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "prob/product.hpp"
+
+namespace aa::prob {
+namespace {
+
+TEST(ProductSpace, IidConstruction) {
+  const ProductSpace s = ProductSpace::iid(FiniteDist::uniform(2), 5);
+  EXPECT_EQ(s.dimension(), 5);
+  EXPECT_EQ(s.grid_size(), 32u);
+}
+
+TEST(ProductSpace, PointProbabilityIsProduct) {
+  const ProductSpace s({FiniteDist::bernoulli(0.25), FiniteDist::bernoulli(0.5)});
+  EXPECT_DOUBLE_EQ(s.point_probability({1, 1}), 0.25 * 0.5);
+  EXPECT_DOUBLE_EQ(s.point_probability({0, 0}), 0.75 * 0.5);
+}
+
+TEST(ProductSpace, PointProbabilityDimensionMismatch) {
+  const ProductSpace s = ProductSpace::iid(FiniteDist::uniform(2), 2);
+  EXPECT_THROW((void)s.point_probability({0}), std::invalid_argument);
+}
+
+TEST(ProductSpace, EnumerateCoversWholeMass) {
+  const ProductSpace s = ProductSpace::iid(FiniteDist::uniform(3), 4);
+  double total = 0.0;
+  std::size_t points = 0;
+  s.enumerate([&](const Point&, double p) {
+    total += p;
+    ++points;
+  });
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_EQ(points, 81u);
+}
+
+TEST(ProductSpace, EnumerateSkipsZeroMassPoints) {
+  const ProductSpace s({FiniteDist::point_mass(1, 2), FiniteDist::uniform(2)});
+  std::size_t points = 0;
+  s.enumerate([&](const Point& x, double) {
+    EXPECT_EQ(x[0], 1);
+    ++points;
+  });
+  EXPECT_EQ(points, 2u);
+}
+
+TEST(ProductSpace, EnumerateTooLargeThrows) {
+  const ProductSpace s = ProductSpace::iid(FiniteDist::uniform(2), 30);
+  EXPECT_THROW(s.enumerate([](const Point&, double) {}, 1u << 10),
+               std::invalid_argument);
+}
+
+TEST(ProductSpace, ExactProbabilityMatchesHandComputation) {
+  // P[first coordinate == 1] over Bern(0.3) × Bern(0.9).
+  const ProductSpace s({FiniteDist::bernoulli(0.3), FiniteDist::bernoulli(0.9)});
+  const double p = s.exact_probability([](const Point& x) { return x[0] == 1; });
+  EXPECT_NEAR(p, 0.3, 1e-12);
+}
+
+TEST(ProductSpace, McProbabilityConvergesToExact) {
+  const ProductSpace s = ProductSpace::iid(FiniteDist::bernoulli(0.5), 10);
+  const SetPredicate all_ones_prefix = [](const Point& x) {
+    return x[0] == 1 && x[1] == 1;
+  };
+  const double exact = s.exact_probability(all_ones_prefix);
+  Rng rng(5);
+  const double mc = s.mc_probability(all_ones_prefix, 100000, rng);
+  EXPECT_NEAR(mc, exact, 0.01);
+}
+
+TEST(ProductSpace, SampleRespectsSupport) {
+  const ProductSpace s({FiniteDist::point_mass(0, 3), FiniteDist::point_mass(2, 3)});
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const Point x = s.sample(rng);
+    EXPECT_EQ(x[0], 0);
+    EXPECT_EQ(x[1], 2);
+  }
+}
+
+TEST(ProductSpace, HybridMixesCoordinates) {
+  const ProductSpace pi_n = ProductSpace::iid(FiniteDist::point_mass(1, 2), 4);
+  const ProductSpace pi_0 = ProductSpace::iid(FiniteDist::point_mass(0, 2), 4);
+  const ProductSpace h = ProductSpace::hybrid(pi_n, pi_0, 2);
+  // Coordinates 0,1 from pi_n (ones), 2,3 from pi_0 (zeros).
+  EXPECT_DOUBLE_EQ(h.point_probability({1, 1, 0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(h.point_probability({1, 1, 1, 0}), 0.0);
+}
+
+TEST(ProductSpace, HybridEndpoints) {
+  const ProductSpace pi_n = ProductSpace::iid(FiniteDist::bernoulli(0.9), 3);
+  const ProductSpace pi_0 = ProductSpace::iid(FiniteDist::bernoulli(0.1), 3);
+  const ProductSpace h0 = ProductSpace::hybrid(pi_n, pi_0, 0);
+  const ProductSpace h3 = ProductSpace::hybrid(pi_n, pi_0, 3);
+  EXPECT_DOUBLE_EQ(h0.coord(0).p(1), 0.1);
+  EXPECT_DOUBLE_EQ(h3.coord(0).p(1), 0.9);
+}
+
+TEST(ProductSpace, HybridValidation) {
+  const ProductSpace a = ProductSpace::iid(FiniteDist::uniform(2), 3);
+  const ProductSpace b = ProductSpace::iid(FiniteDist::uniform(2), 4);
+  EXPECT_THROW((void)ProductSpace::hybrid(a, b, 1), std::invalid_argument);
+  EXPECT_THROW((void)ProductSpace::hybrid(a, a, 4), std::invalid_argument);
+}
+
+TEST(ProductSpace, GridSizeOverflowDetected) {
+  // 256^9 = 2^72 does not fit in 64 bits: must throw rather than wrap.
+  const ProductSpace s = ProductSpace::iid(FiniteDist::uniform(256), 9);
+  EXPECT_THROW((void)s.grid_size(), std::invalid_argument);
+}
+
+TEST(ProductSpace, GridSizeLargeButRepresentable) {
+  const ProductSpace s = ProductSpace::iid(FiniteDist::uniform(2), 60);
+  EXPECT_EQ(s.grid_size(), 1ull << 60);
+}
+
+TEST(ProductSpace, SupportSizeIgnoresZeroMassSymbols) {
+  // 20 point-mass coordinates + 3 coins: support is 2^3 even though the
+  // alphabet grid is 5^23.
+  std::vector<FiniteDist> coords;
+  for (int i = 0; i < 20; ++i) coords.push_back(FiniteDist::point_mass(2, 5));
+  for (int i = 0; i < 3; ++i)
+    coords.push_back(FiniteDist({0.5, 0.5, 0.0, 0.0, 0.0}));
+  const ProductSpace s{coords};
+  EXPECT_EQ(s.support_size(), 8u);
+}
+
+TEST(ProductSpace, EnumerateVisitsOnlySupport) {
+  // Point-mass-heavy spaces must enumerate quickly and exactly.
+  std::vector<FiniteDist> coords;
+  for (int i = 0; i < 30; ++i) coords.push_back(FiniteDist::point_mass(1, 4));
+  coords.push_back(FiniteDist({0.25, 0.75}));
+  const ProductSpace s{coords};
+  std::size_t visits = 0;
+  double total = 0.0;
+  s.enumerate([&](const Point& x, double p) {
+    ++visits;
+    total += p;
+    for (std::size_t i = 0; i < 30; ++i) EXPECT_EQ(x[i], 1);
+  });
+  EXPECT_EQ(visits, 2u);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace aa::prob

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "prob/talagrand.hpp"
+
+namespace aa::prob {
+namespace {
+
+TEST(TalagrandBound, KnownValues) {
+  EXPECT_DOUBLE_EQ(talagrand_bound(0, 10), 1.0);
+  EXPECT_NEAR(talagrand_bound(10, 10), std::exp(-100.0 / 40.0), 1e-12);
+}
+
+TEST(TalagrandBound, MonotoneInD) {
+  EXPECT_GT(talagrand_bound(1, 20), talagrand_bound(5, 20));
+  EXPECT_GT(talagrand_bound(5, 20), talagrand_bound(10, 20));
+}
+
+TEST(TalagrandBound, Validation) {
+  EXPECT_THROW((void)talagrand_bound(-1, 10), std::invalid_argument);
+  EXPECT_THROW((void)talagrand_bound(1, 0), std::invalid_argument);
+}
+
+TEST(Thresholds, TauAndEta) {
+  const int n = 64;
+  const int t = 8;
+  EXPECT_NEAR(tau_threshold(t, n), std::exp(-64.0 / 512.0), 1e-12);
+  EXPECT_NEAR(eta_threshold(t, n), std::exp(-49.0 / 512.0), 1e-12);
+  EXPECT_GT(eta_threshold(t, n), tau_threshold(t, n));  // η > τ always
+}
+
+TEST(SeparatedMassCeiling, MatchesFormula) {
+  EXPECT_NEAR(separated_mass_ceiling(8, 64), std::exp(-64.0 / 512.0), 1e-12);
+}
+
+TEST(CheckExact, HalfCubeSatisfiesInequality) {
+  // A = {x : x_0 = 0} over the uniform 6-cube.
+  const int n = 6;
+  const ProductSpace space = ProductSpace::iid(FiniteDist::uniform(2), n);
+  std::vector<Point> A;
+  space.enumerate([&](const Point& x, double) {
+    if (x[0] == 0) A.push_back(x);
+  });
+  for (int d = 0; d <= n; ++d) {
+    const TalagrandCheck c = check_exact(space, A, d);
+    EXPECT_TRUE(c.holds) << "d=" << d << " lhs=" << c.lhs
+                         << " bound=" << c.bound;
+    EXPECT_NEAR(c.p_a, 0.5, 1e-12);
+  }
+}
+
+TEST(CheckExact, SingletonSet) {
+  const int n = 5;
+  const ProductSpace space = ProductSpace::iid(FiniteDist::uniform(2), n);
+  const std::vector<Point> A{{0, 0, 0, 0, 0}};
+  const TalagrandCheck c0 = check_exact(space, A, 0);
+  EXPECT_NEAR(c0.p_a, 1.0 / 32.0, 1e-12);
+  EXPECT_NEAR(c0.p_ball, 1.0 / 32.0, 1e-12);
+  const TalagrandCheck cn = check_exact(space, A, n);
+  EXPECT_NEAR(cn.p_ball, 1.0, 1e-12);  // whole cube
+  EXPECT_NEAR(cn.lhs, 0.0, 1e-12);
+  EXPECT_TRUE(cn.holds);
+}
+
+TEST(CheckExact, BiasedCoordinatesStillHold) {
+  // Talagrand holds for ANY product measure, not just uniform.
+  const int n = 8;
+  Rng rng(31);
+  std::vector<FiniteDist> coords;
+  for (int i = 0; i < n; ++i) coords.push_back(FiniteDist::random(2, rng));
+  const ProductSpace space{coords};
+  std::vector<Point> A;
+  space.enumerate([&](const Point& x, double) {
+    int weight = 0;
+    for (int xi : x) weight += xi;
+    if (weight <= 2) A.push_back(x);
+  });
+  ASSERT_FALSE(A.empty());
+  for (int d = 0; d <= n; d += 2) {
+    const TalagrandCheck c = check_exact(space, A, d);
+    EXPECT_TRUE(c.holds) << "d=" << d;
+  }
+}
+
+// Property sweep: random product spaces, random threshold sets, random d —
+// the inequality must always hold (exact enumeration, n = 6).
+class TalagrandPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TalagrandPropertyTest, RandomSpacesAndSets) {
+  const int n = 6;
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1000003);
+  std::vector<FiniteDist> coords;
+  for (int i = 0; i < n; ++i) coords.push_back(FiniteDist::random(3, rng));
+  const ProductSpace space{coords};
+  // Random set: include each point independently with probability 0.3.
+  std::vector<Point> A;
+  space.enumerate([&](const Point& x, double) {
+    if (rng.bernoulli(0.3)) A.push_back(x);
+  });
+  if (A.empty()) return;  // vacuous
+  const int d = static_cast<int>(rng.uniform_int(0, n));
+  const TalagrandCheck c = check_exact(space, A, d);
+  EXPECT_TRUE(c.holds) << "seed=" << GetParam() << " d=" << d
+                       << " lhs=" << c.lhs << " bound=" << c.bound;
+  EXPECT_GE(c.p_ball, c.p_a);  // the ball contains A
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSweep, TalagrandPropertyTest,
+                         ::testing::Range(0, 40));
+
+TEST(CheckMc, AgreesWithExact) {
+  const int n = 10;
+  const ProductSpace space = ProductSpace::iid(FiniteDist::uniform(2), n);
+  std::vector<Point> A;
+  space.enumerate([&](const Point& x, double) {
+    int weight = 0;
+    for (int xi : x) weight += xi;
+    if (weight == 0 || weight == 1) A.push_back(x);
+  });
+  const TalagrandCheck exact = check_exact(space, A, 3);
+  Rng rng(41);
+  const TalagrandCheck mc = check_mc(space, A, 3, 200000, rng);
+  EXPECT_NEAR(mc.p_a, exact.p_a, 0.005);
+  EXPECT_NEAR(mc.p_ball, exact.p_ball, 0.005);
+  EXPECT_TRUE(mc.holds);
+}
+
+TEST(CheckExact, EmptySetThrows) {
+  const ProductSpace space = ProductSpace::iid(FiniteDist::uniform(2), 3);
+  EXPECT_THROW((void)check_exact(space, {}, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aa::prob

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "protocols/factory.hpp"
+
+namespace aa::protocols {
+namespace {
+
+TEST(Factory, KindNamesAreDistinct) {
+  const ProtocolKind kinds[] = {ProtocolKind::Reset, ProtocolKind::BenOr,
+                                ProtocolKind::Bracha, ProtocolKind::Forgetful};
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      EXPECT_NE(protocol_kind_name(kinds[i]), protocol_kind_name(kinds[j]));
+    }
+  }
+}
+
+TEST(Factory, BuildsOneProcessPerInput) {
+  for (const ProtocolKind kind : {ProtocolKind::Reset, ProtocolKind::BenOr,
+                                  ProtocolKind::Bracha,
+                                  ProtocolKind::Forgetful}) {
+    const auto procs = make_processes(kind, 1, split_inputs(9, 0.5));
+    ASSERT_EQ(procs.size(), 9u);
+    for (int i = 0; i < 9; ++i) {
+      EXPECT_EQ(procs[static_cast<std::size_t>(i)]->input(),
+                split_inputs(9, 0.5)[static_cast<std::size_t>(i)]);
+      EXPECT_EQ(procs[static_cast<std::size_t>(i)]->output(), sim::kBot);
+    }
+  }
+}
+
+TEST(Factory, ProtocolNamesMatchKind) {
+  const auto reset = make_processes(ProtocolKind::Reset, 1,
+                                    unanimous_inputs(8, 0));
+  EXPECT_STREQ(reset[0]->protocol_name(), "reset-agreement");
+  const auto benor = make_processes(ProtocolKind::BenOr, 1,
+                                    unanimous_inputs(8, 0));
+  EXPECT_STREQ(benor[0]->protocol_name(), "ben-or");
+}
+
+TEST(Factory, CustomThresholdsReachResetProcess) {
+  const protocols::Thresholds th{5, 5, 4};
+  const auto procs = make_processes(ProtocolKind::Reset, 1,
+                                    unanimous_inputs(8, 0), th);
+  EXPECT_EQ(procs.size(), 8u);
+  // Indirect check: invalid thresholds throw from the ResetProcess ctor.
+  const protocols::Thresholds bad{5, 4, 5};
+  EXPECT_THROW(
+      (void)make_processes(ProtocolKind::Reset, 1, unanimous_inputs(8, 0),
+                           bad),
+      std::invalid_argument);
+  SUCCEED();
+}
+
+TEST(Factory, EmptyInputsRejected) {
+  EXPECT_THROW((void)make_processes(ProtocolKind::Reset, 1, {}),
+               std::invalid_argument);
+}
+
+TEST(SplitInputs, CountsAndPlacement) {
+  const auto inputs = split_inputs(10, 0.3);
+  int ones = 0;
+  for (int b : inputs) ones += b;
+  EXPECT_EQ(ones, 3);
+  // Ones at the high ids.
+  EXPECT_EQ(inputs[9], 1);
+  EXPECT_EQ(inputs[0], 0);
+}
+
+TEST(SplitInputs, Extremes) {
+  EXPECT_EQ(split_inputs(5, 0.0), unanimous_inputs(5, 0));
+  EXPECT_EQ(split_inputs(5, 1.0), unanimous_inputs(5, 1));
+  EXPECT_THROW((void)split_inputs(5, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)split_inputs(0, 0.5), std::invalid_argument);
+}
+
+TEST(UnanimousInputs, Validation) {
+  EXPECT_THROW((void)unanimous_inputs(5, 2), std::invalid_argument);
+  EXPECT_THROW((void)unanimous_inputs(0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aa::protocols

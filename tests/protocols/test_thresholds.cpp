@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "protocols/thresholds.hpp"
+
+namespace aa::protocols {
+namespace {
+
+TEST(Thresholds, CanonicalValues) {
+  const Thresholds th = canonical_thresholds(24, 3);
+  EXPECT_EQ(th.t1, 18);
+  EXPECT_EQ(th.t2, 18);
+  EXPECT_EQ(th.t3, 15);
+}
+
+TEST(Thresholds, CanonicalSatisfiesTheorem4ForSmallT) {
+  // Theorem 4: for every t < n/6 the canonical setting is valid.
+  for (int n : {7, 13, 24, 31, 48, 97}) {
+    for (int t = 1; 6 * t < n; ++t) {
+      const Thresholds th = canonical_thresholds(n, t);
+      EXPECT_TRUE(thresholds_valid(n, t, th))
+          << "n=" << n << " t=" << t << ": " << threshold_violation(n, t, th);
+    }
+  }
+}
+
+TEST(Thresholds, ViolationMessagesNameTheConstraint) {
+  // T1 too large.
+  EXPECT_NE(threshold_violation(12, 2, {9, 8, 7}).find("n - 2t >= T1"),
+            std::string::npos);
+  // T1 < T2.
+  EXPECT_NE(threshold_violation(12, 1, {8, 9, 7}).find("T1 >= T2"),
+            std::string::npos);
+  // T2 < T3 + t.
+  EXPECT_NE(threshold_violation(12, 2, {8, 8, 7}).find("T2 >= T3 + t"),
+            std::string::npos);
+  // 2*T3 <= n.
+  EXPECT_NE(threshold_violation(12, 1, {10, 8, 6}).find("2*T3 > n"),
+            std::string::npos);
+  // Non-positive.
+  EXPECT_NE(threshold_violation(12, 1, {0, 0, 0}).find("positive"),
+            std::string::npos);
+}
+
+TEST(Thresholds, ValidSettingsHaveEmptyViolation) {
+  EXPECT_TRUE(threshold_violation(24, 3, canonical_thresholds(24, 3)).empty());
+}
+
+TEST(Thresholds, SmallerT2IsLegalWhenTIsSmall) {
+  // With slack (t well below n/6), T2 can sit below T1.
+  const int n = 36;
+  const int t = 2;
+  const Thresholds th{n - 2 * t, n - 2 * t - 3, n - 2 * t - 3 - t};
+  EXPECT_TRUE(thresholds_valid(n, t, th)) << threshold_violation(n, t, th);
+}
+
+TEST(Thresholds, MaxSupportedTMatchesTheorem) {
+  // t must stay under n/6; check the reported ceiling is valid and maximal.
+  for (int n : {13, 24, 48, 100}) {
+    const int tmax = max_supported_t(n);
+    EXPECT_GT(tmax, 0);
+    EXPECT_LT(6 * tmax, n);
+    EXPECT_TRUE(thresholds_valid(n, tmax, canonical_thresholds(n, tmax)));
+    // t = tmax + 1 must fail (either ≥ n/6 or constraints break).
+    const int tnext = tmax + 1;
+    EXPECT_TRUE(6 * tnext >= n ||
+                !thresholds_valid(n, tnext, canonical_thresholds(n, tnext)));
+  }
+}
+
+TEST(Thresholds, TinyNHasNoSupportedT) {
+  EXPECT_EQ(max_supported_t(6), 0);
+  EXPECT_EQ(max_supported_t(1), 0);
+}
+
+TEST(Thresholds, ArgumentValidation) {
+  EXPECT_THROW((void)canonical_thresholds(0, 0), std::invalid_argument);
+  EXPECT_THROW((void)canonical_thresholds(10, -1), std::invalid_argument);
+  EXPECT_THROW((void)max_supported_t(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aa::protocols

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "adversary/async_adversaries.hpp"
+#include "protocols/factory.hpp"
+#include "sim/async.hpp"
+
+namespace aa::sim {
+namespace {
+
+using protocols::ProtocolKind;
+
+TEST(RunAsync, BenOrDecidesUnderRandomScheduler) {
+  const int n = 8;
+  const int t = 2;
+  Execution e(protocols::make_processes(ProtocolKind::BenOr, t,
+                                        protocols::split_inputs(n, 0.5)),
+              42);
+  adversary::RandomAsyncScheduler sched(Rng(7));
+  const AsyncRunResult r = run_async(e, sched, t, 2'000'000);
+  EXPECT_FALSE(r.hit_step_limit);
+  EXPECT_GT(e.decided_count(), 0);
+  EXPECT_TRUE(e.outputs_agree());
+}
+
+TEST(RunAsync, UnanimousInputsAlwaysDecideInput) {
+  const int n = 8;
+  const int t = 2;
+  for (int v = 0; v <= 1; ++v) {
+    Execution e(protocols::make_processes(ProtocolKind::BenOr, t,
+                                          protocols::unanimous_inputs(n, v)),
+                static_cast<std::uint64_t>(10 + v));
+    adversary::RandomAsyncScheduler sched(Rng(7));
+    run_async(e, sched, t, 2'000'000, /*until_all=*/true);
+    ASSERT_GT(e.decided_count(), 0);
+    EXPECT_EQ(e.first_decision()->value, v);
+  }
+}
+
+TEST(RunAsync, CrashBudgetEnforced) {
+  const int n = 6;
+  const int t = 1;
+  Execution e(protocols::make_processes(ProtocolKind::BenOr, t,
+                                        protocols::split_inputs(n, 0.5)),
+              1);
+  adversary::FixedCrashScheduler sched({0, 1}, Rng(3));  // wants 2 > t = 1
+  EXPECT_THROW(run_async(e, sched, t, 100000), std::invalid_argument);
+}
+
+TEST(RunAsync, SurvivesTCrashes) {
+  const int n = 9;
+  const int t = 3;
+  Execution e(protocols::make_processes(ProtocolKind::BenOr, t,
+                                        protocols::split_inputs(n, 0.5)),
+              11);
+  adversary::FixedCrashScheduler sched({0, 1, 2}, Rng(5));
+  const AsyncRunResult r = run_async(e, sched, t, 2'000'000);
+  EXPECT_EQ(r.crashes, 3);
+  EXPECT_GT(e.decided_count(), 0);
+  EXPECT_TRUE(e.outputs_agree());
+}
+
+TEST(RunAsync, StopActionEndsRun) {
+  class StopperAdversary final : public AsyncAdversary {
+   public:
+    AsyncAction next(const Execution&) override { return StopAction{}; }
+    [[nodiscard]] std::string name() const override { return "stopper"; }
+  };
+  const int t = 1;
+  Execution e(protocols::make_processes(ProtocolKind::BenOr, t,
+                                        protocols::split_inputs(6, 0.5)),
+              1);
+  StopperAdversary stop;
+  const AsyncRunResult r = run_async(e, stop, t, 1000);
+  EXPECT_TRUE(r.stopped_by_adversary);
+  EXPECT_EQ(r.deliveries, 0);
+}
+
+TEST(RunAsync, StepLimitReported) {
+  const int n = 8;
+  const int t = 2;
+  Execution e(protocols::make_processes(ProtocolKind::BenOr, t,
+                                        protocols::split_inputs(n, 0.5)),
+              42);
+  adversary::RandomAsyncScheduler sched(Rng(7));
+  const AsyncRunResult r = run_async(e, sched, t, 5);  // far too few
+  EXPECT_TRUE(r.hit_step_limit);
+  EXPECT_EQ(r.deliveries, 5);
+}
+
+TEST(RunAsync, DeterministicGivenSeeds) {
+  auto run = [](std::uint64_t seed) {
+    const int t = 2;
+    Execution e(protocols::make_processes(ProtocolKind::BenOr, t,
+                                          protocols::split_inputs(8, 0.5)),
+                seed);
+    adversary::RandomAsyncScheduler sched(Rng(99));
+    run_async(e, sched, t, 2'000'000);
+    return e.first_decision()->value;
+  };
+  EXPECT_EQ(run(1234), run(1234));
+}
+
+TEST(RunAsync, ChainDepthGrowsWithDeliveries) {
+  const int n = 8;
+  const int t = 2;
+  Execution e(protocols::make_processes(ProtocolKind::BenOr, t,
+                                        protocols::split_inputs(n, 0.5)),
+              42);
+  adversary::RandomAsyncScheduler sched(Rng(7));
+  run_async(e, sched, t, 2'000'000);
+  ASSERT_GT(e.decided_count(), 0);
+  EXPECT_GT(e.first_decision()->chain, 1);
+}
+
+}  // namespace
+}  // namespace aa::sim

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "sim/buffer.hpp"
+
+namespace aa::sim {
+namespace {
+
+Message msg(int round, int value) {
+  Message m;
+  m.round = round;
+  m.kind = 1;
+  m.value = value;
+  return m;
+}
+
+TEST(MessageBuffer, AddAssignsSequentialIds) {
+  MessageBuffer b(3);
+  EXPECT_EQ(b.add(0, 1, msg(1, 0), 0, 1), 0);
+  EXPECT_EQ(b.add(1, 2, msg(1, 1), 0, 1), 1);
+  EXPECT_EQ(b.total_sent(), 2u);
+  EXPECT_EQ(b.pending_count(), 2u);
+}
+
+TEST(MessageBuffer, GetReturnsEnvelope) {
+  MessageBuffer b(3);
+  const MsgId id = b.add(2, 0, msg(5, 1), 7, 3);
+  const Envelope& e = b.get(id);
+  EXPECT_EQ(e.sender, 2);
+  EXPECT_EQ(e.receiver, 0);
+  EXPECT_EQ(e.payload.round, 5);
+  EXPECT_EQ(e.payload.value, 1);
+  EXPECT_EQ(e.window, 7);
+  EXPECT_EQ(e.chain, 3);
+}
+
+TEST(MessageBuffer, DeliverTransitions) {
+  MessageBuffer b(2);
+  const MsgId id = b.add(0, 1, msg(1, 0), 0, 1);
+  EXPECT_TRUE(b.is_pending(id));
+  b.mark_delivered(id);
+  EXPECT_FALSE(b.is_pending(id));
+  EXPECT_TRUE(b.is_delivered(id));
+  EXPECT_EQ(b.delivered_count(), 1u);
+  EXPECT_EQ(b.pending_count(), 0u);
+}
+
+TEST(MessageBuffer, DropTransitions) {
+  MessageBuffer b(2);
+  const MsgId id = b.add(0, 1, msg(1, 0), 0, 1);
+  b.mark_dropped(id);
+  EXPECT_TRUE(b.is_dropped(id));
+  EXPECT_EQ(b.dropped_count(), 1u);
+}
+
+TEST(MessageBuffer, DoubleDeliverThrows) {
+  MessageBuffer b(2);
+  const MsgId id = b.add(0, 1, msg(1, 0), 0, 1);
+  b.mark_delivered(id);
+  EXPECT_THROW(b.mark_delivered(id), std::logic_error);
+  EXPECT_THROW(b.mark_dropped(id), std::logic_error);
+}
+
+TEST(MessageBuffer, PendingToFiltersByReceiverInSendOrder) {
+  MessageBuffer b(3);
+  const MsgId a = b.add(0, 2, msg(1, 0), 0, 1);
+  b.add(0, 1, msg(1, 0), 0, 1);
+  const MsgId c = b.add(1, 2, msg(1, 1), 0, 1);
+  const auto ids = b.pending_to(2);
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], a);
+  EXPECT_EQ(ids[1], c);
+}
+
+TEST(MessageBuffer, PendingFromToFiltersBySender) {
+  MessageBuffer b(3);
+  b.add(0, 2, msg(1, 0), 0, 1);
+  const MsgId c = b.add(1, 2, msg(1, 1), 0, 1);
+  const auto ids = b.pending_from_to(1, 2);
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], c);
+}
+
+TEST(MessageBuffer, PendingInWindow) {
+  MessageBuffer b(2);
+  b.add(0, 1, msg(1, 0), 0, 1);
+  const MsgId w1 = b.add(0, 1, msg(2, 0), 1, 1);
+  const auto ids = b.pending_in_window(1);
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], w1);
+}
+
+TEST(MessageBuffer, DeliveredExcludedFromQueries) {
+  MessageBuffer b(2);
+  const MsgId id = b.add(0, 1, msg(1, 0), 0, 1);
+  b.mark_delivered(id);
+  EXPECT_TRUE(b.pending_to(1).empty());
+  EXPECT_TRUE(b.all_pending().empty());
+  EXPECT_TRUE(b.pending_in_window(0).empty());
+}
+
+TEST(MessageBuffer, BadArgumentsThrow) {
+  MessageBuffer b(2);
+  EXPECT_THROW(b.add(-1, 0, msg(1, 0), 0, 1), std::invalid_argument);
+  EXPECT_THROW(b.add(0, 2, msg(1, 0), 0, 1), std::invalid_argument);
+  EXPECT_THROW((void)b.get(0), std::invalid_argument);
+  EXPECT_THROW((void)b.pending_to(5), std::invalid_argument);
+  EXPECT_THROW(MessageBuffer(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aa::sim

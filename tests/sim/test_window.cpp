@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "adversary/window_adversaries.hpp"
+#include "protocols/factory.hpp"
+#include "sim/window.hpp"
+
+namespace aa::sim {
+namespace {
+
+using protocols::ProtocolKind;
+
+Execution make_exec(int n, int t, std::uint64_t seed,
+                    double ones_fraction = 0.5) {
+  return Execution(
+      protocols::make_processes(ProtocolKind::Reset, t,
+                                protocols::split_inputs(n, ones_fraction)),
+      seed);
+}
+
+TEST(WindowPlanValidation, AcceptsLegalPlan) {
+  WindowPlan plan;
+  plan.delivery_order.assign(4, {0, 1, 2, 3});
+  plan.resets = {0};
+  EXPECT_NO_THROW(validate_window_plan(plan, 4, 1));
+}
+
+TEST(WindowPlanValidation, RejectsSmallSi) {
+  WindowPlan plan;
+  plan.delivery_order.assign(4, {0, 1});  // |S_i| = 2 < n - t = 3
+  EXPECT_THROW(validate_window_plan(plan, 4, 1), std::invalid_argument);
+}
+
+TEST(WindowPlanValidation, RejectsTooManyResets) {
+  WindowPlan plan;
+  plan.delivery_order.assign(4, {0, 1, 2, 3});
+  plan.resets = {0, 1};  // t = 1
+  EXPECT_THROW(validate_window_plan(plan, 4, 1), std::invalid_argument);
+}
+
+TEST(WindowPlanValidation, RejectsDuplicateSenders) {
+  WindowPlan plan;
+  plan.delivery_order.assign(4, {0, 0, 1, 2});
+  EXPECT_THROW(validate_window_plan(plan, 4, 1), std::invalid_argument);
+}
+
+TEST(WindowPlanValidation, RejectsDuplicateResets) {
+  WindowPlan plan;
+  plan.delivery_order.assign(4, {0, 1, 2, 3});
+  plan.resets = {2, 2};
+  EXPECT_THROW(validate_window_plan(plan, 4, 2), std::invalid_argument);
+}
+
+TEST(WindowPlanValidation, RejectsOutOfRangeIds) {
+  WindowPlan plan;
+  plan.delivery_order.assign(4, {0, 1, 2, 7});
+  EXPECT_THROW(validate_window_plan(plan, 4, 1), std::invalid_argument);
+  plan.delivery_order.assign(4, {0, 1, 2, 3});
+  plan.resets = {-1};
+  EXPECT_THROW(validate_window_plan(plan, 4, 1), std::invalid_argument);
+}
+
+TEST(WindowPlanValidation, RejectsWrongReceiverCount) {
+  WindowPlan plan;
+  plan.delivery_order.assign(3, {0, 1, 2, 3});
+  EXPECT_THROW(validate_window_plan(plan, 4, 1), std::invalid_argument);
+}
+
+TEST(RunAcceptableWindow, DeliversAndAdvancesWindow) {
+  const int n = 8;
+  const int t = 1;
+  Execution e = make_exec(n, t, 1);
+  adversary::FairWindowAdversary fair;
+  const int deliveries = run_acceptable_window(e, fair, t);
+  EXPECT_EQ(deliveries, n * n);  // everyone's broadcast fully delivered
+  EXPECT_EQ(e.window(), 1);
+  EXPECT_EQ(e.buffer().pending_count(), 0u);
+}
+
+TEST(RunAcceptableWindow, UndeliveredMessagesDropped) {
+  const int n = 8;
+  const int t = 1;
+  Execution e = make_exec(n, t, 1);
+  adversary::SilencerWindowAdversary silencer({0});
+  run_acceptable_window(e, silencer, t);
+  // The silenced processor's n messages were dropped at the window edge.
+  EXPECT_EQ(e.buffer().dropped_count(), static_cast<std::size_t>(n));
+}
+
+TEST(RunAcceptableWindow, AdversaryPlanIsValidated) {
+  class BadAdversary final : public WindowAdversary {
+   public:
+    WindowPlan plan_window(const Execution& exec,
+                           const std::vector<MsgId>&) override {
+      WindowPlan plan;
+      plan.delivery_order.assign(static_cast<std::size_t>(exec.n()), {});
+      return plan;  // |S_i| = 0 < n − t: illegal
+    }
+    [[nodiscard]] std::string name() const override { return "bad"; }
+  };
+  const int t = 1;
+  Execution e = make_exec(8, t, 1);
+  BadAdversary bad;
+  EXPECT_THROW(run_acceptable_window(e, bad, t), std::invalid_argument);
+}
+
+TEST(RunUntilFirstDecision, UnanimousDecidesInOneWindow) {
+  // Theorem 4 fast path: all inputs equal → decision in window 1.
+  const int n = 12;
+  const int t = 1;
+  Execution e(protocols::make_processes(ProtocolKind::Reset, t,
+                                        protocols::unanimous_inputs(n, 0)),
+              3);
+  adversary::FairWindowAdversary fair;
+  const auto windows = run_until_first_decision(e, fair, t, 100);
+  EXPECT_EQ(windows, 1);
+  EXPECT_GT(e.decided_count(), 0);
+  EXPECT_EQ(e.first_decision()->value, 0);
+}
+
+TEST(RunUntilAllDecided, EventuallyAllDecide) {
+  const int n = 12;
+  const int t = 1;
+  Execution e = make_exec(n, t, 5);
+  adversary::FairWindowAdversary fair;
+  const auto windows = run_until_all_decided(e, fair, t, 100000);
+  EXPECT_TRUE(e.all_live_decided());
+  EXPECT_TRUE(e.outputs_agree());
+  EXPECT_GT(windows, 0);
+}
+
+TEST(RunUntilFirstDecision, RespectsWindowCap) {
+  const int n = 12;
+  const int t = 1;
+  Execution e = make_exec(n, t, 5);
+  adversary::SplitKeeperAdversary keeper;
+  const auto windows = run_until_first_decision(e, keeper, t, 3);
+  EXPECT_LE(windows, 3);
+}
+
+TEST(RunAcceptableWindow, ResetPlanExecutesResets) {
+  const int n = 12;
+  const int t = 2;
+  Execution e = make_exec(n, t, 7);
+  adversary::ResetStormAdversary storm(t, Rng(1));
+  run_acceptable_window(e, storm, t);
+  EXPECT_EQ(e.total_resets(), t);
+}
+
+}  // namespace
+}  // namespace aa::sim

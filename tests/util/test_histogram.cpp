@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "util/histogram.hpp"
+
+namespace aa {
+namespace {
+
+TEST(Histogram, BucketsValues) {
+  Histogram h(10.0);
+  h.add(0.0);
+  h.add(5.0);
+  h.add(10.0);
+  h.add(25.0);
+  ASSERT_EQ(h.buckets().size(), 3u);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[2], 1u);
+  EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(Histogram, OriginShiftsBuckets) {
+  Histogram h(5.0, 100.0);
+  h.add(101.0);
+  h.add(107.0);
+  ASSERT_EQ(h.buckets().size(), 2u);
+  EXPECT_DOUBLE_EQ(h.bucket_low(0), 100.0);
+  EXPECT_DOUBLE_EQ(h.bucket_low(1), 105.0);
+}
+
+TEST(Histogram, ValuesBelowOriginClampToFirstBucket) {
+  Histogram h(1.0, 0.0);
+  h.add(-5.0);
+  ASSERT_EQ(h.buckets().size(), 1u);
+  EXPECT_EQ(h.buckets()[0], 1u);
+}
+
+TEST(Histogram, RenderContainsCountsAndBars) {
+  Histogram h(1.0);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find("##########"), std::string::npos);  // peak bucket
+  EXPECT_NE(out.find("2"), std::string::npos);
+}
+
+TEST(Histogram, RenderEmptyIsEmpty) {
+  Histogram h(1.0);
+  EXPECT_TRUE(h.render().empty());
+}
+
+TEST(Histogram, NonPositiveWidthThrows) {
+  EXPECT_THROW(Histogram(0.0), std::invalid_argument);
+  EXPECT_THROW(Histogram(-1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aa

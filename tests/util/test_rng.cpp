@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace aa {
+namespace {
+
+TEST(SplitMix64, DeterministicSequence) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro, DeterministicSequence) {
+  Xoshiro256ss a(7);
+  Xoshiro256ss b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(123);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBoolRoughlyFair) {
+  Rng r(99);
+  int heads = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    if (r.next_bool()) ++heads;
+  }
+  // 5-sigma band around the mean.
+  const double sigma = std::sqrt(trials * 0.25);
+  EXPECT_NEAR(heads, trials / 2.0, 5 * sigma);
+}
+
+TEST(Rng, UniformIntRespectsRange) {
+  Rng r(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(-3, 4);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 4);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 8u);  // every value of the range appears
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng r(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniform_int(7, 7), 7);
+}
+
+TEST(Rng, UniformIntEmptyRangeThrows) {
+  Rng r(5);
+  EXPECT_THROW((void)r.uniform_int(3, 2), std::invalid_argument);
+}
+
+TEST(Rng, UniformIndexBounds) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.uniform_index(13), 13u);
+  EXPECT_THROW((void)r.uniform_index(0), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng r(23);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    if (r.bernoulli(0.3)) ++hits;
+  }
+  const double sigma = std::sqrt(trials * 0.3 * 0.7);
+  EXPECT_NEAR(hits, trials * 0.3, 5 * sigma);
+}
+
+TEST(Rng, ForkDeterministic) {
+  Rng parent1(42);
+  Rng parent2(42);
+  Rng c1 = parent1.fork(3);
+  Rng c2 = parent2.fork(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(c1.next_u64(), c2.next_u64());
+}
+
+TEST(Rng, ForkStreamsDiffer) {
+  Rng parent(42);
+  Rng a = parent.fork(0);
+  Rng b = parent.fork(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+// Chi-square smoke test on byte uniformity of the generator output.
+TEST(Rng, ByteChiSquare) {
+  Rng r(1234);
+  std::vector<int> counts(256, 0);
+  const int draws = 65536;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[static_cast<std::size_t>(r.next_u64() & 0xFF)];
+  }
+  const double expected = draws / 256.0;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  // 255 dof: mean 255, sd ~22.6; accept within a generous band.
+  EXPECT_GT(chi2, 150.0);
+  EXPECT_LT(chi2, 400.0);
+}
+
+}  // namespace
+}  // namespace aa

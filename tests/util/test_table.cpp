@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace aa {
+namespace {
+
+TEST(Table, RenderAlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.render();
+  // Header, separator, two rows.
+  int lines = 0;
+  for (char ch : out) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("------"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RowAccess) {
+  Table t({"a"});
+  t.add_row({"v"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.cols(), 1u);
+  EXPECT_EQ(t.row(0)[0], "v");
+  EXPECT_THROW((void)t.row(1), std::invalid_argument);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"a", "b"});
+  t.add_row({"has,comma", "has\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CsvPlainCellsUnquoted) {
+  Table t({"a"});
+  t.add_row({"plain"});
+  EXPECT_EQ(t.to_csv(), "a\nplain\n");
+}
+
+TEST(Table, FmtHelpers) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt_int(-42), "-42");
+  const std::string sci = Table::fmt_sci(12345.0, 2);
+  EXPECT_NE(sci.find("e+04"), std::string::npos);
+}
+
+TEST(Table, PrintIncludesTitle) {
+  Table t({"a"});
+  t.add_row({"1"});
+  std::ostringstream os;
+  t.print(os, "My Table");
+  EXPECT_NE(os.str().find("== My Table =="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aa
