@@ -8,10 +8,12 @@
 //     but stall under the reset storm (no rejoin path).
 //   * forgetful handles fair/silencer and is slowed by the split-keeper
 //     (Theorem 17's subject).
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 
 #include "core/api.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace aa;
 
@@ -50,6 +52,47 @@ std::unique_ptr<sim::WindowAdversary> make_adv(Adv a, int t,
   return nullptr;
 }
 
+/// One matrix cell's tallies; chunk partials merge in chunk order, so the
+/// cell is bit-identical at any thread count.
+struct Cell {
+  int decided = 0;
+  int agree = 0;
+  int valid = 0;
+  RunningStats windows;
+
+  void merge(const Cell& o) {
+    decided += o.decided;
+    agree += o.agree;
+    valid += o.valid;
+    windows.merge(o.windows);
+  }
+};
+
+Cell run_cell(protocols::ProtocolKind kind, Adv a, int n, int t, int trials,
+              std::int64_t horizon, const ParallelConfig& par) {
+  std::vector<Cell> parts(static_cast<std::size_t>(chunk_count(trials, par)));
+  parallel_for_chunks(
+      trials, par, [&](int ci, std::int64_t begin, std::int64_t end) {
+        Cell& p = parts[static_cast<std::size_t>(ci)];
+        for (std::int64_t trial = begin; trial < end; ++trial) {
+          const auto seed = static_cast<std::uint64_t>(trial) + 31;
+          auto adv = make_adv(a, t, seed);
+          const auto r = core::run_window_experiment(
+              kind, protocols::split_inputs(n, 0.5), t, *adv, horizon, seed,
+              std::nullopt, /*until_all=*/true);
+          if (r.all_decided) {
+            ++p.decided;
+            p.windows.add(static_cast<double>(r.windows_total));
+          }
+          if (r.agreement) ++p.agree;
+          if (r.validity) ++p.valid;
+        }
+      });
+  Cell cell;
+  for (const Cell& p : parts) cell.merge(p);
+  return cell;
+}
+
 }  // namespace
 
 int main() {
@@ -61,41 +104,46 @@ int main() {
               "(n=%d, t=%d, split inputs, %d trials, horizon %lld windows)\n\n",
               n, t, trials, static_cast<long long>(horizon));
 
-  Table table({"protocol", "adversary", "decided", "agree", "valid",
-               "mean windows"});
   const protocols::ProtocolKind kinds[] = {
       protocols::ProtocolKind::Reset, protocols::ProtocolKind::BenOr,
       protocols::ProtocolKind::Bracha, protocols::ProtocolKind::Forgetful};
   const Adv advs[] = {Adv::Fair, Adv::Silencer, Adv::Random, Adv::ResetStorm,
                       Adv::SplitKeeper};
 
-  for (const auto kind : kinds) {
-    for (const Adv a : advs) {
-      int decided = 0;
-      int agree = 0;
-      int valid = 0;
-      RunningStats windows;
-      for (int trial = 0; trial < trials; ++trial) {
-        const auto seed = static_cast<std::uint64_t>(trial) + 31;
-        auto adv = make_adv(a, t, seed);
-        const auto r = core::run_window_experiment(
-            kind, protocols::split_inputs(n, 0.5), t, *adv, horizon, seed,
-            std::nullopt, /*until_all=*/true);
-        if (r.all_decided) {
-          ++decided;
-          windows.add(static_cast<double>(r.windows_total));
+  const auto run_matrix = [&](const ParallelConfig& par, Table* table) {
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto kind : kinds) {
+      for (const Adv a : advs) {
+        const Cell cell = run_cell(kind, a, n, t, trials, horizon, par);
+        if (table) {
+          table->add_row(
+              {protocols::protocol_kind_name(kind), adv_label(a),
+               std::to_string(cell.decided) + "/" + std::to_string(trials),
+               std::to_string(cell.agree) + "/" + std::to_string(trials),
+               std::to_string(cell.valid) + "/" + std::to_string(trials),
+               cell.decided ? Table::fmt(cell.windows.mean(), 1) : "-"});
         }
-        if (r.agreement) ++agree;
-        if (r.validity) ++valid;
       }
-      table.add_row({protocols::protocol_kind_name(kind), adv_label(a),
-                     std::to_string(decided) + "/" + std::to_string(trials),
-                     std::to_string(agree) + "/" + std::to_string(trials),
-                     std::to_string(valid) + "/" + std::to_string(trials),
-                     decided ? Table::fmt(windows.mean(), 1) : "-"});
     }
-  }
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  Table table({"protocol", "adversary", "decided", "agree", "valid",
+               "mean windows"});
+  const ParallelConfig pool{.threads = 0, .chunk_size = 1};
+  const double parallel_s = run_matrix(pool, &table);
+  const double serial_s =
+      run_matrix(ParallelConfig{.threads = 1, .chunk_size = 1}, nullptr);
   table.print(std::cout, "T2 protocol x adversary");
+
+  const int total = static_cast<int>(std::size(kinds)) *
+                    static_cast<int>(std::size(advs)) * trials;
+  std::printf("throughput (%d runs): serial %.2f runs/s, parallel(%d threads) "
+              "%.2f runs/s, speedup %.2fx\n",
+              total, total / serial_s, pool.resolved_threads(),
+              total / parallel_s, serial_s / parallel_s);
   std::printf(
       "Reading: reset-agreement terminates in every row (Theorem 4); the\n"
       "baselines keep SAFETY everywhere but lose liveness under the reset\n"

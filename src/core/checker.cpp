@@ -1,72 +1,129 @@
 #include "core/checker.hpp"
 
+#include <algorithm>
+
 #include "util/stats.hpp"
 
 namespace aa::core {
+
+namespace {
+
+/// Verdict of one trial, stripped to what the report needs. `metric` is the
+/// model's decision-cost measure (windows to first decision / chain length).
+struct TrialOutcome {
+  bool agreement = true;
+  bool validity = true;
+  bool decided = false;
+  bool all_decided = false;
+  double metric = 0.0;
+};
+
+/// Shared trial engine: run `trial(seed0 + i)` for i in [0, trials), sharded
+/// into fixed chunks across `par` workers. Partial tallies are merged
+/// serially in chunk order, so the report — including the floating-point
+/// metric mean — is bit-identical at any thread count. Returns the report
+/// with the merged metric mean in `mean_windows_to_first`.
+template <typename RunTrial>
+MeasureOneReport run_measure_one(int trials, std::uint64_t seed0,
+                                 const ParallelConfig& par,
+                                 const RunTrial& trial) {
+  struct Partial {
+    int agreement_violations = 0;
+    int validity_violations = 0;
+    int decided_runs = 0;
+    int all_decided_runs = 0;
+    RunningStats metric;
+    std::vector<std::uint64_t> violating_seeds;
+  };
+  std::vector<Partial> parts(
+      static_cast<std::size_t>(chunk_count(trials, par)));
+
+  parallel_for_chunks(
+      trials, par,
+      [&](int ci, std::int64_t begin, std::int64_t end) {
+        Partial& p = parts[static_cast<std::size_t>(ci)];
+        for (std::int64_t i = begin; i < end; ++i) {
+          const std::uint64_t seed = seed0 + static_cast<std::uint64_t>(i);
+          const TrialOutcome o = trial(seed);
+          bool bad = false;
+          if (!o.agreement) {
+            ++p.agreement_violations;
+            bad = true;
+          }
+          if (!o.validity) {
+            ++p.validity_violations;
+            bad = true;
+          }
+          if (bad) p.violating_seeds.push_back(seed);
+          if (o.decided) {
+            ++p.decided_runs;
+            p.metric.add(o.metric);
+          }
+          if (o.all_decided) ++p.all_decided_runs;
+        }
+      });
+
+  MeasureOneReport rep;
+  rep.trials = trials;
+  RunningStats metric;
+  for (const Partial& p : parts) {
+    rep.agreement_violations += p.agreement_violations;
+    rep.validity_violations += p.validity_violations;
+    rep.decided_runs += p.decided_runs;
+    rep.all_decided_runs += p.all_decided_runs;
+    metric.merge(p.metric);
+    rep.violating_seeds.insert(rep.violating_seeds.end(),
+                               p.violating_seeds.begin(),
+                               p.violating_seeds.end());
+  }
+  std::sort(rep.violating_seeds.begin(), rep.violating_seeds.end());
+  rep.mean_windows_to_first = metric.mean();
+  return rep;
+}
+
+}  // namespace
 
 MeasureOneReport check_measure_one_window(
     protocols::ProtocolKind kind, const std::vector<int>& inputs, int t,
     const WindowAdversaryFactory& make_adversary, int trials,
     std::int64_t max_windows, std::uint64_t seed0,
-    std::optional<protocols::Thresholds> th) {
-  MeasureOneReport rep;
-  rep.trials = trials;
-  RunningStats windows;
-  for (int i = 0; i < trials; ++i) {
-    const std::uint64_t seed = seed0 + static_cast<std::uint64_t>(i);
+    std::optional<protocols::Thresholds> th, const ParallelConfig& par) {
+  return run_measure_one(trials, seed0, par, [&](std::uint64_t seed) {
     auto adv = make_adversary(seed);
     const WindowRunResult r = run_window_experiment(
         kind, inputs, t, *adv, max_windows, seed, th, /*until_all=*/true);
-    bool bad = false;
-    if (!r.agreement) {
-      ++rep.agreement_violations;
-      bad = true;
-    }
-    if (!r.validity) {
-      ++rep.validity_violations;
-      bad = true;
-    }
-    if (bad) rep.violating_seeds.push_back(seed);
-    if (r.decided) {
-      ++rep.decided_runs;
-      windows.add(static_cast<double>(r.windows_to_first));
-    }
-    if (r.all_decided) ++rep.all_decided_runs;
-  }
-  rep.mean_windows_to_first = windows.mean();
-  return rep;
+    TrialOutcome o;
+    o.agreement = r.agreement;
+    o.validity = r.validity;
+    o.decided = r.decided;
+    o.all_decided = r.all_decided;
+    o.metric = static_cast<double>(r.windows_to_first);
+    return o;
+  });
 }
 
 MeasureOneReport check_measure_one_async(
     protocols::ProtocolKind kind, const std::vector<int>& inputs, int t,
     const AsyncAdversaryFactory& make_adversary, int trials,
     std::int64_t max_deliveries, std::uint64_t seed0,
-    std::optional<protocols::Thresholds> th) {
-  MeasureOneReport rep;
-  rep.trials = trials;
-  RunningStats chains;
-  for (int i = 0; i < trials; ++i) {
-    const std::uint64_t seed = seed0 + static_cast<std::uint64_t>(i);
-    auto adv = make_adversary(seed);
-    const AsyncRunOutcome r = run_async_experiment(
-        kind, inputs, t, *adv, max_deliveries, seed, th, /*until_all=*/true);
-    bool bad = false;
-    if (!r.agreement) {
-      ++rep.agreement_violations;
-      bad = true;
-    }
-    if (!r.validity) {
-      ++rep.validity_violations;
-      bad = true;
-    }
-    if (bad) rep.violating_seeds.push_back(seed);
-    if (r.decided) {
-      ++rep.decided_runs;
-      chains.add(static_cast<double>(r.chain_at_decision));
-    }
-    if (r.all_decided) ++rep.all_decided_runs;
-  }
-  rep.mean_windows_to_first = chains.mean();
+    std::optional<protocols::Thresholds> th, const ParallelConfig& par) {
+  MeasureOneReport rep =
+      run_measure_one(trials, seed0, par, [&](std::uint64_t seed) {
+        auto adv = make_adversary(seed);
+        const AsyncRunOutcome r = run_async_experiment(
+            kind, inputs, t, *adv, max_deliveries, seed, th,
+            /*until_all=*/true);
+        TrialOutcome o;
+        o.agreement = r.agreement;
+        o.validity = r.validity;
+        o.decided = r.decided;
+        o.all_decided = r.all_decided;
+        o.metric = static_cast<double>(r.chain_at_decision);
+        return o;
+      });
+  // The async decision metric is the message-chain length. It also stays in
+  // mean_windows_to_first, which older callers read.
+  rep.mean_chain_at_decision = rep.mean_windows_to_first;
   return rep;
 }
 

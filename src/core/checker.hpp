@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/harness.hpp"
+#include "util/thread_pool.hpp"
 
 namespace aa::core {
 
@@ -30,8 +31,14 @@ struct MeasureOneReport {
   int validity_violations = 0;
   int decided_runs = 0;        ///< trials where some processor decided
   int all_decided_runs = 0;    ///< trials where all live processors decided
-  double mean_windows_to_first = 0.0;  ///< over deciding runs
-  std::vector<std::uint64_t> violating_seeds;
+  /// Mean windows to the first decision, over deciding runs (window model).
+  /// For compatibility the async checker also stores its mean chain length
+  /// here; prefer mean_chain_at_decision for async results.
+  double mean_windows_to_first = 0.0;
+  /// Mean message-chain length at the first decision, over deciding runs
+  /// (async model; 0 for window-model reports).
+  double mean_chain_at_decision = 0.0;
+  std::vector<std::uint64_t> violating_seeds;  ///< ascending
 
   [[nodiscard]] bool clean() const noexcept {
     return agreement_violations == 0 && validity_violations == 0;
@@ -40,17 +47,21 @@ struct MeasureOneReport {
 
 /// Window-model checker: `trials` runs of `kind` on `inputs` with budget t,
 /// each for at most `max_windows` windows, seeds seed0, seed0+1, ...
+/// Trials are sharded across `par.threads` workers; the report is
+/// bit-identical at any thread count (see util/thread_pool.hpp).
 [[nodiscard]] MeasureOneReport check_measure_one_window(
     protocols::ProtocolKind kind, const std::vector<int>& inputs, int t,
     const WindowAdversaryFactory& make_adversary, int trials,
     std::int64_t max_windows, std::uint64_t seed0,
-    std::optional<protocols::Thresholds> th = std::nullopt);
+    std::optional<protocols::Thresholds> th = std::nullopt,
+    const ParallelConfig& par = {});
 
 /// Async crash-model checker, same shape.
 [[nodiscard]] MeasureOneReport check_measure_one_async(
     protocols::ProtocolKind kind, const std::vector<int>& inputs, int t,
     const AsyncAdversaryFactory& make_adversary, int trials,
     std::int64_t max_deliveries, std::uint64_t seed0,
-    std::optional<protocols::Thresholds> th = std::nullopt);
+    std::optional<protocols::Thresholds> th = std::nullopt,
+    const ParallelConfig& par = {});
 
 }  // namespace aa::core

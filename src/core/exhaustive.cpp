@@ -1,6 +1,8 @@
 #include "core/exhaustive.hpp"
 
+#include <algorithm>
 #include <array>
+#include <memory>
 #include <queue>
 #include <set>
 
@@ -55,6 +57,46 @@ std::vector<std::vector<bool>> subsets_with_popcount(int n, int lo, int hi) {
   return out;
 }
 
+/// All successors of `c` in the canonical enumeration order (delivery sets,
+/// then coin vectors, then reset sets). Pure: safe to call concurrently for
+/// distinct frontier configurations.
+std::vector<AbstractConfig> expand_config(
+    const AbstractConfig& c, int t, const protocols::Thresholds& th,
+    const std::vector<std::vector<bool>>& s_choices,
+    const std::vector<std::vector<bool>>& r_choices) {
+  const int n = c.n();
+  std::vector<AbstractConfig> out;
+  for (const auto& in_s : s_choices) {
+    // Which processors flip coins is a function of (c, S) only; the
+    // reset set R never affects the tally. Enumerate coin vectors once
+    // per (c, S) and apply every R to each outcome.
+    const std::vector<bool> flips = coin_flippers(c, in_s, th);
+    std::vector<int> flip_ids;
+    for (int i = 0; i < n; ++i) {
+      if (flips[static_cast<std::size_t>(i)]) flip_ids.push_back(i);
+    }
+    AA_CHECK(flip_ids.size() <= 20,
+             "exhaustive checker: too many simultaneous coins");
+    const std::uint32_t coin_combos = 1u
+                                      << static_cast<int>(flip_ids.size());
+    for (std::uint32_t coins = 0; coins < coin_combos; ++coins) {
+      const auto coin_for = [&](int proc) {
+        for (std::size_t j = 0; j < flip_ids.size(); ++j) {
+          if (flip_ids[j] == proc)
+            return (coins >> j) & 1u ? 1 : 0;
+        }
+        AA_CHECK(false, "coin requested for non-flipping processor");
+        return 0;
+      };
+      for (const auto& in_r : r_choices) {
+        out.push_back(
+            apply_abstract_window_det(c, in_r, in_s, th, t, coin_for));
+      }
+    }
+  }
+  return out;
+}
+
 ExhaustiveReport explore(int t, const protocols::Thresholds& th,
                          const AbstractConfig& start,
                          const std::array<bool, 2>& valid_values,
@@ -73,45 +115,51 @@ ExhaustiveReport explore(int t, const protocols::Thresholds& th,
   report.configs_explored = 1;
   if (!check_invariants(start, valid_values, report)) return report;
 
+  // Successor generation (the apply_abstract_window_det sweep) runs in
+  // parallel over blocks of frontier configurations; dedup, invariant
+  // checks, and the transition count happen in a serial merge pass that
+  // walks candidates in exactly the order the serial loop would generate
+  // them. Early exits (violation found, budget exhausted) fire at the same
+  // candidate regardless of thread count, so reports are bit-identical —
+  // parallelism only ever wastes a little generation work past the exit.
+  // Peak memory is one block of expanded successor lists (block size =
+  // worker count, the minimum that keeps every worker busy); one pool is
+  // reused across all blocks and depths.
+  ParallelConfig gen = options.parallel;
+  gen.chunk_size = 1;  // one frontier configuration is already a big job
+  const int block = gen.resolved_threads();
+  std::unique_ptr<ThreadPool> pool;
+  if (block > 1) pool = std::make_unique<ThreadPool>(block);
+
   for (int depth = 0; depth < options.max_depth; ++depth) {
     std::vector<AbstractConfig> next_frontier;
-    for (const AbstractConfig& c : frontier) {
-      for (const auto& in_s : s_choices) {
-        // Which processors flip coins is a function of (c, S) only; the
-        // reset set R never affects the tally. Enumerate coin vectors once
-        // per (c, S) and apply every R to each outcome.
-        const std::vector<bool> flips = coin_flippers(c, in_s, th);
-        std::vector<int> flip_ids;
-        for (int i = 0; i < n; ++i) {
-          if (flips[static_cast<std::size_t>(i)]) flip_ids.push_back(i);
-        }
-        AA_CHECK(flip_ids.size() <= 20,
-                 "exhaustive checker: too many simultaneous coins");
-        const std::uint32_t coin_combos = 1u
-                                          << static_cast<int>(flip_ids.size());
-        for (std::uint32_t coins = 0; coins < coin_combos; ++coins) {
-          const auto coin_for = [&](int proc) {
-            for (std::size_t j = 0; j < flip_ids.size(); ++j) {
-              if (flip_ids[j] == proc)
-                return (coins >> j) & 1u ? 1 : 0;
+    const int frontier_size = static_cast<int>(frontier.size());
+    for (int base = 0; base < frontier_size; base += block) {
+      const int count = std::min(block, frontier_size - base);
+      std::vector<std::vector<AbstractConfig>> produced(
+          static_cast<std::size_t>(count));
+      parallel_for_chunks(
+          count, gen,
+          [&](int, std::int64_t begin, std::int64_t end) {
+            for (std::int64_t fi = begin; fi < end; ++fi) {
+              produced[static_cast<std::size_t>(fi)] = expand_config(
+                  frontier[static_cast<std::size_t>(base + fi)], t, th,
+                  s_choices, r_choices);
             }
-            AA_CHECK(false, "coin requested for non-flipping processor");
-            return 0;
-          };
-          for (const auto& in_r : r_choices) {
-            ++report.transitions;
-            AbstractConfig next =
-                apply_abstract_window_det(c, in_r, in_s, th, t, coin_for);
-            Key k = key_of(next);
-            if (!seen.insert(std::move(k)).second) continue;
-            ++report.configs_explored;
-            if (!check_invariants(next, valid_values, report)) return report;
-            next_frontier.push_back(std::move(next));
-            if (seen.size() >= options.max_configs) {
-              report.budget_exhausted = true;
-              report.depth_completed = depth;
-              return report;
-            }
+          },
+          pool.get());
+      for (std::vector<AbstractConfig>& candidates : produced) {
+        for (AbstractConfig& next : candidates) {
+          ++report.transitions;
+          Key k = key_of(next);
+          if (!seen.insert(std::move(k)).second) continue;
+          ++report.configs_explored;
+          if (!check_invariants(next, valid_values, report)) return report;
+          next_frontier.push_back(std::move(next));
+          if (seen.size() >= options.max_configs) {
+            report.budget_exhausted = true;
+            report.depth_completed = depth;
+            return report;
           }
         }
       }

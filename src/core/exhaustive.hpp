@@ -24,12 +24,17 @@
 
 #include "core/zsets.hpp"
 #include "protocols/thresholds.hpp"
+#include "util/thread_pool.hpp"
 
 namespace aa::core {
 
 struct ExhaustiveOptions {
   int max_depth = 3;                  ///< windows to unroll
   std::size_t max_configs = 200000;   ///< exploration budget (dedup'd)
+  /// Successor generation (the expensive part) is sharded across these
+  /// workers; dedup + invariant checking stays serial in canonical order,
+  /// so the report is bit-identical at any thread count.
+  ParallelConfig parallel = {};
 };
 
 struct ExhaustiveReport {

@@ -53,12 +53,13 @@ ByzantineRunResult run_byzantine_window_experiment(
     protocols::ProtocolKind kind, const std::vector<int>& inputs, int t,
     int byz_count, protocols::ByzantineStrategy strategy,
     sim::WindowAdversary& adversary, std::int64_t max_windows,
-    std::uint64_t seed) {
+    std::uint64_t seed, const std::vector<sim::ProcId>& pre_crashed) {
   const int n = static_cast<int>(inputs.size());
   sim::Execution exec(
       protocols::make_byzantine_processes(kind, t, inputs, byz_count,
                                           strategy, seed ^ 0xb52b52b52ULL),
       seed);
+  for (const sim::ProcId p : pre_crashed) exec.crash(p);
 
   ByzantineRunResult r;
   auto honest_done = [&] {
@@ -82,6 +83,9 @@ ByzantineRunResult run_byzantine_window_experiment(
   int seen = sim::kBot;
   r.honest_all_decided = true;
   for (sim::ProcId p = byz_count; p < n; ++p) {
+    // Same exemption as honest_done(): a crashed honest processor owes no
+    // output, so its kBot must not count as "not all decided".
+    if (exec.crashed(p)) continue;
     const int o = exec.output(p);
     if (o == sim::kBot) {
       r.honest_all_decided = false;

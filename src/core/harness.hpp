@@ -64,9 +64,10 @@ struct AsyncRunOutcome {
                                   const std::vector<int>& inputs);
 
 /// Outcome of a run with Byzantine (value-lying) processors; the verdicts
-/// quantify over HONEST processors only (ids ≥ byz_count).
+/// quantify over HONEST, NON-CRASHED processors only (ids ≥ byz_count that
+/// never crashed — a crashed processor owes no output).
 struct ByzantineRunResult {
-  int honest_decided = 0;        ///< honest processors with written outputs
+  int honest_decided = 0;        ///< live honest processors with outputs
   bool honest_all_decided = false;
   bool honest_agreement = true;  ///< no two honest outputs conflict
   bool honest_validity = true;   ///< honest outputs ∈ honest input values
@@ -77,10 +78,13 @@ struct ByzantineRunResult {
 /// wrapped in protocols::ByzantineProcess with `strategy`. The adversary's
 /// budget `t` applies as usual (silencing/resets); Byzantine lying comes on
 /// top — this measures the §2 incomparability (experiment T4).
+/// `pre_crashed` processors are crashed before the first window (a
+/// crash+Byzantine hybrid schedule); crashed honest processors are exempt
+/// from the honest_all_decided verdict.
 [[nodiscard]] ByzantineRunResult run_byzantine_window_experiment(
     protocols::ProtocolKind kind, const std::vector<int>& inputs, int t,
     int byz_count, protocols::ByzantineStrategy strategy,
     sim::WindowAdversary& adversary, std::int64_t max_windows,
-    std::uint64_t seed);
+    std::uint64_t seed, const std::vector<sim::ProcId>& pre_crashed = {});
 
 }  // namespace aa::core

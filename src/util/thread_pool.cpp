@@ -1,0 +1,120 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace aa {
+
+int ParallelConfig::resolved_threads() const noexcept {
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? static_cast<int>(hw) : 1;
+  }
+  return std::max(1, threads);
+}
+
+int chunk_count(std::int64_t total, const ParallelConfig& cfg) {
+  if (total <= 0) return 0;
+  const std::int64_t chunk = std::max(1, cfg.chunk_size);
+  const std::int64_t count = (total + chunk - 1) / chunk;
+  AA_REQUIRE(count <= std::numeric_limits<int>::max(),
+             "chunk_count: too many chunks — use a larger chunk_size");
+  return static_cast<int>(count);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  AA_REQUIRE(threads >= 1, "ThreadPool: need at least one worker");
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    AA_REQUIRE(!stopping_, "ThreadPool: submit after shutdown");
+    jobs_.push(std::move(job));
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_idle_.wait(lock, [this] { return jobs_.empty() && in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr e = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // stopping_ with a drained queue
+      job = std::move(jobs_.front());
+      jobs_.pop();
+      ++in_flight_;
+    }
+    try {
+      job();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (jobs_.empty() && in_flight_ == 0) all_idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for_chunks(
+    std::int64_t total, const ParallelConfig& cfg,
+    const std::function<void(int, std::int64_t, std::int64_t)>& body,
+    ThreadPool* pool) {
+  const int chunks = chunk_count(total, cfg);
+  if (chunks == 0) return;
+  const std::int64_t chunk = std::max(1, cfg.chunk_size);
+  const auto run_chunk = [&](int ci) {
+    const std::int64_t begin = static_cast<std::int64_t>(ci) * chunk;
+    const std::int64_t end = std::min(total, begin + chunk);
+    body(ci, begin, end);
+  };
+
+  const int workers = std::min(cfg.resolved_threads(), chunks);
+  if (workers <= 1) {
+    for (int ci = 0; ci < chunks; ++ci) run_chunk(ci);
+    return;
+  }
+  const auto dispatch = [&](ThreadPool& p) {
+    for (int ci = 0; ci < chunks; ++ci) {
+      p.submit([&run_chunk, ci] { run_chunk(ci); });
+    }
+    p.wait_idle();
+  };
+  if (pool) {
+    dispatch(*pool);
+  } else {
+    ThreadPool local(workers);
+    dispatch(local);
+  }
+}
+
+}  // namespace aa

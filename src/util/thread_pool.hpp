@@ -1,0 +1,92 @@
+// Worker-thread pool and deterministic work sharding for the trial engines.
+//
+// Parallel Monte-Carlo here rests on two invariants:
+//
+//  1. Per-trial independence — trial i draws every bit of randomness from
+//     its own Rng(seed0 + i) stream (util/rng.hpp), so trials can run on
+//     any thread in any order without perturbing each other.
+//  2. Thread-count-independent merging — work is split into FIXED-SIZE
+//     chunks whose boundaries depend only on (total, chunk_size), never on
+//     the worker count, and per-chunk partial results are merged serially
+//     in chunk order. The floating-point reduction tree is therefore
+//     identical for 1, 2, or 64 threads, making reports bit-identical at
+//     any thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace aa {
+
+/// Sharding knob threaded through the trial engines (checker, exhaustive,
+/// benches).
+struct ParallelConfig {
+  /// Worker threads: 1 runs everything inline on the calling thread
+  /// (serial semantics, no pool), 0 means one worker per hardware thread,
+  /// n > 1 means exactly n workers.
+  int threads = 1;
+  /// Work items per chunk. Chunk boundaries — and therefore the merge
+  /// order of partial results — are a function of (total, chunk_size)
+  /// alone, which is what keeps results independent of `threads`.
+  int chunk_size = 32;
+
+  /// `threads` with 0 resolved to the hardware concurrency (≥ 1).
+  [[nodiscard]] int resolved_threads() const noexcept;
+};
+
+/// Number of chunks parallel_for_chunks will produce for `total` items.
+/// Throws if the count does not fit in int (raise chunk_size instead).
+[[nodiscard]] int chunk_count(std::int64_t total, const ParallelConfig& cfg);
+
+/// A plain FIFO thread pool: `submit` enqueues a job, `wait_idle` blocks
+/// until the queue is drained and every worker is between jobs. The first
+/// exception thrown by a job is captured and rethrown from wait_idle().
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> job);
+  void wait_idle();
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_idle_;
+  std::queue<std::function<void()>> jobs_;
+  std::vector<std::thread> workers_;
+  std::exception_ptr first_error_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Partition [0, total) into chunk_count(total, cfg) fixed chunks and call
+/// `body(chunk_index, begin, end)` once per chunk — inline and in order
+/// when cfg resolves to one thread, across a pool otherwise. Distinct
+/// chunks run concurrently; `body` must not touch another chunk's state.
+/// Rethrows the first exception any chunk raised.
+///
+/// Callers that invoke this in a loop should pass a long-lived `pool` to
+/// avoid a thread spawn/join cycle per call; the pool must not be shared
+/// with concurrent submitters (wait_idle waits for ALL of its jobs). With
+/// no pool a temporary one is created when cfg warrants it.
+void parallel_for_chunks(
+    std::int64_t total, const ParallelConfig& cfg,
+    const std::function<void(int, std::int64_t, std::int64_t)>& body,
+    ThreadPool* pool = nullptr);
+
+}  // namespace aa

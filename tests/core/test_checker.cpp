@@ -24,6 +24,8 @@ TEST(MeasureOneWindow, ResetAgreementCleanUnderRandomAdversary) {
   EXPECT_EQ(rep.trials, 30);
   EXPECT_EQ(rep.all_decided_runs, 30);  // termination in every trial
   EXPECT_GT(rep.mean_windows_to_first, 0.0);
+  // Window-model reports have no chain metric.
+  EXPECT_EQ(rep.mean_chain_at_decision, 0.0);
 }
 
 TEST(MeasureOneWindow, ResetAgreementCleanUnderResetStorm) {
@@ -74,6 +76,10 @@ TEST(MeasureOneAsync, BenOrCleanUnderCrashes) {
       15, 5'000'000, 4000);
   EXPECT_TRUE(rep.clean());
   EXPECT_EQ(rep.decided_runs, 15);
+  // The async decision metric is the message-chain length; the legacy
+  // mean_windows_to_first mirrors it for compatibility.
+  EXPECT_GT(rep.mean_chain_at_decision, 0.0);
+  EXPECT_EQ(rep.mean_chain_at_decision, rep.mean_windows_to_first);
 }
 
 TEST(MeasureOneAsync, ForgetfulCleanUnderRandomScheduler) {

@@ -102,6 +102,39 @@ TEST(CheckValidity, FlagsOutputNotAmongInputs) {
   EXPECT_FALSE(check_validity(exec, protocols::unanimous_inputs(12, 1)));
 }
 
+TEST(ByzantineHarness, CrashedHonestProcessorDoesNotBlockAllDecided) {
+  // Regression: the final verdict used to count a crashed honest
+  // processor's kBot output as "not all decided" even though the run loop
+  // (honest_done) deliberately exempts crashed processors. Crash one honest
+  // processor up front; every live processor decides, so the verdict must
+  // be honest_all_decided = true with n - 1 deciders.
+  const int n = 13;
+  const int t = 2;
+  adversary::FairWindowAdversary fair;
+  const ByzantineRunResult r = run_byzantine_window_experiment(
+      ProtocolKind::Reset, protocols::split_inputs(n, 0.5), t,
+      /*byz_count=*/0, protocols::ByzantineStrategy::Silent, fair,
+      /*max_windows=*/100000, /*seed=*/7, /*pre_crashed=*/{0});
+  EXPECT_TRUE(r.honest_all_decided);
+  EXPECT_EQ(r.honest_decided, n - 1);
+  EXPECT_TRUE(r.honest_agreement);
+  EXPECT_TRUE(r.honest_validity);
+}
+
+TEST(ByzantineHarness, NoPreCrashStillCountsEveryone) {
+  // Companion to the regression above: with nobody crashed the verdict
+  // quantifies over all n processors, same as before the fix.
+  const int n = 13;
+  const int t = 2;
+  adversary::FairWindowAdversary fair;
+  const ByzantineRunResult r = run_byzantine_window_experiment(
+      ProtocolKind::Reset, protocols::split_inputs(n, 0.5), t,
+      /*byz_count=*/0, protocols::ByzantineStrategy::Silent, fair,
+      /*max_windows=*/100000, /*seed=*/7);
+  EXPECT_TRUE(r.honest_all_decided);
+  EXPECT_EQ(r.honest_decided, n);
+}
+
 TEST(CheckAgreement, TrueOnAgreeingRun) {
   adversary::FairWindowAdversary fair;
   sim::Execution exec(

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace aa {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  ThreadPool pool(4);
+  std::atomic<int> hits{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&hits] { hits.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(hits.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> hits{0};
+  pool.submit([&hits] { ++hits; });
+  pool.wait_idle();
+  EXPECT_EQ(hits.load(), 1);
+  pool.submit([&hits] { ++hits; });
+  pool.submit([&hits] { ++hits; });
+  pool.wait_idle();
+  EXPECT_EQ(hits.load(), 3);
+}
+
+TEST(ThreadPool, PropagatesJobException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+}
+
+TEST(ParallelConfig, ResolvesThreadCounts) {
+  EXPECT_EQ(ParallelConfig{}.resolved_threads(), 1);
+  EXPECT_EQ((ParallelConfig{.threads = 3}).resolved_threads(), 3);
+  EXPECT_GE((ParallelConfig{.threads = 0}).resolved_threads(), 1);
+  EXPECT_EQ((ParallelConfig{.threads = -5}).resolved_threads(), 1);
+}
+
+TEST(ParallelForChunks, ChunkingDependsOnlyOnTotalAndChunkSize) {
+  // 100 items in chunks of 32 → 4 chunks, whatever the thread count says.
+  for (const int threads : {1, 2, 8}) {
+    const ParallelConfig cfg{.threads = threads, .chunk_size = 32};
+    EXPECT_EQ(chunk_count(100, cfg), 4);
+    EXPECT_EQ(chunk_count(0, cfg), 0);
+    EXPECT_EQ(chunk_count(1, cfg), 1);
+    EXPECT_EQ(chunk_count(32, cfg), 1);
+    EXPECT_EQ(chunk_count(33, cfg), 2);
+  }
+}
+
+TEST(ParallelForChunks, CoversEveryIndexExactlyOnce) {
+  for (const int threads : {1, 3, 8}) {
+    const ParallelConfig cfg{.threads = threads, .chunk_size = 7};
+    const std::int64_t total = 95;
+    std::vector<std::atomic<int>> visits(static_cast<std::size_t>(total));
+    parallel_for_chunks(total, cfg,
+                        [&](int, std::int64_t begin, std::int64_t end) {
+                          for (std::int64_t i = begin; i < end; ++i) {
+                            ++visits[static_cast<std::size_t>(i)];
+                          }
+                        });
+    for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+  }
+}
+
+TEST(ParallelForChunks, ChunkIndexMatchesRange) {
+  const ParallelConfig cfg{.threads = 4, .chunk_size = 10};
+  std::vector<std::pair<std::int64_t, std::int64_t>> ranges(
+      static_cast<std::size_t>(chunk_count(42, cfg)));
+  parallel_for_chunks(42, cfg,
+                      [&](int ci, std::int64_t begin, std::int64_t end) {
+                        ranges[static_cast<std::size_t>(ci)] = {begin, end};
+                      });
+  ASSERT_EQ(ranges.size(), 5u);
+  for (std::size_t ci = 0; ci < ranges.size(); ++ci) {
+    EXPECT_EQ(ranges[ci].first, static_cast<std::int64_t>(ci) * 10);
+    EXPECT_EQ(ranges[ci].second,
+              std::min<std::int64_t>(42, (static_cast<std::int64_t>(ci) + 1) * 10));
+  }
+}
+
+TEST(ParallelForChunks, PropagatesBodyException) {
+  const ParallelConfig cfg{.threads = 4, .chunk_size = 1};
+  EXPECT_THROW(
+      parallel_for_chunks(16, cfg,
+                          [](int ci, std::int64_t, std::int64_t) {
+                            if (ci == 7) throw std::runtime_error("chunk 7");
+                          }),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace aa
