@@ -1,6 +1,14 @@
 // Experiment M1 (DESIGN.md): engineering micro-benchmarks via
 // google-benchmark — simulator substrate throughput.
+//
+// Unless the caller passes its own --benchmark_out, results are also
+// written to BENCH_m1_sim_micro.json (google-benchmark's JSON schema) so
+// the perf trajectory is machine-readable alongside the other benches.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/api.hpp"
 
@@ -18,7 +26,8 @@ void BM_BufferAddDeliver(benchmark::State& state) {
       for (int r = 0; r < n; ++r) buf.add(s, r, m, 0, 1);
     }
     for (int r = 0; r < n; ++r) {
-      for (sim::MsgId id : buf.pending_to(r)) buf.mark_delivered(id);
+      for (const sim::Envelope& env : buf.pending_to(r))
+        buf.mark_delivered(env.id);
     }
     benchmark::DoNotOptimize(buf.delivered_count());
   }
@@ -127,4 +136,23 @@ BENCHMARK(BM_RngThroughput);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_m1_sim_micro.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,256 @@
+// Experiment M2: long-horizon window throughput — the O(history) kill.
+//
+// Before this bench existed, every window paid costs proportional to the
+// whole execution history: end_window() scanned every envelope ever sent
+// and the buffer's memory grew without bound. The recycling arena makes a
+// steady-state window O(live messages) with flat memory. This bench proves
+// both claims on a 10k-window, n = 32 run:
+//
+//   1. engine runs (reset-agreement under split-keeper / fair adversaries):
+//      sustained windows/sec and deliveries/sec, plus the arena high-water
+//      mark sampled early and late — identical samples ⇒ flat live memory;
+//   2. a buffer-level A/B against a faithful replica of the pre-PR
+//      append-only MessageBuffer driven with the identical add / deliver /
+//      end-of-window-drop schedule — the reported speedup is the data
+//      structure delta alone.
+//
+// Writes BENCH_m2_window_horizon.json (see bench_json.hpp).
+//
+//   ./build/bench/bench_m2_window_horizon [--smoke]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "core/api.hpp"
+
+using namespace aa;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// ---- faithful replica of the pre-PR append-only buffer -------------------
+// Mirrors the seed's MessageBuffer: envelopes and states accumulate forever;
+// pending_to scans the receiver's full id history, pending_in_window scans
+// EVERY envelope ever sent. Kept here (not in the library) purely as the
+// bench baseline.
+class LegacyBuffer {
+ public:
+  explicit LegacyBuffer(int n) : by_receiver_(static_cast<std::size_t>(n)) {}
+
+  sim::MsgId add(sim::ProcId sender, sim::ProcId receiver,
+                 const sim::Message& payload, std::int64_t window,
+                 std::int64_t chain) {
+    const sim::MsgId id = static_cast<sim::MsgId>(all_.size());
+    all_.push_back(sim::Envelope{id, sender, receiver, payload, window, chain});
+    state_.push_back(State::Pending);
+    by_receiver_[static_cast<std::size_t>(receiver)].push_back(id);
+    ++pending_;
+    return id;
+  }
+
+  void mark_delivered(sim::MsgId id) {
+    state_[static_cast<std::size_t>(id)] = State::Delivered;
+    --pending_;
+  }
+
+  [[nodiscard]] std::vector<sim::MsgId> pending_to(sim::ProcId receiver) const {
+    std::vector<sim::MsgId> out;
+    for (sim::MsgId id : by_receiver_[static_cast<std::size_t>(receiver)]) {
+      if (state_[static_cast<std::size_t>(id)] == State::Pending)
+        out.push_back(id);
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::vector<sim::MsgId> pending_in_window(std::int64_t w) const {
+    std::vector<sim::MsgId> out;
+    for (std::size_t i = 0; i < all_.size(); ++i) {
+      if (state_[i] == State::Pending && all_[i].window == w)
+        out.push_back(static_cast<sim::MsgId>(i));
+    }
+    return out;
+  }
+
+  void drop_pending_in_window(std::int64_t w) {
+    for (sim::MsgId id : pending_in_window(w)) {
+      state_[static_cast<std::size_t>(id)] = State::Dropped;
+      --pending_;
+      ++dropped_;
+    }
+  }
+
+  [[nodiscard]] std::size_t total_sent() const { return all_.size(); }
+  [[nodiscard]] std::size_t dropped_count() const { return dropped_; }
+  [[nodiscard]] std::size_t bytes_resident() const {
+    return all_.capacity() * sizeof(sim::Envelope) + state_.capacity();
+  }
+
+ private:
+  enum class State : std::uint8_t { Pending, Delivered, Dropped };
+  std::vector<sim::Envelope> all_;
+  std::vector<State> state_;
+  std::vector<std::vector<sim::MsgId>> by_receiver_;
+  std::size_t pending_ = 0;
+  std::size_t dropped_ = 0;
+};
+
+/// The synthetic per-window schedule both buffers run: n² adds, deliver the
+/// messages aimed at even receivers, window-drop the rest.
+template <typename Buffer>
+std::size_t drive_buffer(Buffer& buf, int n, std::int64_t windows) {
+  sim::Message m;
+  m.kind = 1;
+  std::size_t delivered = 0;
+  for (std::int64_t w = 0; w < windows; ++w) {
+    for (int s = 0; s < n; ++s) {
+      for (int r = 0; r < n; ++r) buf.add(s, r, m, w, 1);
+    }
+    for (int r = 0; r < n; r += 2) {
+      if constexpr (std::is_same_v<Buffer, LegacyBuffer>) {
+        for (sim::MsgId id : buf.pending_to(r)) {
+          buf.mark_delivered(id);
+          ++delivered;
+        }
+      } else {
+        for (const sim::Envelope& env : buf.pending_to(r)) {
+          buf.mark_delivered(env.id);
+          ++delivered;
+        }
+      }
+    }
+    buf.drop_pending_in_window(w);
+  }
+  return delivered;
+}
+
+struct EngineRun {
+  double seconds = 0;
+  std::int64_t deliveries = 0;
+  std::size_t slots_early = 0;  ///< arena high-water mark at W/10
+  std::size_t slots_late = 0;   ///< ... and at W
+  std::size_t total_sent = 0;
+};
+
+EngineRun run_engine(sim::WindowAdversary& adv, int n, int t,
+                     std::int64_t windows) {
+  sim::Execution exec(
+      protocols::make_processes(protocols::ProtocolKind::Reset, t,
+                                protocols::split_inputs(n, 0.5)),
+      42);
+  EngineRun out;
+  const auto start = std::chrono::steady_clock::now();
+  const std::int64_t early = windows / 10 > 0 ? windows / 10 : 1;
+  for (std::int64_t w = 0; w < windows; ++w) {
+    out.deliveries += sim::run_acceptable_window(exec, adv, t);
+    if (w + 1 == early) out.slots_early = exec.buffer().slot_capacity();
+  }
+  out.seconds = seconds_since(start);
+  out.slots_late = exec.buffer().slot_capacity();
+  out.total_sent = exec.buffer().total_sent();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const int n = 32;
+  const int t = 5;  // t < n/6
+  const std::int64_t windows = smoke ? 500 : 10000;
+
+  std::printf("M2: window-horizon throughput (n=%d, t=%d, %lld windows%s)\n\n",
+              n, t, static_cast<long long>(windows), smoke ? ", smoke" : "");
+
+  bench::BenchJson j("m2_window_horizon");
+  j.set("config.n", n);
+  j.set("config.t", t);
+  j.set("config.windows", static_cast<std::int64_t>(windows));
+  j.set("config.smoke", smoke);
+
+  // ---- engine throughput over the full horizon ---------------------------
+  {
+    adversary::SplitKeeperAdversary keeper;
+    const EngineRun r = run_engine(keeper, n, t, windows);
+    std::printf("engine/split-keeper : %9.0f windows/s, %10.0f deliveries/s "
+                "(%lld sent; arena slots %zu @W/10 → %zu @W)\n",
+                windows / r.seconds,
+                static_cast<double>(r.deliveries) / r.seconds,
+                static_cast<long long>(r.total_sent), r.slots_early,
+                r.slots_late);
+    j.set("engine_split_keeper.windows_per_sec", windows / r.seconds);
+    j.set("engine_split_keeper.deliveries_per_sec",
+          static_cast<double>(r.deliveries) / r.seconds);
+    j.set("engine_split_keeper.wall_seconds", r.seconds);
+    j.set("engine_split_keeper.total_messages",
+          static_cast<std::int64_t>(r.total_sent));
+    j.set("engine_split_keeper.arena_slots_early", r.slots_early);
+    j.set("engine_split_keeper.arena_slots_late", r.slots_late);
+    j.set("engine_split_keeper.live_memory_flat",
+          r.slots_early == r.slots_late);
+  }
+  {
+    adversary::FairWindowAdversary fair;
+    const EngineRun r = run_engine(fair, n, t, windows);
+    std::printf("engine/fair         : %9.0f windows/s, %10.0f deliveries/s "
+                "(arena slots %zu @W/10 → %zu @W)\n",
+                windows / r.seconds,
+                static_cast<double>(r.deliveries) / r.seconds, r.slots_early,
+                r.slots_late);
+    j.set("engine_fair.windows_per_sec", windows / r.seconds);
+    j.set("engine_fair.deliveries_per_sec",
+          static_cast<double>(r.deliveries) / r.seconds);
+    j.set("engine_fair.wall_seconds", r.seconds);
+    j.set("engine_fair.arena_slots_early", r.slots_early);
+    j.set("engine_fair.arena_slots_late", r.slots_late);
+    j.set("engine_fair.live_memory_flat", r.slots_early == r.slots_late);
+  }
+
+  // ---- buffer-level A/B: arena vs pre-PR append-only baseline ------------
+  double arena_s = 0;
+  double legacy_s = 0;
+  {
+    sim::MessageBuffer buf(n);
+    const auto start = std::chrono::steady_clock::now();
+    const std::size_t delivered = drive_buffer(buf, n, windows);
+    arena_s = seconds_since(start);
+    std::printf("buffer/arena        : %9.0f windows/s (%zu delivered, "
+                "%zu slots resident)\n",
+                windows / arena_s, delivered, buf.slot_capacity());
+    j.set("buffer_arena.windows_per_sec", windows / arena_s);
+    j.set("buffer_arena.wall_seconds", arena_s);
+    j.set("buffer_arena.slots_resident", buf.slot_capacity());
+  }
+  {
+    LegacyBuffer buf(n);
+    const auto start = std::chrono::steady_clock::now();
+    const std::size_t delivered = drive_buffer(buf, n, windows);
+    legacy_s = seconds_since(start);
+    std::printf("buffer/legacy       : %9.0f windows/s (%zu delivered, "
+                "%.1f MiB resident)\n",
+                windows / legacy_s, delivered,
+                static_cast<double>(buf.bytes_resident()) / (1024.0 * 1024.0));
+    j.set("buffer_legacy.windows_per_sec", windows / legacy_s);
+    j.set("buffer_legacy.wall_seconds", legacy_s);
+    j.set("buffer_legacy.bytes_resident",
+          static_cast<std::int64_t>(buf.bytes_resident()));
+  }
+  const double speedup = legacy_s / arena_s;
+  std::printf("\nspeedup arena vs pre-PR buffer: %.1fx over %lld windows\n",
+              speedup, static_cast<long long>(windows));
+  j.set("speedup_vs_legacy", speedup);
+
+  const std::string path = j.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_json.hpp"
 #include "core/api.hpp"
 
 using namespace aa;
@@ -133,6 +134,20 @@ int main() {
         n, t, tp_trials, tp_trials / serial_s, kPool.resolved_threads(),
         tp_trials / parallel_s, serial_s / parallel_s,
         identical ? "yes" : "NO");
+
+    bench::BenchJson j("t1_threshold_sweep");
+    j.set("config.n", n);
+    j.set("config.t", t);
+    j.set("config.trials", tp_trials);
+    j.set("config.threads", kPool.resolved_threads());
+    j.set("serial.trials_per_sec", tp_trials / serial_s);
+    j.set("serial.wall_seconds", serial_s);
+    j.set("parallel.trials_per_sec", tp_trials / parallel_s);
+    j.set("parallel.wall_seconds", parallel_s);
+    j.set("parallel_speedup", serial_s / parallel_s);
+    j.set("reports_bit_identical", identical);
+    const std::string path = j.write();
+    if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   }
   return 0;
 }

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_json.hpp"
 #include "core/api.hpp"
 #include "util/thread_pool.hpp"
 
@@ -144,6 +145,21 @@ int main() {
               "%.2f runs/s, speedup %.2fx\n",
               total, total / serial_s, pool.resolved_threads(),
               total / parallel_s, serial_s / parallel_s);
+
+  bench::BenchJson j("t2_protocol_matrix");
+  j.set("config.n", n);
+  j.set("config.t", t);
+  j.set("config.trials", trials);
+  j.set("config.horizon_windows", horizon);
+  j.set("config.runs", total);
+  j.set("config.threads", pool.resolved_threads());
+  j.set("serial.runs_per_sec", total / serial_s);
+  j.set("serial.wall_seconds", serial_s);
+  j.set("parallel.runs_per_sec", total / parallel_s);
+  j.set("parallel.wall_seconds", parallel_s);
+  j.set("parallel_speedup", serial_s / parallel_s);
+  const std::string json_path = j.write();
+  if (!json_path.empty()) std::printf("wrote %s\n", json_path.c_str());
   std::printf(
       "Reading: reset-agreement terminates in every row (Theorem 4); the\n"
       "baselines keep SAFETY everywhere but lose liveness under the reset\n"

@@ -19,11 +19,11 @@ namespace {
 // rejoin is visible mid-run); resets {0,1} exactly once, in window 1.
 class ScriptedResetAdversary final : public sim::WindowAdversary {
  public:
-  sim::WindowPlan plan_window(const sim::Execution& exec,
-                              const std::vector<sim::MsgId>& batch) override {
-    sim::WindowPlan plan = keeper_.plan_window(exec, batch);
+  void plan_window_into(const sim::Execution& exec,
+                        const std::vector<sim::MsgId>& batch,
+                        sim::WindowPlan& plan) override {
+    keeper_.plan_window_into(exec, batch, plan);
     if (exec.window() == 1) plan.resets = {0, 1};
-    return plan;
   }
   [[nodiscard]] std::string name() const override { return "scripted-reset"; }
 

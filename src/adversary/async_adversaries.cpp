@@ -1,7 +1,5 @@
 #include "adversary/async_adversaries.hpp"
 
-#include <array>
-
 #include "protocols/reset_agreement.hpp"
 #include "util/check.hpp"
 
@@ -9,30 +7,31 @@ namespace aa::adversary {
 
 namespace {
 
-/// Pending messages addressed to live processors.
-std::vector<sim::MsgId> deliverable(const sim::Execution& exec) {
-  std::vector<sim::MsgId> out;
-  for (sim::MsgId id : exec.buffer().all_pending()) {
-    if (!exec.crashed(exec.buffer().get(id).receiver)) out.push_back(id);
+/// Pending messages addressed to live processors, collected into `out`
+/// (send order — matches the historical append-only scan).
+void collect_deliverable(const sim::Execution& exec,
+                         std::vector<sim::MsgId>& out) {
+  out.clear();
+  for (const sim::Envelope& env : exec.buffer().all_pending()) {
+    if (!exec.crashed(env.receiver)) out.push_back(env.id);
   }
-  return out;
 }
 
 }  // namespace
 
 sim::AsyncAction RandomAsyncScheduler::next(const sim::Execution& exec) {
-  const std::vector<sim::MsgId> ids = deliverable(exec);
-  if (ids.empty()) return sim::StopAction{};
-  return sim::DeliverAction{ids[rng_.uniform_index(ids.size())]};
+  collect_deliverable(exec, deliverable_);
+  if (deliverable_.empty()) return sim::StopAction{};
+  return sim::DeliverAction{deliverable_[rng_.uniform_index(deliverable_.size())]};
 }
 
 sim::AsyncAction FixedCrashScheduler::next(const sim::Execution& exec) {
   if (crashed_so_far_ < to_crash_.size()) {
     return sim::CrashAction{to_crash_[crashed_so_far_++]};
   }
-  const std::vector<sim::MsgId> ids = deliverable(exec);
-  if (ids.empty()) return sim::StopAction{};
-  return sim::DeliverAction{ids[rng_.uniform_index(ids.size())]};
+  collect_deliverable(exec, deliverable_);
+  if (deliverable_.empty()) return sim::StopAction{};
+  return sim::DeliverAction{deliverable_[rng_.uniform_index(deliverable_.size())]};
 }
 
 sim::AsyncAction AsyncSplitKeeper::next(const sim::Execution& exec) {
@@ -45,7 +44,7 @@ sim::AsyncAction AsyncSplitKeeper::next(const sim::Execution& exec) {
   //
   // Among receivers, serve the one with the most pending current-round
   // votes (keeps the system in loose lockstep).
-  std::vector<sim::MsgId> fallback;
+  fallback_.clear();
   sim::MsgId best = sim::kNoMsg;
   std::size_t best_pending = 0;
 
@@ -53,29 +52,29 @@ sim::AsyncAction AsyncSplitKeeper::next(const sim::Execution& exec) {
     if (exec.crashed(i)) continue;
     const int r = exec.process(i).round();
     if (r == sim::kBot) continue;
-    std::array<std::vector<sim::MsgId>, 2> byval;
-    for (sim::MsgId id : exec.buffer().pending_to(i)) {
-      const sim::Envelope& env = exec.buffer().get(id);
+    byval_[0].clear();
+    byval_[1].clear();
+    for (const sim::Envelope& env : exec.buffer().pending_to(i)) {
       if (env.payload.kind != protocols::kVoteKind ||
           env.payload.round != r ||
           (env.payload.value != 0 && env.payload.value != 1)) {
         // Stale/future/non-vote: deliverable any time without affecting the
         // current round's balance (eventual-delivery obligation).
-        fallback.push_back(id);
+        fallback_.push_back(env.id);
         continue;
       }
-      byval[static_cast<std::size_t>(env.payload.value)].push_back(id);
+      byval_[static_cast<std::size_t>(env.payload.value)].push_back(env.id);
     }
-    const std::size_t pending_here = byval[0].size() + byval[1].size();
+    const std::size_t pending_here = byval_[0].size() + byval_[1].size();
     if (pending_here == 0 || pending_here <= best_pending) continue;
     const auto& seen = delivered_[{i, r}];
     std::size_t pick;
-    if (byval[0].empty()) pick = 1;
-    else if (byval[1].empty()) pick = 0;
+    if (byval_[0].empty()) pick = 1;
+    else if (byval_[1].empty()) pick = 0;
     else if (seen[0] != seen[1]) pick = seen[0] < seen[1] ? 0 : 1;
-    else pick = byval[0].size() >= byval[1].size() ? 0 : 1;
+    else pick = byval_[0].size() >= byval_[1].size() ? 0 : 1;
     best_pending = pending_here;
-    best = byval[pick].front();
+    best = byval_[pick].front();
   }
   if (best != sim::kNoMsg) {
     const sim::Envelope& env = exec.buffer().get(best);
@@ -84,9 +83,10 @@ sim::AsyncAction AsyncSplitKeeper::next(const sim::Execution& exec) {
     return sim::DeliverAction{best};
   }
   // No current-round votes anywhere: drain the obligations in send order.
-  if (!fallback.empty()) return sim::DeliverAction{fallback.front()};
-  const std::vector<sim::MsgId> any = deliverable(exec);
-  if (!any.empty()) return sim::DeliverAction{any.front()};
+  if (!fallback_.empty()) return sim::DeliverAction{fallback_.front()};
+  for (const sim::Envelope& env : exec.buffer().all_pending()) {
+    if (!exec.crashed(env.receiver)) return sim::DeliverAction{env.id};
+  }
   return sim::StopAction{};
 }
 

@@ -14,6 +14,9 @@
 //                            coin flips round after round. Crash-free (its
 //                            power is pure scheduling), hence trivially
 //                            within any crash budget.
+//
+// All three scan the buffer through its allocation-free pending ranges and
+// reuse member scratch across calls.
 #pragma once
 
 #include <array>
@@ -35,6 +38,7 @@ class RandomAsyncScheduler final : public sim::AsyncAdversary {
 
  private:
   Rng rng_;
+  std::vector<sim::MsgId> deliverable_;  ///< reusable scan buffer
 };
 
 class FixedCrashScheduler final : public sim::AsyncAdversary {
@@ -50,6 +54,7 @@ class FixedCrashScheduler final : public sim::AsyncAdversary {
   std::vector<sim::ProcId> to_crash_;
   std::size_t crashed_so_far_ = 0;
   Rng rng_;
+  std::vector<sim::MsgId> deliverable_;  ///< reusable scan buffer
 };
 
 /// Theorem 17's scheduling adversary (see class comment above).
@@ -68,6 +73,8 @@ class AsyncSplitKeeper final : public sim::AsyncAdversary {
  private:
   /// delivered[(receiver, round)] = {count of 0-votes, count of 1-votes}.
   std::map<std::pair<sim::ProcId, int>, std::array<int, 2>> delivered_;
+  std::array<std::vector<sim::MsgId>, 2> byval_;  ///< reusable per receiver
+  std::vector<sim::MsgId> fallback_;              ///< reusable per call
 };
 
 }  // namespace aa::adversary

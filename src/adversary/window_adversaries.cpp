@@ -1,9 +1,6 @@
 #include "adversary/window_adversaries.hpp"
 
 #include <algorithm>
-#include <map>
-#include <numeric>
-#include <tuple>
 
 #include "protocols/reset_agreement.hpp"
 #include "util/check.hpp"
@@ -12,22 +9,20 @@ namespace aa::adversary {
 
 namespace {
 
-std::vector<sim::ProcId> all_senders(int n) {
-  std::vector<sim::ProcId> ids(static_cast<std::size_t>(n));
-  std::iota(ids.begin(), ids.end(), 0);
-  return ids;
+void fill_all_senders(int n, std::vector<sim::ProcId>& order) {
+  order.clear();
+  for (sim::ProcId s = 0; s < n; ++s) order.push_back(s);
 }
 
 }  // namespace
 
 // ---------------------------------------------------------------- fair ----
 
-sim::WindowPlan FairWindowAdversary::plan_window(
-    const sim::Execution& exec, const std::vector<sim::MsgId>& /*batch*/) {
-  sim::WindowPlan plan;
-  plan.delivery_order.assign(static_cast<std::size_t>(exec.n()),
-                             all_senders(exec.n()));
-  return plan;
+void FairWindowAdversary::plan_window_into(
+    const sim::Execution& exec, const std::vector<sim::MsgId>& /*batch*/,
+    sim::WindowPlan& plan) {
+  const int n = exec.n();
+  for (auto& order : plan.delivery_order) fill_all_senders(n, order);
 }
 
 // ------------------------------------------------------------ silencer ----
@@ -36,21 +31,23 @@ SilencerWindowAdversary::SilencerWindowAdversary(
     std::vector<sim::ProcId> silenced)
     : silenced_(std::move(silenced)) {}
 
-sim::WindowPlan SilencerWindowAdversary::plan_window(
-    const sim::Execution& exec, const std::vector<sim::MsgId>& /*batch*/) {
+void SilencerWindowAdversary::plan_window_into(
+    const sim::Execution& exec, const std::vector<sim::MsgId>& /*batch*/,
+    sim::WindowPlan& plan) {
   const int n = exec.n();
-  std::vector<bool> is_silenced(static_cast<std::size_t>(n), false);
-  for (sim::ProcId p : silenced_) {
-    AA_REQUIRE(p >= 0 && p < n, "silencer: bad processor id");
-    is_silenced[static_cast<std::size_t>(p)] = true;
+  if (is_silenced_.size() != static_cast<std::size_t>(n)) {
+    is_silenced_.assign(static_cast<std::size_t>(n), false);
+    for (sim::ProcId p : silenced_) {
+      AA_REQUIRE(p >= 0 && p < n, "silencer: bad processor id");
+      is_silenced_[static_cast<std::size_t>(p)] = true;
+    }
   }
-  std::vector<sim::ProcId> order;
-  for (sim::ProcId s = 0; s < n; ++s) {
-    if (!is_silenced[static_cast<std::size_t>(s)]) order.push_back(s);
+  for (auto& order : plan.delivery_order) {
+    order.clear();
+    for (sim::ProcId s = 0; s < n; ++s) {
+      if (!is_silenced_[static_cast<std::size_t>(s)]) order.push_back(s);
+    }
   }
-  sim::WindowPlan plan;
-  plan.delivery_order.assign(static_cast<std::size_t>(n), order);
-  return plan;
 }
 
 // -------------------------------------------------------------- random ----
@@ -62,26 +59,25 @@ RandomWindowAdversary::RandomWindowAdversary(int t, double reset_prob, Rng rng)
              "random adversary: reset_prob out of [0,1]");
 }
 
-sim::WindowPlan RandomWindowAdversary::plan_window(
-    const sim::Execution& exec, const std::vector<sim::MsgId>& /*batch*/) {
+void RandomWindowAdversary::plan_window_into(
+    const sim::Execution& exec, const std::vector<sim::MsgId>& /*batch*/,
+    sim::WindowPlan& plan) {
   const int n = exec.n();
-  sim::WindowPlan plan;
-  plan.delivery_order.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
-    std::vector<sim::ProcId> ids = all_senders(n);
+    std::vector<sim::ProcId>& ids =
+        plan.delivery_order[static_cast<std::size_t>(i)];
+    fill_all_senders(n, ids);
     // Fisher–Yates shuffle, then keep a random (n − t)-prefix as S_i.
     for (std::size_t j = 0; j + 1 < ids.size(); ++j) {
       const std::size_t k = j + rng_.uniform_index(ids.size() - j);
       std::swap(ids[j], ids[k]);
     }
     ids.resize(static_cast<std::size_t>(n - t_));
-    plan.delivery_order.push_back(std::move(ids));
   }
   for (sim::ProcId p = 0; p < n; ++p) {
     if (static_cast<int>(plan.resets.size()) >= t_) break;
     if (!exec.crashed(p) && rng_.bernoulli(reset_prob_)) plan.resets.push_back(p);
   }
-  return plan;
 }
 
 // --------------------------------------------------------- reset storm ----
@@ -90,97 +86,117 @@ ResetStormAdversary::ResetStormAdversary(int t, Rng rng) : t_(t), rng_(rng) {
   AA_REQUIRE(t >= 0, "reset storm: t must be non-negative");
 }
 
-sim::WindowPlan ResetStormAdversary::plan_window(
-    const sim::Execution& exec, const std::vector<sim::MsgId>& /*batch*/) {
+void ResetStormAdversary::plan_window_into(const sim::Execution& exec,
+                                           const std::vector<sim::MsgId>&
+                                           /*batch*/,
+                                           sim::WindowPlan& plan) {
   const int n = exec.n();
-  sim::WindowPlan plan;
-  plan.delivery_order.assign(static_cast<std::size_t>(n), all_senders(n));
-  std::vector<sim::ProcId> ids = all_senders(n);
+  for (auto& order : plan.delivery_order) fill_all_senders(n, order);
+  fill_all_senders(n, ids_);
   for (int i = 0; i < t_ && i < n; ++i) {
     const std::size_t j =
         static_cast<std::size_t>(i) +
-        rng_.uniform_index(ids.size() - static_cast<std::size_t>(i));
-    std::swap(ids[static_cast<std::size_t>(i)], ids[j]);
-    if (!exec.crashed(ids[static_cast<std::size_t>(i)]))
-      plan.resets.push_back(ids[static_cast<std::size_t>(i)]);
+        rng_.uniform_index(ids_.size() - static_cast<std::size_t>(i));
+    std::swap(ids_[static_cast<std::size_t>(i)], ids_[j]);
+    if (!exec.crashed(ids_[static_cast<std::size_t>(i)]))
+      plan.resets.push_back(ids_[static_cast<std::size_t>(i)]);
   }
-  return plan;
 }
 
 // -------------------------------------------------------- split keeper ----
 
-std::vector<sim::ProcId> balance_votes(
-    const std::vector<std::tuple<sim::ProcId, int, int>>& votes) {
-  // Group by round, ascending.
-  std::map<int, std::array<std::vector<sim::ProcId>, 2>> by_round;
-  for (const auto& [sender, round, value] : votes) {
-    AA_CHECK(value == 0 || value == 1, "balance_votes: non-bit vote");
-    by_round[round][static_cast<std::size_t>(value)].push_back(sender);
+void balance_votes_into(
+    const std::vector<std::tuple<sim::ProcId, int, int>>& votes,
+    BalanceScratch& sc, std::vector<sim::ProcId>& out) {
+  // Sort (round, arrival index): rounds ascending, arrival order kept
+  // within a round — the same grouping the original std::map produced.
+  sc.by_round.clear();
+  for (std::uint32_t i = 0; i < votes.size(); ++i) {
+    sc.by_round.emplace_back(std::get<1>(votes[i]), i);
   }
-  std::vector<sim::ProcId> order;
-  order.reserve(votes.size());
-  for (auto& [round, groups] : by_round) {
-    (void)round;
-    auto& zeros = groups[0];
-    auto& ones = groups[1];
+  std::sort(sc.by_round.begin(), sc.by_round.end());
+  std::size_t run = 0;
+  while (run < sc.by_round.size()) {
+    const int round = sc.by_round[run].first;
+    sc.zeros.clear();
+    sc.ones.clear();
+    for (; run < sc.by_round.size() && sc.by_round[run].first == round;
+         ++run) {
+      const auto& [sender, r, value] = votes[sc.by_round[run].second];
+      (void)r;
+      AA_CHECK(value == 0 || value == 1, "balance_votes: non-bit vote");
+      (value == 0 ? sc.zeros : sc.ones).push_back(sender);
+    }
     // Strict alternation starting with the MAJORITY value, so that any
     // prefix of length L contains at most ⌈L/2⌉ of either value.
     std::size_t zi = 0;
     std::size_t oi = 0;
-    bool turn_zero = zeros.size() >= ones.size();
-    while (zi < zeros.size() || oi < ones.size()) {
-      if (turn_zero && zi < zeros.size()) order.push_back(zeros[zi++]);
-      else if (!turn_zero && oi < ones.size()) order.push_back(ones[oi++]);
-      else if (zi < zeros.size()) order.push_back(zeros[zi++]);
-      else order.push_back(ones[oi++]);
+    bool turn_zero = sc.zeros.size() >= sc.ones.size();
+    while (zi < sc.zeros.size() || oi < sc.ones.size()) {
+      if (turn_zero && zi < sc.zeros.size()) out.push_back(sc.zeros[zi++]);
+      else if (!turn_zero && oi < sc.ones.size()) out.push_back(sc.ones[oi++]);
+      else if (zi < sc.zeros.size()) out.push_back(sc.zeros[zi++]);
+      else out.push_back(sc.ones[oi++]);
       turn_zero = !turn_zero;
     }
   }
+}
+
+std::vector<sim::ProcId> balance_votes(
+    const std::vector<std::tuple<sim::ProcId, int, int>>& votes) {
+  BalanceScratch sc;
+  std::vector<sim::ProcId> order;
+  order.reserve(votes.size());
+  balance_votes_into(votes, sc, order);
   return order;
 }
 
-sim::WindowPlan SplitKeeperAdversary::plan_window(
-    const sim::Execution& exec, const std::vector<sim::MsgId>& batch) {
+void SplitKeeperAdversary::plan_window_into(
+    const sim::Execution& exec, const std::vector<sim::MsgId>& batch,
+    sim::WindowPlan& plan) {
   const int n = exec.n();
-  sim::WindowPlan plan;
-  plan.delivery_order.resize(static_cast<std::size_t>(n));
+  if (votes_.size() != static_cast<std::size_t>(n)) {
+    votes_.resize(static_cast<std::size_t>(n));
+    non_votes_.resize(static_cast<std::size_t>(n));
+    present_.assign(static_cast<std::size_t>(n), 0);
+  }
+  for (int i = 0; i < n; ++i) {
+    votes_[static_cast<std::size_t>(i)].clear();
+    non_votes_[static_cast<std::size_t>(i)].clear();
+  }
 
   // Collect this window's votes per receiver (full information).
-  std::vector<std::vector<std::tuple<sim::ProcId, int, int>>> votes(
-      static_cast<std::size_t>(n));
-  std::vector<std::vector<sim::ProcId>> non_votes(static_cast<std::size_t>(n));
   for (sim::MsgId id : batch) {
     if (!exec.buffer().is_pending(id)) continue;
     const sim::Envelope& env = exec.buffer().get(id);
     if (env.payload.kind == protocols::kVoteKind &&
         (env.payload.value == 0 || env.payload.value == 1)) {
-      votes[static_cast<std::size_t>(env.receiver)].emplace_back(
+      votes_[static_cast<std::size_t>(env.receiver)].emplace_back(
           env.sender, env.payload.round, env.payload.value);
     } else {
-      non_votes[static_cast<std::size_t>(env.receiver)].push_back(env.sender);
+      non_votes_[static_cast<std::size_t>(env.receiver)].push_back(env.sender);
     }
   }
 
   for (int i = 0; i < n; ++i) {
-    std::vector<sim::ProcId> order =
-        balance_votes(votes[static_cast<std::size_t>(i)]);
+    std::vector<sim::ProcId>& order =
+        plan.delivery_order[static_cast<std::size_t>(i)];
+    balance_votes_into(votes_[static_cast<std::size_t>(i)], balance_, order);
     // Append senders of non-vote messages and everyone who sent nothing so
     // that S_i = [n] (the split-keeper never silences anyone — only the
     // delivery ORDER is adversarial).
-    std::vector<bool> present(static_cast<std::size_t>(n), false);
-    for (sim::ProcId s : order) present[static_cast<std::size_t>(s)] = true;
-    for (sim::ProcId s : non_votes[static_cast<std::size_t>(i)]) {
-      if (!present[static_cast<std::size_t>(s)]) {
-        present[static_cast<std::size_t>(s)] = true;
+    const std::uint64_t epoch = ++epoch_;
+    for (sim::ProcId s : order) present_[static_cast<std::size_t>(s)] = epoch;
+    for (sim::ProcId s : non_votes_[static_cast<std::size_t>(i)]) {
+      if (present_[static_cast<std::size_t>(s)] != epoch) {
+        present_[static_cast<std::size_t>(s)] = epoch;
         order.push_back(s);
       }
     }
     for (sim::ProcId s = 0; s < n; ++s) {
-      if (!present[static_cast<std::size_t>(s)]) order.push_back(s);
+      if (present_[static_cast<std::size_t>(s)] != epoch) order.push_back(s);
     }
-    plan.delivery_order[static_cast<std::size_t>(i)] = std::move(order);
   }
-  return plan;
 }
 
 }  // namespace aa::adversary

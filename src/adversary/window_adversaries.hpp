@@ -18,9 +18,14 @@
 //                               evenly as possible, keeping every processor
 //                               below the T3/T2 thresholds and forcing
 //                               fresh coin flips every round.
+//
+// All five fill the reusable WindowPlan they are handed (plan_window_into)
+// and keep their own scratch buffers across windows, so steady-state
+// planning performs no heap allocation.
 #pragma once
 
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "sim/window.hpp"
@@ -31,8 +36,9 @@ namespace aa::adversary {
 /// Deliver all messages (sender-id order), no resets.
 class FairWindowAdversary final : public sim::WindowAdversary {
  public:
-  sim::WindowPlan plan_window(const sim::Execution& exec,
-                              const std::vector<sim::MsgId>& batch) override;
+  void plan_window_into(const sim::Execution& exec,
+                        const std::vector<sim::MsgId>& batch,
+                        sim::WindowPlan& plan) override;
   [[nodiscard]] std::string name() const override { return "fair"; }
 };
 
@@ -41,12 +47,14 @@ class FairWindowAdversary final : public sim::WindowAdversary {
 class SilencerWindowAdversary final : public sim::WindowAdversary {
  public:
   explicit SilencerWindowAdversary(std::vector<sim::ProcId> silenced);
-  sim::WindowPlan plan_window(const sim::Execution& exec,
-                              const std::vector<sim::MsgId>& batch) override;
+  void plan_window_into(const sim::Execution& exec,
+                        const std::vector<sim::MsgId>& batch,
+                        sim::WindowPlan& plan) override;
   [[nodiscard]] std::string name() const override { return "silencer"; }
 
  private:
   std::vector<sim::ProcId> silenced_;
+  std::vector<bool> is_silenced_;  ///< sized on first plan
 };
 
 /// Per-window random S_i of size exactly n − t in random order; resets each
@@ -54,8 +62,9 @@ class SilencerWindowAdversary final : public sim::WindowAdversary {
 class RandomWindowAdversary final : public sim::WindowAdversary {
  public:
   RandomWindowAdversary(int t, double reset_prob, Rng rng);
-  sim::WindowPlan plan_window(const sim::Execution& exec,
-                              const std::vector<sim::MsgId>& batch) override;
+  void plan_window_into(const sim::Execution& exec,
+                        const std::vector<sim::MsgId>& batch,
+                        sim::WindowPlan& plan) override;
   [[nodiscard]] std::string name() const override { return "random"; }
 
  private:
@@ -68,13 +77,23 @@ class RandomWindowAdversary final : public sim::WindowAdversary {
 class ResetStormAdversary final : public sim::WindowAdversary {
  public:
   ResetStormAdversary(int t, Rng rng);
-  sim::WindowPlan plan_window(const sim::Execution& exec,
-                              const std::vector<sim::MsgId>& batch) override;
+  void plan_window_into(const sim::Execution& exec,
+                        const std::vector<sim::MsgId>& batch,
+                        sim::WindowPlan& plan) override;
   [[nodiscard]] std::string name() const override { return "reset-storm"; }
 
  private:
   int t_;
   Rng rng_;
+  std::vector<sim::ProcId> ids_;  ///< reusable shuffle buffer
+};
+
+/// Scratch buffers for balance_votes_into (contents irrelevant between
+/// calls; capacity is reused).
+struct BalanceScratch {
+  std::vector<std::pair<int, std::uint32_t>> by_round;  ///< (round, index)
+  std::vector<sim::ProcId> zeros;
+  std::vector<sim::ProcId> ones;
 };
 
 /// The §3 exponential-time adversary for threshold-voting protocols
@@ -90,9 +109,18 @@ class ResetStormAdversary final : public sim::WindowAdversary {
 /// adversary and a legal crash-model adversary with zero crashes.
 class SplitKeeperAdversary final : public sim::WindowAdversary {
  public:
-  sim::WindowPlan plan_window(const sim::Execution& exec,
-                              const std::vector<sim::MsgId>& batch) override;
+  void plan_window_into(const sim::Execution& exec,
+                        const std::vector<sim::MsgId>& batch,
+                        sim::WindowPlan& plan) override;
   [[nodiscard]] std::string name() const override { return "split-keeper"; }
+
+ private:
+  // Reusable per-window scratch (cleared, never shrunk).
+  std::vector<std::vector<std::tuple<sim::ProcId, int, int>>> votes_;
+  std::vector<std::vector<sim::ProcId>> non_votes_;
+  std::vector<std::uint64_t> present_;
+  std::uint64_t epoch_ = 0;
+  BalanceScratch balance_;
 };
 
 /// Helper shared with the async split-keeper: produce an ordering of the
@@ -100,5 +128,11 @@ class SplitKeeperAdversary final : public sim::WindowAdversary {
 /// each round, rounds ascending. Returns sender ids in delivery order.
 [[nodiscard]] std::vector<sim::ProcId> balance_votes(
     const std::vector<std::tuple<sim::ProcId, int, int>>& votes);
+
+/// Allocation-free variant: appends the balanced order to `out` using the
+/// caller's scratch buffers.
+void balance_votes_into(
+    const std::vector<std::tuple<sim::ProcId, int, int>>& votes,
+    BalanceScratch& scratch, std::vector<sim::ProcId>& out);
 
 }  // namespace aa::adversary

@@ -41,7 +41,12 @@ void BenOrProcess::on_receive(const sim::Envelope& env, Rng& rng,
   if (phase == 1 && m.value != 0 && m.value != 1) return;
   if (phase == 2 && m.value != 0 && m.value != 1 && m.value != sim::kBot)
     return;
-  votes_[{m.round, phase}].values.push_back(m.value);
+  PhaseTally& pv = votes_[{m.round, phase}];
+  // Only the first n − t arrivals are ever consulted; later ones are noted
+  // but never counted, so the tally stays bounded.
+  if (pv.arrivals < n_ - t_ && (m.value == 0 || m.value == 1))
+    ++pv.count[m.value];
+  ++pv.arrivals;
   try_advance(rng, out);
 }
 
@@ -50,8 +55,8 @@ void BenOrProcess::try_advance(Rng& rng, sim::Outbox& out) {
   while (true) {
     auto it = votes_.find({round_, phase_});
     if (it == votes_.end()) return;
-    PhaseVotes& pv = it->second;
-    if (pv.acted || static_cast<int>(pv.values.size()) < n_ - t_) return;
+    PhaseTally& pv = it->second;
+    if (pv.acted || pv.arrivals < n_ - t_) return;
     pv.acted = true;
     if (phase_ == 1) finish_phase1(out);
     else finish_phase2(rng, out);
@@ -59,29 +64,20 @@ void BenOrProcess::try_advance(Rng& rng, sim::Outbox& out) {
 }
 
 void BenOrProcess::finish_phase1(sim::Outbox& out) {
-  const auto& vs = votes_.at({round_, 1}).values;
-  int count[2] = {0, 0};
-  for (int i = 0; i < n_ - t_; ++i) {
-    const int v = vs[static_cast<std::size_t>(i)];
-    if (v == 0 || v == 1) ++count[v];
-  }
+  const PhaseTally& pv = votes_.at({round_, 1});
   int proposal = sim::kBot;
   // "More than n/2" — over ALL n processors, so two processors can never
   // back conflicting proposals in the same round.
   for (int v = 0; v <= 1; ++v) {
-    if (2 * count[v] > n_) proposal = v;
+    if (2 * pv.count[v] > n_) proposal = v;
   }
   phase_ = 2;
   out.broadcast(make_proposal(round_, proposal));
 }
 
 void BenOrProcess::finish_phase2(Rng& rng, sim::Outbox& out) {
-  const auto& vs = votes_.at({round_, 2}).values;
-  int count[2] = {0, 0};
-  for (int i = 0; i < n_ - t_; ++i) {
-    const int v = vs[static_cast<std::size_t>(i)];
-    if (v == 0 || v == 1) ++count[v];
-  }
+  const PhaseTally& pv = votes_.at({round_, 2});
+  const std::int32_t* count = pv.count;
   // At most one value can be proposed at all in a round (see finish_phase1),
   // so these branches cannot conflict.
   for (int v = 0; v <= 1; ++v) {

@@ -48,9 +48,13 @@ class BenOrProcess final : public sim::Process {
   [[nodiscard]] const char* protocol_name() const override { return "ben-or"; }
 
  private:
-  struct PhaseVotes {
-    std::vector<int> values;  ///< arrival order; kBot encodes '?'
-    bool acted = false;       ///< fire exactly once, at the (n−t)-th arrival
+  /// Bounded per-phase tally: only the first n − t arrivals are ever read,
+  /// so we keep counts of 0/1 among them (plus the arrival total) instead
+  /// of accumulating every vote value — per-round memory is O(1).
+  struct PhaseTally {
+    std::int32_t arrivals = 0;       ///< votes recorded for this phase
+    std::int32_t count[2] = {0, 0};  ///< 0/1 among the first n − t arrivals
+    bool acted = false;  ///< fire exactly once, at the (n−t)-th arrival
   };
 
   void try_advance(Rng& rng, sim::Outbox& out);
@@ -66,7 +70,7 @@ class BenOrProcess final : public sim::Process {
   int round_ = 1;
   int x_;
   int phase_ = 1;  ///< 1 = awaiting reports, 2 = awaiting proposals
-  std::map<std::pair<int, int>, PhaseVotes> votes_;  ///< (round, phase) → votes
+  std::map<std::pair<int, int>, PhaseTally> votes_;  ///< (round, phase) → tally
 };
 
 }  // namespace aa::protocols

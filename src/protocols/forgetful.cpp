@@ -38,18 +38,18 @@ void ForgetfulProcess::on_receive(const sim::Envelope& env, Rng& rng,
   if (m.kind != kVoteKind) return;
   if (m.value != 0 && m.value != 1) return;
   if (m.round < round_) return;  // forgetful: stale rounds are invisible
-  votes_[m.round].push_back(m.value);
+  RoundTally& rt = votes_[m.round];
+  // Only the first T1 votes of a round are ever consulted.
+  if (rt.arrivals < th_.t1) ++rt.count[m.value];
+  ++rt.arrivals;
   try_advance(rng, out);
 }
 
 void ForgetfulProcess::try_advance(Rng& rng, sim::Outbox& out) {
   while (true) {
     const auto it = votes_.find(round_);
-    if (it == votes_.end() || static_cast<int>(it->second.size()) < th_.t1)
-      return;
-    const std::vector<int>& vs = it->second;
-    int count[2] = {0, 0};
-    for (int i = 0; i < th_.t1; ++i) ++count[vs[static_cast<std::size_t>(i)]];
+    if (it == votes_.end() || it->second.arrivals < th_.t1) return;
+    const std::int32_t* count = it->second.count;
     for (int v = 0; v <= 1; ++v) {
       if (count[v] >= th_.t2 && output_ == sim::kBot) output_ = v;
     }

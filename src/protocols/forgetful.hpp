@@ -49,6 +49,13 @@ class ForgetfulProcess final : public sim::Process {
   }
 
  private:
+  /// Bounded per-round tally: only the first T1 arrivals are ever read, so
+  /// we count 0s/1s among them instead of storing every vote value.
+  struct RoundTally {
+    std::int32_t arrivals = 0;       ///< votes recorded for this round
+    std::int32_t count[2] = {0, 0};  ///< 0/1 among the first T1 arrivals
+  };
+
   void try_advance(Rng& rng, sim::Outbox& out);
 
   int id_;
@@ -58,9 +65,9 @@ class ForgetfulProcess final : public sim::Process {
   int output_ = sim::kBot;
   int round_ = 1;
   int x_;
-  /// Arrival-ordered votes for rounds ≥ round_ only (forgetfulness: prior
-  /// rounds are erased as soon as the round advances).
-  std::map<int, std::vector<int>> votes_;
+  /// Tallies for rounds ≥ round_ only (forgetfulness: prior rounds are
+  /// erased as soon as the round advances).
+  std::map<int, RoundTally> votes_;
 };
 
 }  // namespace aa::protocols

@@ -31,11 +31,14 @@ void ResetProcess::on_receive(const sim::Envelope& env, Rng& rng,
   const sim::Message& m = env.payload;
   if (m.kind != kVoteKind) return;
   if (m.value != 0 && m.value != 1) return;
-  votes_[m.round].push_back(m.value);
+  RoundTally& rt = votes_[m.round];
+  // Only the first T1 votes of a round are ever consulted.
+  if (rt.arrivals < th_.t1) ++rt.count[m.value];
+  ++rt.arrivals;
 
   if (rejoining_) {
     // Wait for T1 votes sharing a common round, adopt it, re-enter step 3.
-    if (static_cast<int>(votes_[m.round].size()) >= th_.t1) {
+    if (rt.arrivals >= th_.t1) {
       round_ = m.round;
       rejoining_ = false;
       step3_and_advance(rng, out);
@@ -49,18 +52,15 @@ void ResetProcess::on_receive(const sim::Envelope& env, Rng& rng,
 void ResetProcess::try_advance(Rng& rng, sim::Outbox& out) {
   while (true) {
     const auto it = votes_.find(round_);
-    if (it == votes_.end() || static_cast<int>(it->second.size()) < th_.t1)
-      return;
+    if (it == votes_.end() || it->second.arrivals < th_.t1) return;
     step3_and_advance(rng, out);
   }
 }
 
 void ResetProcess::step3_and_advance(Rng& rng, sim::Outbox& out) {
-  const std::vector<int>& vs = votes_.at(round_);
-  AA_CHECK(static_cast<int>(vs.size()) >= th_.t1,
-           "step 3 requires T1 recorded votes");
-  int count[2] = {0, 0};
-  for (int i = 0; i < th_.t1; ++i) ++count[vs[static_cast<std::size_t>(i)]];
+  const RoundTally& rt = votes_.at(round_);
+  AA_CHECK(rt.arrivals >= th_.t1, "step 3 requires T1 recorded votes");
+  const std::int32_t* count = rt.count;
 
   // Step 3. T2 >= T3 and 2*T3 > T1 make the winning value unique.
   for (int v = 0; v <= 1; ++v) {

@@ -53,6 +53,15 @@ class ResetProcess final : public sim::Process {
   [[nodiscard]] const Thresholds& thresholds() const noexcept { return th_; }
 
  private:
+  /// Bounded per-round tally. Only the first T1 votes of a round are ever
+  /// consulted (the paper's "wait until T1 messages"), so we keep counts of
+  /// 0s/1s among those first T1 arrivals plus the arrival total — memory
+  /// per round is O(1) instead of O(n).
+  struct RoundTally {
+    std::int32_t arrivals = 0;       ///< votes recorded for this round
+    std::int32_t count[2] = {0, 0};  ///< 0/1 among the first T1 arrivals
+  };
+
   /// Step 3 + step 4 on the first T1 votes recorded for round `round_`.
   void step3_and_advance(Rng& rng, sim::Outbox& out);
   /// Run step 3 for as many consecutive rounds as already have T1 votes
@@ -68,9 +77,7 @@ class ResetProcess final : public sim::Process {
   int round_ = 1;
   int x_;
   bool rejoining_ = false;
-  /// Arrival-ordered vote values per round; only the first T1 entries of a
-  /// round are ever consulted (the paper's "wait until T1 messages").
-  std::map<int, std::vector<int>> votes_;
+  std::map<int, RoundTally> votes_;
 };
 
 }  // namespace aa::protocols

@@ -4,8 +4,18 @@
 
 namespace aa::sim {
 
-MessageBuffer::MessageBuffer(int n) : n_(n), by_receiver_(static_cast<std::size_t>(n)) {
+namespace {
+constexpr std::int32_t kNoSlot = -1;
+}  // namespace
+
+MessageBuffer::MessageBuffer(int n)
+    : n_(n),
+      rcv_head_(static_cast<std::size_t>(n), kNoSlot),
+      rcv_tail_(static_cast<std::size_t>(n), kNoSlot) {
   AA_REQUIRE(n > 0, "MessageBuffer: n must be positive");
+  win_ring_.assign(1, WinList{});
+  win_mask_ = 0;
+  win_count_ = 1;
 }
 
 MsgId MessageBuffer::add(ProcId sender, ProcId receiver,
@@ -13,87 +23,283 @@ MsgId MessageBuffer::add(ProcId sender, ProcId receiver,
                          std::int64_t chain) {
   AA_REQUIRE(sender >= 0 && sender < n_, "MessageBuffer::add: bad sender");
   AA_REQUIRE(receiver >= 0 && receiver < n_, "MessageBuffer::add: bad receiver");
-  const MsgId id = static_cast<MsgId>(all_.size());
-  all_.push_back(Envelope{id, sender, receiver, payload, window, chain});
-  state_.push_back(State::Pending);
-  by_receiver_[static_cast<std::size_t>(receiver)].push_back(id);
+  AA_REQUIRE(window >= win_base_,
+             "MessageBuffer::add: window counter moved backwards");
+  const MsgId id = next_id_++;
+
+  std::int32_t s;
+  if (free_head_ != kNoSlot) {
+    s = free_head_;
+    free_head_ = slots_[static_cast<std::size_t>(s)].next_rcv;
+  } else {
+    s = static_cast<std::int32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[static_cast<std::size_t>(s)];
+  slot.env = Envelope{id, sender, receiver, payload, window, chain};
+
+  // Append to the receiver list (keeps ascending-id order).
+  slot.prev_rcv = rcv_tail_[static_cast<std::size_t>(receiver)];
+  slot.next_rcv = kNoSlot;
+  if (slot.prev_rcv != kNoSlot) {
+    slots_[static_cast<std::size_t>(slot.prev_rcv)].next_rcv = s;
+  } else {
+    rcv_head_[static_cast<std::size_t>(receiver)] = s;
+  }
+  rcv_tail_[static_cast<std::size_t>(receiver)] = s;
+
+  // Append to the window list.
+  reserve_window(window);
+  WinList& wl = win_list(window);
+  slot.prev_win = wl.tail;
+  slot.next_win = kNoSlot;
+  if (wl.tail != kNoSlot) {
+    slots_[static_cast<std::size_t>(wl.tail)].next_win = s;
+  } else {
+    wl.head = s;
+  }
+  wl.tail = s;
+
+  id_map_.insert(id, static_cast<std::uint32_t>(s));
   ++pending_;
   return id;
 }
 
+std::int32_t MessageBuffer::slot_of(MsgId id) const {
+  AA_REQUIRE(id >= 0 && id < next_id_, "MessageBuffer: bad id");
+  const std::uint32_t s = id_map_.find(id);
+  return s == detail::MsgIdMap::kAbsent ? kNoSlot
+                                        : static_cast<std::int32_t>(s);
+}
+
 const Envelope& MessageBuffer::get(MsgId id) const {
-  AA_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < all_.size(),
-             "MessageBuffer::get: bad id");
-  return all_[static_cast<std::size_t>(id)];
+  const std::int32_t s = slot_of(id);
+  AA_CHECK(s != kNoSlot, "MessageBuffer::get: id already retired");
+  return slots_[static_cast<std::size_t>(s)].env;
 }
 
 bool MessageBuffer::is_pending(MsgId id) const {
-  AA_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < all_.size(),
-             "MessageBuffer: bad id");
-  return state_[static_cast<std::size_t>(id)] == State::Pending;
+  return slot_of(id) != kNoSlot;
 }
 
-bool MessageBuffer::is_delivered(MsgId id) const {
-  AA_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < all_.size(),
-             "MessageBuffer: bad id");
-  return state_[static_cast<std::size_t>(id)] == State::Delivered;
+void MessageBuffer::unlink_receiver(std::int32_t s) {
+  Slot& slot = slots_[static_cast<std::size_t>(s)];
+  const ProcId r = slot.env.receiver;
+  if (slot.prev_rcv != kNoSlot) {
+    slots_[static_cast<std::size_t>(slot.prev_rcv)].next_rcv = slot.next_rcv;
+  } else {
+    rcv_head_[static_cast<std::size_t>(r)] = slot.next_rcv;
+  }
+  if (slot.next_rcv != kNoSlot) {
+    slots_[static_cast<std::size_t>(slot.next_rcv)].prev_rcv = slot.prev_rcv;
+  } else {
+    rcv_tail_[static_cast<std::size_t>(r)] = slot.prev_rcv;
+  }
 }
 
-bool MessageBuffer::is_dropped(MsgId id) const {
-  AA_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < all_.size(),
-             "MessageBuffer: bad id");
-  return state_[static_cast<std::size_t>(id)] == State::Dropped;
+void MessageBuffer::unlink_window(std::int32_t s) {
+  Slot& slot = slots_[static_cast<std::size_t>(s)];
+  WinList& wl = win_list(slot.env.window);
+  if (slot.prev_win != kNoSlot) {
+    slots_[static_cast<std::size_t>(slot.prev_win)].next_win = slot.next_win;
+  } else {
+    wl.head = slot.next_win;
+  }
+  if (slot.next_win != kNoSlot) {
+    slots_[static_cast<std::size_t>(slot.next_win)].prev_win = slot.prev_win;
+  } else {
+    wl.tail = slot.prev_win;
+  }
+}
+
+void MessageBuffer::retire(std::int32_t s) {
+  Slot& slot = slots_[static_cast<std::size_t>(s)];
+  unlink_receiver(s);
+  unlink_window(s);
+  id_map_.erase(slot.env.id);
+  slot.env.id = kNoMsg;
+  slot.next_rcv = free_head_;
+  free_head_ = s;
+  trim_window_ring();
+}
+
+void MessageBuffer::trim_window_ring() {
+  while (win_count_ > 1 && win_ring_[win_begin_].head == kNoSlot) {
+    win_begin_ = (win_begin_ + 1) & win_mask_;
+    ++win_base_;
+    --win_count_;
+  }
+}
+
+void MessageBuffer::reserve_window(std::int64_t w) {
+  if (w < win_base_ + static_cast<std::int64_t>(win_count_)) return;
+  const std::size_t need =
+      static_cast<std::size_t>(w - win_base_) + 1;
+  if (need > win_ring_.size()) {
+    // Grow to the next power of two and linearize the ring.
+    std::size_t cap = win_ring_.empty() ? 1 : win_ring_.size();
+    while (cap < need) cap *= 2;
+    std::vector<WinList> bigger(cap);
+    for (std::size_t i = 0; i < win_count_; ++i) {
+      bigger[i] = win_ring_[(win_begin_ + i) & win_mask_];
+    }
+    win_ring_ = std::move(bigger);
+    win_begin_ = 0;
+    win_mask_ = cap - 1;
+  }
+  while (static_cast<std::size_t>(w - win_base_) >= win_count_) {
+    win_ring_[(win_begin_ + win_count_) & win_mask_] = WinList{};
+    ++win_count_;
+  }
 }
 
 void MessageBuffer::mark_delivered(MsgId id) {
   AA_CHECK(is_pending(id), "mark_delivered: message not pending");
-  state_[static_cast<std::size_t>(id)] = State::Delivered;
+  retire(slot_of(id));
   --pending_;
   ++delivered_;
 }
 
 void MessageBuffer::mark_dropped(MsgId id) {
   AA_CHECK(is_pending(id), "mark_dropped: message not pending");
-  state_[static_cast<std::size_t>(id)] = State::Dropped;
+  retire(slot_of(id));
   --pending_;
   ++dropped_;
 }
 
-std::vector<MsgId> MessageBuffer::pending_to(ProcId receiver) const {
+std::size_t MessageBuffer::drop_pending_in_window(std::int64_t w) {
+  if (w < win_base_ ||
+      w >= win_base_ + static_cast<std::int64_t>(win_count_)) {
+    return 0;
+  }
+  std::size_t dropped = 0;
+  std::int32_t s = win_list(w).head;
+  while (s != kNoSlot) {
+    Slot& slot = slots_[static_cast<std::size_t>(s)];
+    const std::int32_t next = slot.next_win;
+    unlink_receiver(s);
+    id_map_.erase(slot.env.id);
+    slot.env.id = kNoMsg;
+    slot.next_rcv = free_head_;
+    free_head_ = s;
+    ++dropped;
+    s = next;
+  }
+  win_list(w) = WinList{};
+  trim_window_ring();
+  pending_ -= dropped;
+  dropped_ += dropped;
+  return dropped;
+}
+
+// ---- iteration ------------------------------------------------------------
+
+const Envelope& MessageBuffer::PendingIterator::operator*() const {
+  return buf_->slots_[static_cast<std::size_t>(cur_)].env;
+}
+
+void MessageBuffer::PendingIterator::skip_non_matching() {
+  if (sender_ < 0) return;
+  while (cur_ >= 0 &&
+         buf_->slots_[static_cast<std::size_t>(cur_)].env.sender != sender_) {
+    cur_ = buf_->slots_[static_cast<std::size_t>(cur_)].next_rcv;
+  }
+}
+
+void MessageBuffer::PendingIterator::prefetch() {
+  if (cur_ < 0) {
+    next_ = kNoSlot;
+    return;
+  }
+  std::int32_t s = buf_->slots_[static_cast<std::size_t>(cur_)].next_rcv;
+  if (sender_ >= 0) {
+    while (s >= 0 &&
+           buf_->slots_[static_cast<std::size_t>(s)].env.sender != sender_) {
+      s = buf_->slots_[static_cast<std::size_t>(s)].next_rcv;
+    }
+  }
+  next_ = s;
+}
+
+const Envelope& MessageBuffer::WindowIterator::operator*() const {
+  return buf_->slots_[static_cast<std::size_t>(cur_)].env;
+}
+
+void MessageBuffer::WindowIterator::advance_to_nonempty_window() {
+  const std::int64_t end =
+      buf_->win_base_ + static_cast<std::int64_t>(buf_->win_count_);
+  if (window_ < buf_->win_base_) window_ = buf_->win_base_ - 1;
+  while (cur_ < 0 && ++window_ < end) {
+    cur_ = buf_->win_list(window_).head;
+  }
+}
+
+void MessageBuffer::WindowIterator::prefetch() {
+  next_ = cur_ < 0 ? kNoSlot
+                   : buf_->slots_[static_cast<std::size_t>(cur_)].next_win;
+}
+
+MessageBuffer::Range<MessageBuffer::PendingIterator> MessageBuffer::pending_to(
+    ProcId receiver) const {
   AA_REQUIRE(receiver >= 0 && receiver < n_, "pending_to: bad receiver");
-  std::vector<MsgId> out;
-  for (MsgId id : by_receiver_[static_cast<std::size_t>(receiver)]) {
-    if (state_[static_cast<std::size_t>(id)] == State::Pending)
-      out.push_back(id);
+  return {PendingIterator(this, rcv_head_[static_cast<std::size_t>(receiver)],
+                          -1),
+          PendingIterator(this, kNoSlot, -1)};
+}
+
+MessageBuffer::Range<MessageBuffer::PendingIterator>
+MessageBuffer::pending_from_to(ProcId sender, ProcId receiver) const {
+  AA_REQUIRE(receiver >= 0 && receiver < n_, "pending_from_to: bad receiver");
+  AA_REQUIRE(sender >= 0 && sender < n_, "pending_from_to: bad sender");
+  return {PendingIterator(this, rcv_head_[static_cast<std::size_t>(receiver)],
+                          sender),
+          PendingIterator(this, kNoSlot, sender)};
+}
+
+MessageBuffer::Range<MessageBuffer::WindowIterator>
+MessageBuffer::pending_in_window(std::int64_t w) const {
+  std::int32_t head = kNoSlot;
+  if (w >= win_base_ && w < win_base_ + static_cast<std::int64_t>(win_count_)) {
+    head = win_list(w).head;
   }
+  return {WindowIterator(this, head, w, /*all_windows=*/false),
+          WindowIterator(this, kNoSlot, w, /*all_windows=*/false)};
+}
+
+MessageBuffer::Range<MessageBuffer::WindowIterator> MessageBuffer::all_pending()
+    const {
+  return {WindowIterator(this, kNoSlot, win_base_ - 1, /*all_windows=*/true),
+          WindowIterator(this, kNoSlot,
+                         win_base_ + static_cast<std::int64_t>(win_count_),
+                         /*all_windows=*/false)};
+}
+
+// ---- allocating conveniences ----------------------------------------------
+
+std::vector<MsgId> MessageBuffer::pending_to_ids(ProcId receiver) const {
+  std::vector<MsgId> out;
+  for (const Envelope& e : pending_to(receiver)) out.push_back(e.id);
   return out;
 }
 
-std::vector<MsgId> MessageBuffer::pending_from_to(ProcId sender,
-                                                  ProcId receiver) const {
+std::vector<MsgId> MessageBuffer::pending_from_to_ids(ProcId sender,
+                                                      ProcId receiver) const {
   std::vector<MsgId> out;
-  for (MsgId id : by_receiver_[static_cast<std::size_t>(receiver)]) {
-    const auto idx = static_cast<std::size_t>(id);
-    if (state_[idx] == State::Pending && all_[idx].sender == sender)
-      out.push_back(id);
-  }
+  for (const Envelope& e : pending_from_to(sender, receiver))
+    out.push_back(e.id);
   return out;
 }
 
-std::vector<MsgId> MessageBuffer::pending_in_window(std::int64_t w) const {
+std::vector<MsgId> MessageBuffer::pending_in_window_ids(std::int64_t w) const {
   std::vector<MsgId> out;
-  for (std::size_t i = 0; i < all_.size(); ++i) {
-    if (state_[i] == State::Pending && all_[i].window == w)
-      out.push_back(static_cast<MsgId>(i));
-  }
+  for (const Envelope& e : pending_in_window(w)) out.push_back(e.id);
   return out;
 }
 
-std::vector<MsgId> MessageBuffer::all_pending() const {
+std::vector<MsgId> MessageBuffer::all_pending_ids() const {
   std::vector<MsgId> out;
-  for (std::size_t i = 0; i < all_.size(); ++i) {
-    if (state_[i] == State::Pending) out.push_back(static_cast<MsgId>(i));
-  }
+  out.reserve(pending_);
+  for (const Envelope& e : all_pending()) out.push_back(e.id);
   return out;
 }
 

@@ -1,18 +1,120 @@
-// MessageBuffer: the in-flight message store of §2.
+// MessageBuffer: the in-flight message store of §2, backed by a recycling
+// slot arena.
 //
 // The adversary has full information: it can inspect every pending envelope.
 // Delivery and drops are explicit engine events; a message is in exactly one
 // of three states: pending, delivered, dropped. (Dropping models the
 // acceptable-window semantics where messages from silenced senders are never
 // delivered; the async crash model never drops except to crashed receivers.)
+//
+// Arena design (the O(live) rewrite):
+//   * MsgIds stay monotonically increasing — the adversary-visible identity
+//     and all iteration orders are unchanged from the append-only store.
+//   * Each live (pending) message occupies one reusable Slot; delivered and
+//     dropped messages release their slot immediately, so memory is
+//     O(peak live messages), independent of execution length.
+//   * Ids resolve to slots through an open-addressing table (linear probing
+//     with backward-shift deletion); sequential ids index near-perfectly, so
+//     lookups are O(1) with no per-message heap allocation in steady state.
+//   * Slots are threaded onto two intrusive doubly-linked lists — one per
+//     receiver and one per send-window — kept in ascending-id (send) order.
+//     pending_to / pending_from_to / pending_in_window / all_pending iterate
+//     those lists in O(result), and drop_pending_in_window retires exactly
+//     the window's own leftovers.
+//
+// Because slots recycle, envelope lookups are only valid for PENDING ids:
+// querying a retired id throws (std::logic_error), and is_pending(id) is the
+// only question that can be asked about the whole history. References
+// returned by get()/iteration are invalidated by the next add().
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "sim/types.hpp"
 
 namespace aa::sim {
+
+namespace detail {
+
+/// Open-addressing MsgId → slot-index map (linear probing, power-of-two
+/// capacity, backward-shift deletion — no tombstones, so steady-state
+/// insert/erase churn never degrades or reallocates).
+class MsgIdMap {
+ public:
+  static constexpr std::uint32_t kAbsent = 0xffffffffu;
+
+  MsgIdMap() = default;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  [[nodiscard]] std::uint32_t find(MsgId key) const noexcept {
+    if (cells_.empty()) return kAbsent;
+    std::size_t i = home(key);
+    while (cells_[i].key != kNoMsg) {
+      if (cells_[i].key == key) return cells_[i].value;
+      i = (i + 1) & mask_;
+    }
+    return kAbsent;
+  }
+
+  void insert(MsgId key, std::uint32_t value) {
+    if ((size_ + 1) * 4 >= cells_.size() * 3) grow();
+    std::size_t i = home(key);
+    while (cells_[i].key != kNoMsg) i = (i + 1) & mask_;
+    cells_[i] = Cell{key, value};
+    ++size_;
+  }
+
+  /// Precondition: key present.
+  void erase(MsgId key) noexcept {
+    std::size_t i = home(key);
+    while (cells_[i].key != key) i = (i + 1) & mask_;
+    // Backward-shift deletion: close the probe chain over the vacated cell.
+    std::size_t j = i;
+    while (true) {
+      j = (j + 1) & mask_;
+      if (cells_[j].key == kNoMsg) break;
+      const std::size_t h = home(cells_[j].key);
+      if (((j - h) & mask_) >= ((j - i) & mask_)) {
+        cells_[i] = cells_[j];
+        i = j;
+      }
+    }
+    cells_[i].key = kNoMsg;
+    --size_;
+  }
+
+ private:
+  struct Cell {
+    MsgId key = kNoMsg;
+    std::uint32_t value = 0;
+  };
+
+  // Sequential ids hash to sequential cells — identity is the ideal hash
+  // for monotonically assigned keys under linear probing.
+  [[nodiscard]] std::size_t home(MsgId key) const noexcept {
+    return static_cast<std::size_t>(static_cast<std::uint64_t>(key)) & mask_;
+  }
+
+  void grow() {
+    const std::size_t cap = cells_.empty() ? 64 : cells_.size() * 2;
+    std::vector<Cell> old = std::move(cells_);
+    cells_.assign(cap, Cell{});
+    mask_ = cap - 1;
+    size_ = 0;
+    for (const Cell& c : old) {
+      if (c.key != kNoMsg) insert(c.key, c.value);
+    }
+  }
+
+  std::vector<Cell> cells_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace detail
 
 class MessageBuffer {
  public:
@@ -22,32 +124,125 @@ class MessageBuffer {
   MsgId add(ProcId sender, ProcId receiver, const Message& payload,
             std::int64_t window, std::int64_t chain);
 
-  /// Envelope lookup (any state).
+  /// Envelope lookup. Valid for PENDING ids only (retired slots recycle).
   [[nodiscard]] const Envelope& get(MsgId id) const;
 
+  /// True iff `id` is live. Retired (delivered/dropped) ids return false;
+  /// ids never issued throw.
   [[nodiscard]] bool is_pending(MsgId id) const;
-  [[nodiscard]] bool is_delivered(MsgId id) const;
-  [[nodiscard]] bool is_dropped(MsgId id) const;
 
-  /// Transition pending → delivered. Precondition: pending.
+  /// Transition pending → delivered and recycle the slot. Precondition:
+  /// pending (a retired id throws std::logic_error).
   void mark_delivered(MsgId id);
-  /// Transition pending → dropped. Precondition: pending.
+  /// Transition pending → dropped and recycle the slot. Precondition:
+  /// pending.
   void mark_dropped(MsgId id);
 
-  /// Ids of all pending messages addressed to `receiver` (send order).
-  [[nodiscard]] std::vector<MsgId> pending_to(ProcId receiver) const;
+  /// Drop every still-pending message sent during window `w` by walking
+  /// only that window's own pending list. Returns the number dropped.
+  std::size_t drop_pending_in_window(std::int64_t w);
 
-  /// Ids of pending messages to `receiver` from `sender` (send order).
-  [[nodiscard]] std::vector<MsgId> pending_from_to(ProcId sender,
-                                                   ProcId receiver) const;
+  // ---- allocation-free iteration (ascending-id order) --------------------
+  //
+  // Ranges yield `const Envelope&`. Iterators prefetch their successor, so
+  // retiring the CURRENT element (mark_delivered / mark_dropped) while
+  // iterating is safe; retiring any other element or adding messages
+  // mid-iteration is not.
 
-  /// Ids of all pending messages sent during window `w`.
-  [[nodiscard]] std::vector<MsgId> pending_in_window(std::int64_t w) const;
+  class PendingIterator {
+   public:
+    PendingIterator(const MessageBuffer* buf, std::int32_t slot, ProcId sender)
+        : buf_(buf), cur_(slot), sender_(sender) {
+      skip_non_matching();
+      prefetch();
+    }
+    const Envelope& operator*() const;
+    PendingIterator& operator++() {
+      cur_ = next_;
+      prefetch();
+      return *this;
+    }
+    bool operator!=(const PendingIterator& o) const { return cur_ != o.cur_; }
+    bool operator==(const PendingIterator& o) const { return cur_ == o.cur_; }
 
-  /// All pending ids (send order).
-  [[nodiscard]] std::vector<MsgId> all_pending() const;
+   private:
+    void skip_non_matching();
+    void prefetch();
 
-  [[nodiscard]] std::size_t total_sent() const noexcept { return all_.size(); }
+    const MessageBuffer* buf_;
+    std::int32_t cur_;
+    std::int32_t next_ = -1;
+    ProcId sender_;  ///< -1: no sender filter
+  };
+
+  class WindowIterator {
+   public:
+    WindowIterator(const MessageBuffer* buf, std::int32_t slot,
+                   std::int64_t window, bool all_windows)
+        : buf_(buf), cur_(slot), window_(window), all_windows_(all_windows) {
+      if (all_windows_) advance_to_nonempty_window();
+      prefetch();
+    }
+    const Envelope& operator*() const;
+    WindowIterator& operator++() {
+      cur_ = next_;
+      if (all_windows_ && cur_ < 0) advance_to_nonempty_window();
+      prefetch();
+      return *this;
+    }
+    bool operator!=(const WindowIterator& o) const { return cur_ != o.cur_; }
+    bool operator==(const WindowIterator& o) const { return cur_ == o.cur_; }
+
+   private:
+    void advance_to_nonempty_window();
+    void prefetch();
+
+    const MessageBuffer* buf_;
+    std::int32_t cur_;
+    std::int32_t next_ = -1;
+    std::int64_t window_;  ///< window of cur_ (all_windows) or the filter
+    bool all_windows_;
+  };
+
+  template <typename Iter>
+  class Range {
+   public:
+    Range(Iter begin, Iter end) : begin_(begin), end_(end) {}
+    [[nodiscard]] Iter begin() const { return begin_; }
+    [[nodiscard]] Iter end() const { return end_; }
+    [[nodiscard]] bool empty() const { return !(begin_ != end_); }
+
+   private:
+    Iter begin_;
+    Iter end_;
+  };
+
+  /// All pending messages addressed to `receiver` (send order).
+  [[nodiscard]] Range<PendingIterator> pending_to(ProcId receiver) const;
+
+  /// Pending messages to `receiver` from `sender` (send order).
+  [[nodiscard]] Range<PendingIterator> pending_from_to(ProcId sender,
+                                                       ProcId receiver) const;
+
+  /// All pending messages sent during window `w` (send order).
+  [[nodiscard]] Range<WindowIterator> pending_in_window(std::int64_t w) const;
+
+  /// Every pending message (send order).
+  [[nodiscard]] Range<WindowIterator> all_pending() const;
+
+  // ---- allocating conveniences (diagnostics / tests) ---------------------
+
+  [[nodiscard]] std::vector<MsgId> pending_to_ids(ProcId receiver) const;
+  [[nodiscard]] std::vector<MsgId> pending_from_to_ids(ProcId sender,
+                                                       ProcId receiver) const;
+  [[nodiscard]] std::vector<MsgId> pending_in_window_ids(std::int64_t w) const;
+  [[nodiscard]] std::vector<MsgId> all_pending_ids() const;
+
+  // ---- counters and arena introspection ----------------------------------
+
+  [[nodiscard]] std::size_t total_sent() const noexcept {
+    return static_cast<std::size_t>(next_id_);
+  }
   [[nodiscard]] std::size_t pending_count() const noexcept { return pending_; }
   [[nodiscard]] std::size_t delivered_count() const noexcept {
     return delivered_;
@@ -55,14 +250,70 @@ class MessageBuffer {
   [[nodiscard]] std::size_t dropped_count() const noexcept { return dropped_; }
   [[nodiscard]] int n() const noexcept { return n_; }
 
+  /// Number of live (pending) messages — the arena's working set.
+  [[nodiscard]] std::size_t live_count() const noexcept { return pending_; }
+  /// Slots ever materialized — the arena's high-water mark. Stays flat once
+  /// the peak live load is reached, no matter how long the run is.
+  [[nodiscard]] std::size_t slot_capacity() const noexcept {
+    return slots_.size();
+  }
+
  private:
-  enum class State : std::uint8_t { Pending, Delivered, Dropped };
+  friend class PendingIterator;
+  friend class WindowIterator;
+
+  struct Slot {
+    Envelope env;
+    std::int32_t prev_rcv = -1;
+    std::int32_t next_rcv = -1;  ///< doubles as the free-list link
+    std::int32_t prev_win = -1;
+    std::int32_t next_win = -1;
+  };
+
+  struct WinList {
+    std::int32_t head = -1;
+    std::int32_t tail = -1;
+  };
+
+  /// Slot index for a live id; kAbsentSlot when retired. Throws on ids
+  /// never issued.
+  [[nodiscard]] std::int32_t slot_of(MsgId id) const;
+  /// Unlink from both lists, erase the id mapping, push onto the free list.
+  void retire(std::int32_t slot);
+  void unlink_receiver(std::int32_t slot);
+  void unlink_window(std::int32_t slot);
+  /// Pop leading empty window lists (the newest list always survives so a
+  /// re-send into the current window can extend it).
+  void trim_window_ring();
+
+  [[nodiscard]] WinList& win_list(std::int64_t w) {
+    return win_ring_[static_cast<std::size_t>(
+        (win_begin_ + static_cast<std::size_t>(w - win_base_)) & win_mask_)];
+  }
+  [[nodiscard]] const WinList& win_list(std::int64_t w) const {
+    return win_ring_[static_cast<std::size_t>(
+        (win_begin_ + static_cast<std::size_t>(w - win_base_)) & win_mask_)];
+  }
+  /// Ensure the ring covers window w (extending with empty lists).
+  void reserve_window(std::int64_t w);
 
   int n_;
-  std::vector<Envelope> all_;
-  std::vector<State> state_;
-  // Per-receiver index of message ids (never shrinks; state checked on scan).
-  std::vector<std::vector<MsgId>> by_receiver_;
+  std::vector<Slot> slots_;
+  std::int32_t free_head_ = -1;
+  detail::MsgIdMap id_map_;
+  MsgId next_id_ = 0;
+
+  std::vector<std::int32_t> rcv_head_;
+  std::vector<std::int32_t> rcv_tail_;
+
+  // Circular buffer of per-window pending lists for windows
+  // [win_base_, win_base_ + win_count_).
+  std::vector<WinList> win_ring_;
+  std::size_t win_begin_ = 0;
+  std::size_t win_mask_ = 0;
+  std::size_t win_count_ = 0;
+  std::int64_t win_base_ = 0;
+
   std::size_t pending_ = 0;
   std::size_t delivered_ = 0;
   std::size_t dropped_ = 0;

@@ -31,24 +31,25 @@ Execution::Execution(std::vector<std::unique_ptr<Process>> procs,
   }
 }
 
-std::vector<MsgId> Execution::sending_step(ProcId p) {
+std::span<const MsgId> Execution::sending_step(ProcId p) {
   AA_REQUIRE(p >= 0 && p < n_, "sending_step: bad proc id");
   record(StepKind::Send, p);
-  std::vector<MsgId> published;
-  if (crashed_[static_cast<std::size_t>(p)]) return published;
+  published_.clear();
+  if (crashed_[static_cast<std::size_t>(p)]) return published_;
   Outbox& out = staged_[static_cast<std::size_t>(p)];
   // Complete-response semantics: an empty outbox means the step is a no-op.
   for (const Outbox::Item& item : out.items()) {
-    published.push_back(buffer_.add(p, item.to, item.msg, window_,
-                                    chain_[static_cast<std::size_t>(p)] + 1));
+    published_.push_back(buffer_.add(p, item.to, item.msg, window_,
+                                     chain_[static_cast<std::size_t>(p)] + 1));
   }
   out.clear();
-  return published;
+  return published_;
 }
 
 void Execution::receiving_step(MsgId id) {
   AA_CHECK(buffer_.is_pending(id), "receiving_step: message not pending");
-  const Envelope& env = buffer_.get(id);
+  // Copy: mark_delivered retires the arena slot this reference points into.
+  const Envelope env = buffer_.get(id);
   const ProcId p = env.receiver;
   AA_CHECK(!crashed_[static_cast<std::size_t>(p)],
            "receiving_step: delivery to a crashed processor");
@@ -87,7 +88,7 @@ void Execution::crash(ProcId p) {
 }
 
 void Execution::end_window() {
-  for (MsgId id : buffer_.pending_in_window(window_)) buffer_.mark_dropped(id);
+  buffer_.drop_pending_in_window(window_);
   ++window_;
 }
 

@@ -17,9 +17,11 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "sim/buffer.hpp"
+#include "sim/plan.hpp"
 #include "sim/process.hpp"
 #include "sim/types.hpp"
 #include "util/rng.hpp"
@@ -64,8 +66,10 @@ class Execution {
   // ---- the three step kinds of §2 (+ crash for §5) ----
 
   /// Sending step: publish `p`'s staged messages into the buffer.
-  /// Returns the ids published (empty when the step is a no-op).
-  std::vector<MsgId> sending_step(ProcId p);
+  /// Returns a view of the ids published (empty when the step is a no-op).
+  /// The view aliases a reusable internal buffer — it is invalidated by the
+  /// next sending step, so copy it out if it must outlive one step.
+  std::span<const MsgId> sending_step(ProcId p);
 
   /// Receiving step: deliver pending message `id` to its recipient and run
   /// the (randomized) local computation.
@@ -126,6 +130,10 @@ class Execution {
     return events_;
   }
 
+  /// Reusable workspace for the window driver (engine-internal: used by
+  /// run_acceptable_window so a steady-state window allocates nothing).
+  [[nodiscard]] WindowScratch& window_scratch() noexcept { return scratch_; }
+
  private:
   void record(StepKind k, ProcId p, MsgId m = kNoMsg);
   void check_output_write_once(ProcId p, int before);
@@ -141,6 +149,8 @@ class Execution {
   std::vector<std::int64_t> chain_;
   std::vector<Decision> decisions_;
   std::vector<Event> events_;
+  std::vector<MsgId> published_;  ///< reused by sending_step
+  WindowScratch scratch_;
   std::int64_t window_ = 0;
   std::int64_t steps_ = 0;
   std::int64_t total_resets_ = 0;

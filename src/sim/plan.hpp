@@ -1,0 +1,51 @@
+// WindowPlan — the adversary's choice for one acceptable window — and
+// WindowScratch — the reusable workspace that makes a steady-state window
+// allocation-free (owned by Execution, threaded through
+// run_acceptable_window / sending_step).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace aa::sim {
+
+/// The adversary's choice for one acceptable window.
+/// `delivery_order[i]` is the ordered list of sender identities whose
+/// just-sent messages are delivered to receiver i — its underlying SET must
+/// have size ≥ n − t (Definition 1). Senders in the list that sent nothing
+/// to i this window are permitted (delivering nothing is a no-op).
+/// `resets` lists ≤ t distinct processors to reset at the window's end.
+struct WindowPlan {
+  std::vector<std::vector<ProcId>> delivery_order;
+  std::vector<ProcId> resets;
+
+  /// Empty the plan for reuse: n cleared delivery rows (capacity kept),
+  /// no resets.
+  void reset(int n) {
+    delivery_order.resize(static_cast<std::size_t>(n));
+    for (auto& order : delivery_order) order.clear();
+    resets.clear();
+  }
+};
+
+/// Per-execution scratch for the window driver. Every buffer is reused
+/// window to window, so after warm-up a window performs no heap allocation:
+///   batch      — ids published by this window's sending steps
+///   pair_count — n²-indexed (sender, receiver) counting-sort workspace
+///   pair_begin — n²+1 offsets into pair_ids
+///   pair_ids   — the batch grouped by (sender, receiver), send order kept
+///   plan       — the adversary's reusable WindowPlan
+///   stamp      — epoch-stamped duplicate detector for plan validation
+struct WindowScratch {
+  std::vector<MsgId> batch;
+  std::vector<std::int32_t> pair_count;
+  std::vector<std::int32_t> pair_begin;
+  std::vector<MsgId> pair_ids;
+  WindowPlan plan;
+  std::vector<std::uint64_t> stamp;
+  std::uint64_t epoch = 0;
+};
+
+}  // namespace aa::sim

@@ -1,64 +1,104 @@
 #include "sim/window.hpp"
 
-#include <unordered_set>
-
 #include "util/check.hpp"
 
 namespace aa::sim {
 
-void validate_window_plan(const WindowPlan& plan, int n, int t) {
+void validate_window_plan(const WindowPlan& plan, int n, int t,
+                          WindowScratch& scratch) {
   AA_REQUIRE(static_cast<int>(plan.delivery_order.size()) == n,
              "window plan must provide a delivery order for every receiver");
+  if (scratch.stamp.size() < static_cast<std::size_t>(n)) {
+    scratch.stamp.assign(static_cast<std::size_t>(n), 0);
+  }
   for (int i = 0; i < n; ++i) {
     const auto& order = plan.delivery_order[static_cast<std::size_t>(i)];
-    std::unordered_set<ProcId> seen;
+    const std::uint64_t epoch = ++scratch.epoch;
+    int distinct = 0;
     for (ProcId s : order) {
       AA_REQUIRE(s >= 0 && s < n, "window plan: sender id out of range");
-      AA_REQUIRE(seen.insert(s).second,
+      AA_REQUIRE(scratch.stamp[static_cast<std::size_t>(s)] != epoch,
                  "window plan: duplicate sender in delivery order");
+      scratch.stamp[static_cast<std::size_t>(s)] = epoch;
+      ++distinct;
     }
-    AA_REQUIRE(static_cast<int>(seen.size()) >= n - t,
+    AA_REQUIRE(distinct >= n - t,
                "window plan: |S_i| must be >= n - t (Definition 1)");
   }
-  std::unordered_set<ProcId> rs;
+  const std::uint64_t epoch = ++scratch.epoch;
+  int resets = 0;
   for (ProcId p : plan.resets) {
     AA_REQUIRE(p >= 0 && p < n, "window plan: reset id out of range");
-    AA_REQUIRE(rs.insert(p).second, "window plan: duplicate reset target");
+    AA_REQUIRE(scratch.stamp[static_cast<std::size_t>(p)] != epoch,
+               "window plan: duplicate reset target");
+    scratch.stamp[static_cast<std::size_t>(p)] = epoch;
+    ++resets;
   }
-  AA_REQUIRE(static_cast<int>(rs.size()) <= t,
+  AA_REQUIRE(resets <= t,
              "window plan: at most t resets per window (Definition 1)");
+}
+
+void validate_window_plan(const WindowPlan& plan, int n, int t) {
+  WindowScratch scratch;
+  validate_window_plan(plan, n, t, scratch);
 }
 
 int run_acceptable_window(Execution& exec, WindowAdversary& adv, int t) {
   const int n = exec.n();
-  // Phase 1: all n processors take sending steps.
-  std::vector<MsgId> batch;
-  for (ProcId p = 0; p < n; ++p) {
-    for (MsgId id : exec.sending_step(p)) batch.push_back(id);
-  }
-  // Phase 2: adversary inspects the batch (full information) and plans.
-  WindowPlan plan = adv.plan_window(exec, batch);
-  validate_window_plan(plan, n, t);
+  WindowScratch& sc = exec.window_scratch();
 
-  // Index the batch by (sender, receiver) for ordered delivery.
-  // Protocols may send several messages to the same peer in one window
-  // (e.g. Bracha's RBC echoes); preserve send order within a pair.
-  std::vector<std::vector<std::vector<MsgId>>> by_pair(
-      static_cast<std::size_t>(n),
-      std::vector<std::vector<MsgId>>(static_cast<std::size_t>(n)));
-  for (MsgId id : batch) {
-    if (!exec.buffer().is_pending(id)) continue;
-    const Envelope& env = exec.buffer().get(id);
-    by_pair[static_cast<std::size_t>(env.sender)]
-           [static_cast<std::size_t>(env.receiver)].push_back(id);
+  // Phase 1: all n processors take sending steps.
+  sc.batch.clear();
+  for (ProcId p = 0; p < n; ++p) {
+    const std::span<const MsgId> pub = exec.sending_step(p);
+    sc.batch.insert(sc.batch.end(), pub.begin(), pub.end());
+  }
+
+  // Phase 2: adversary inspects the batch (full information) and plans.
+  sc.plan.reset(n);
+  adv.plan_window_into(exec, sc.batch, sc.plan);
+  validate_window_plan(sc.plan, n, t, sc);
+
+  // Index the batch by (sender, receiver) with a counting sort into the
+  // reusable flat pair arrays. Protocols may send several messages to the
+  // same peer in one window (e.g. Bracha's RBC echoes); send order within a
+  // pair is preserved, so delivery order matches the append-only original.
+  const std::size_t nn = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+  sc.pair_count.assign(nn, 0);
+  const MessageBuffer& buf = exec.buffer();
+  for (MsgId id : sc.batch) {
+    const Envelope& env = buf.get(id);
+    ++sc.pair_count[static_cast<std::size_t>(env.sender) *
+                        static_cast<std::size_t>(n) +
+                    static_cast<std::size_t>(env.receiver)];
+  }
+  sc.pair_begin.resize(nn + 1);
+  std::int32_t acc = 0;
+  for (std::size_t k = 0; k < nn; ++k) {
+    sc.pair_begin[k] = acc;
+    acc += sc.pair_count[k];
+    sc.pair_count[k] = 0;  // becomes the scatter cursor
+  }
+  sc.pair_begin[nn] = acc;
+  sc.pair_ids.resize(sc.batch.size());
+  for (MsgId id : sc.batch) {
+    const Envelope& env = buf.get(id);
+    const std::size_t k = static_cast<std::size_t>(env.sender) *
+                              static_cast<std::size_t>(n) +
+                          static_cast<std::size_t>(env.receiver);
+    sc.pair_ids[static_cast<std::size_t>(sc.pair_begin[k] +
+                                         sc.pair_count[k]++)] = id;
   }
 
   int deliveries = 0;
   for (ProcId i = 0; i < n; ++i) {
     if (exec.crashed(i)) continue;
-    for (ProcId s : plan.delivery_order[static_cast<std::size_t>(i)]) {
-      for (MsgId id : by_pair[static_cast<std::size_t>(s)]
-                             [static_cast<std::size_t>(i)]) {
+    for (ProcId s : sc.plan.delivery_order[static_cast<std::size_t>(i)]) {
+      const std::size_t k = static_cast<std::size_t>(s) *
+                                static_cast<std::size_t>(n) +
+                            static_cast<std::size_t>(i);
+      for (std::int32_t j = sc.pair_begin[k]; j < sc.pair_begin[k + 1]; ++j) {
+        const MsgId id = sc.pair_ids[static_cast<std::size_t>(j)];
         if (!exec.buffer().is_pending(id)) continue;
         exec.receiving_step(id);
         ++deliveries;
@@ -67,7 +107,7 @@ int run_acceptable_window(Execution& exec, WindowAdversary& adv, int t) {
   }
 
   // Phase 3: at most t resetting steps.
-  for (ProcId p : plan.resets) exec.resetting_step(p);
+  for (ProcId p : sc.plan.resets) exec.resetting_step(p);
 
   // Window boundary: undelivered batch messages are dropped.
   exec.end_window();

@@ -10,31 +10,31 @@
 // just-sent messages (full information), and additionally controls the
 // per-receiver delivery ORDER — order matters because the §3 algorithm acts
 // on the first T1 matching-round messages it receives.
+//
+// Hot-path contract: run_acceptable_window drives everything through the
+// execution's WindowScratch (reusable batch / pair index / plan), so a
+// steady-state window performs no heap allocation. Adversaries implement
+// plan_window_into and fill the reusable plan they are handed.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "sim/execution.hpp"
+#include "sim/plan.hpp"
 #include "sim/types.hpp"
 
 namespace aa::sim {
-
-/// The adversary's choice for one acceptable window.
-/// `delivery_order[i]` is the ordered list of sender identities whose
-/// just-sent messages are delivered to receiver i — its underlying SET must
-/// have size ≥ n − t (Definition 1). Senders in the list that sent nothing
-/// to i this window are permitted (delivering nothing is a no-op).
-/// `resets` lists ≤ t distinct processors to reset at the window's end.
-struct WindowPlan {
-  std::vector<std::vector<ProcId>> delivery_order;
-  std::vector<ProcId> resets;
-};
 
 /// Throws AA_REQUIRE-style errors unless `plan` is an acceptable window for
 /// (n, t): n receivers, every S_i a duplicate-free subset of [0,n) with
 /// |S_i| ≥ n − t, and ≤ t distinct resets.
 void validate_window_plan(const WindowPlan& plan, int n, int t);
+
+/// Allocation-free variant used by the window driver: duplicate detection
+/// runs on `scratch`'s epoch-stamp array.
+void validate_window_plan(const WindowPlan& plan, int n, int t,
+                          WindowScratch& scratch);
 
 /// A strongly adaptive (window) adversary: full information, chooses the
 /// delivery sets/order and resets for each window.
@@ -42,11 +42,24 @@ class WindowAdversary {
  public:
   virtual ~WindowAdversary() = default;
 
-  /// Plan the window. `batch` holds the ids of all messages just published
-  /// by the window's sending steps. Implementations may inspect the whole
+  /// Plan the window into `plan` (handed over empty via WindowPlan::reset;
+  /// implementations append to plan.delivery_order[i] / plan.resets). The
+  /// plan object is reused across windows, so steady-state planning does
+  /// not allocate. `batch` holds the ids of all messages just published by
+  /// the window's sending steps. Implementations may inspect the whole
   /// execution (states, buffer contents) — the model is full-information.
-  virtual WindowPlan plan_window(const Execution& exec,
-                                 const std::vector<MsgId>& batch) = 0;
+  virtual void plan_window_into(const Execution& exec,
+                                const std::vector<MsgId>& batch,
+                                WindowPlan& plan) = 0;
+
+  /// Convenience (tests / exploration): plan into a fresh WindowPlan.
+  [[nodiscard]] WindowPlan plan_window(const Execution& exec,
+                                       const std::vector<MsgId>& batch) {
+    WindowPlan plan;
+    plan.reset(exec.n());
+    plan_window_into(exec, batch, plan);
+    return plan;
+  }
 
   [[nodiscard]] virtual std::string name() const = 0;
 };

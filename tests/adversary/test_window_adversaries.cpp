@@ -61,7 +61,7 @@ TEST(RandomAdversary, ProducesValidPlansAcrossWindows) {
   RandomWindowAdversary rnd(t, 0.3, Rng(5));
   for (int w = 0; w < 20; ++w) {
     // Plans must be valid every window regardless of protocol state.
-    const auto batch = e.buffer().pending_in_window(e.window());
+    const auto batch = e.buffer().pending_in_window_ids(e.window());
     const sim::WindowPlan plan = rnd.plan_window(e, batch);
     EXPECT_NO_THROW(sim::validate_window_plan(plan, n, t));
     EXPECT_LE(plan.resets.size(), static_cast<std::size_t>(t));

@@ -119,15 +119,14 @@ TEST(Equivalence, ResetPathMatchesToo) {
   // Engine.
   class OneResetAdversary final : public sim::WindowAdversary {
    public:
-    sim::WindowPlan plan_window(const sim::Execution& exec,
-                                const std::vector<sim::MsgId>&) override {
-      sim::WindowPlan plan;
+    void plan_window_into(const sim::Execution& exec,
+                          const std::vector<sim::MsgId>&,
+                          sim::WindowPlan& plan) override {
       std::vector<sim::ProcId> everyone;
       for (int i = 0; i < exec.n(); ++i) everyone.push_back(i);
       plan.delivery_order.assign(static_cast<std::size_t>(exec.n()),
                                  everyone);
       if (exec.window() == 0) plan.resets = {0};
-      return plan;
     }
     [[nodiscard]] std::string name() const override { return "one-reset"; }
   };

@@ -108,17 +108,18 @@ TEST(Execution, SecondSendingStepIsNoOp) {
 TEST(Execution, ReceivingStepDeliversAndStagesResponse) {
   Execution e(echo_procs(2), 1);
   e.sending_step(0);
-  const auto pending = e.buffer().pending_to(1);
+  const auto pending = e.buffer().pending_to_ids(1);
   ASSERT_FALSE(pending.empty());
   e.receiving_step(pending[0]);
-  EXPECT_TRUE(e.buffer().is_delivered(pending[0]));
+  EXPECT_FALSE(e.buffer().is_pending(pending[0]));
+  EXPECT_EQ(e.buffer().delivered_count(), 1u);
   EXPECT_TRUE(e.has_staged(1));  // echo reply staged, not yet published
 }
 
 TEST(Execution, ReceivingNonPendingThrows) {
   Execution e(echo_procs(2), 1);
   e.sending_step(0);
-  const auto pending = e.buffer().pending_to(1);
+  const auto pending = e.buffer().pending_to_ids(1);
   e.receiving_step(pending[0]);
   EXPECT_THROW(e.receiving_step(pending[0]), std::logic_error);
 }
@@ -147,7 +148,7 @@ TEST(Execution, CrashStopsDeliveries) {
   e.crash(1);
   EXPECT_TRUE(e.crashed(1));
   EXPECT_EQ(e.crashed_count(), 1);
-  const auto pending = e.buffer().pending_to(1);
+  const auto pending = e.buffer().pending_to_ids(1);
   ASSERT_FALSE(pending.empty());
   EXPECT_THROW(e.receiving_step(pending[0]), std::logic_error);
 }
@@ -192,13 +193,14 @@ TEST(Execution, AdvanceWindowKeepsPending) {
 TEST(Execution, ChainDepthPropagates) {
   Execution e(echo_procs(2), 1);
   e.sending_step(0);  // chain 1 messages
-  const auto to1 = e.buffer().pending_to(1);
+  const auto to1 = e.buffer().pending_to_ids(1);
   e.receiving_step(to1[0]);
   EXPECT_EQ(e.chain_depth(1), 1);
   const auto reply = e.sending_step(1);  // reply has chain 2
   ASSERT_FALSE(reply.empty());
-  EXPECT_EQ(e.buffer().get(reply[0]).chain, 2);
-  e.receiving_step(reply[0]);
+  const MsgId reply0 = reply[0];
+  EXPECT_EQ(e.buffer().get(reply0).chain, 2);
+  e.receiving_step(reply0);
   EXPECT_EQ(e.chain_depth(0), 2);
 }
 
@@ -208,7 +210,8 @@ TEST(Execution, DecisionRecorded) {
   // Bounce messages until round >= 3 triggers a decision at proc 1.
   for (int hop = 0; hop < 6 && e.decided_count() == 0; ++hop) {
     for (ProcId p = 0; p < 2; ++p) {
-      for (MsgId id : e.buffer().pending_to(p)) e.receiving_step(id);
+      for (const Envelope& env : e.buffer().pending_to(p))
+        e.receiving_step(env.id);
       e.sending_step(p);
     }
   }
@@ -233,7 +236,7 @@ TEST(Execution, WriteOnceOutputEnforced) {
   e.sending_step(0);
   e.sending_step(1);
   // Both broadcasts pend at receiver 1 (one from 0, one from itself).
-  const auto to1 = e.buffer().pending_to(1);
+  const auto to1 = e.buffer().pending_to_ids(1);
   ASSERT_GE(to1.size(), 2u);
   e.receiving_step(to1[0]);  // first write: ⊥ → 0, fine
   // Rewriter flips 0 → 1 on the next receive: engine must fault.
@@ -245,7 +248,7 @@ TEST(Execution, EventLogWhenEnabled) {
   cfg.record_events = true;
   Execution e(echo_procs(2), 1, cfg);
   e.sending_step(0);
-  const auto pending = e.buffer().pending_to(1);
+  const auto pending = e.buffer().pending_to_ids(1);
   e.receiving_step(pending[0]);
   e.resetting_step(0);
   ASSERT_EQ(e.events().size(), 3u);
@@ -267,8 +270,8 @@ TEST(Execution, DeterministicAcrossSameSeed) {
     for (ProcId p = 0; p < 4; ++p) e.sending_step(p);
     std::size_t delivered = 0;
     for (ProcId p = 0; p < 4; ++p) {
-      for (MsgId id : e.buffer().pending_to(p)) {
-        e.receiving_step(id);
+      for (const Envelope& env : e.buffer().pending_to(p)) {
+        e.receiving_step(env.id);
         ++delivered;
       }
     }

@@ -89,11 +89,10 @@ TEST(RunAcceptableWindow, UndeliveredMessagesDropped) {
 TEST(RunAcceptableWindow, AdversaryPlanIsValidated) {
   class BadAdversary final : public WindowAdversary {
    public:
-    WindowPlan plan_window(const Execution& exec,
-                           const std::vector<MsgId>&) override {
-      WindowPlan plan;
+    void plan_window_into(const Execution& exec, const std::vector<MsgId>&,
+                          WindowPlan& plan) override {
+      // |S_i| = 0 < n − t: illegal.
       plan.delivery_order.assign(static_cast<std::size_t>(exec.n()), {});
-      return plan;  // |S_i| = 0 < n − t: illegal
     }
     [[nodiscard]] std::string name() const override { return "bad"; }
   };
