@@ -19,11 +19,12 @@ namespace {
 // rejoin is visible mid-run); resets {0,1} exactly once, in window 1.
 class ScriptedResetAdversary final : public sim::WindowAdversary {
  public:
-  void plan_window_into(const sim::Execution& exec,
-                        const std::vector<sim::MsgId>& batch,
-                        sim::WindowPlan& plan) override {
-    keeper_.plan_window_into(exec, batch, plan);
+  sim::PlanDecision plan_window_into(const sim::Execution& exec,
+                                     const std::vector<sim::MsgId>& batch,
+                                     sim::WindowPlan& plan) override {
+    keeper_.plan_window_into(exec, batch, plan);  // resets + refills the plan
     if (exec.window() == 1) plan.resets = {0, 1};
+    return sim::PlanDecision::kUpdated;
   }
   [[nodiscard]] std::string name() const override { return "scripted-reset"; }
 

@@ -25,6 +25,12 @@ sim::AsyncAction RandomAsyncScheduler::next(const sim::Execution& exec) {
   return sim::DeliverAction{deliverable_[rng_.uniform_index(deliverable_.size())]};
 }
 
+void FixedCrashScheduler::prepare(int /*n*/, int t) {
+  AA_REQUIRE(static_cast<int>(to_crash_.size()) <= t,
+             "fixed-crash scheduler: crash list exceeds the budget t");
+  crashed_so_far_ = 0;
+}
+
 sim::AsyncAction FixedCrashScheduler::next(const sim::Execution& exec) {
   if (crashed_so_far_ < to_crash_.size()) {
     return sim::CrashAction{to_crash_[crashed_so_far_++]};
@@ -33,6 +39,8 @@ sim::AsyncAction FixedCrashScheduler::next(const sim::Execution& exec) {
   if (deliverable_.empty()) return sim::StopAction{};
   return sim::DeliverAction{deliverable_[rng_.uniform_index(deliverable_.size())]};
 }
+
+void AsyncSplitKeeper::prepare(int /*n*/, int /*t*/) { delivered_.clear(); }
 
 sim::AsyncAction AsyncSplitKeeper::next(const sim::Execution& exec) {
   const int n = exec.n();

@@ -47,6 +47,7 @@ class FixedCrashScheduler final : public sim::AsyncAdversary {
   /// before any delivery, then behaves like RandomAsyncScheduler.
   FixedCrashScheduler(std::vector<sim::ProcId> to_crash, Rng rng)
       : to_crash_(std::move(to_crash)), rng_(rng) {}
+  void prepare(int n, int t) override;
   sim::AsyncAction next(const sim::Execution& exec) override;
   [[nodiscard]] std::string name() const override { return "fixed-crash"; }
 
@@ -65,6 +66,7 @@ class FixedCrashScheduler final : public sim::AsyncAdversary {
 class AsyncSplitKeeper final : public sim::AsyncAdversary {
  public:
   AsyncSplitKeeper() = default;
+  void prepare(int n, int t) override;
   sim::AsyncAction next(const sim::Execution& exec) override;
   [[nodiscard]] std::string name() const override {
     return "async-split-keeper";

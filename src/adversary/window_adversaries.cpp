@@ -1,6 +1,7 @@
 #include "adversary/window_adversaries.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "protocols/reset_agreement.hpp"
 #include "util/check.hpp"
@@ -18,10 +19,7 @@ void fill_all_senders(int n, std::vector<sim::ProcId>& order) {
 
 // ---------------------------------------------------------------- fair ----
 
-void FairWindowAdversary::plan_window_into(
-    const sim::Execution& exec, const std::vector<sim::MsgId>& /*batch*/,
-    sim::WindowPlan& plan) {
-  const int n = exec.n();
+void FairWindowAdversary::fill_static(int n, sim::WindowPlan& plan) {
   for (auto& order : plan.delivery_order) fill_all_senders(n, order);
 }
 
@@ -31,16 +29,17 @@ SilencerWindowAdversary::SilencerWindowAdversary(
     std::vector<sim::ProcId> silenced)
     : silenced_(std::move(silenced)) {}
 
-void SilencerWindowAdversary::plan_window_into(
-    const sim::Execution& exec, const std::vector<sim::MsgId>& /*batch*/,
-    sim::WindowPlan& plan) {
-  const int n = exec.n();
+void SilencerWindowAdversary::prepare_static(int n, int /*t*/) {
+  is_silenced_.assign(static_cast<std::size_t>(n), false);
+  for (sim::ProcId p : silenced_) {
+    AA_REQUIRE(p >= 0 && p < n, "silencer: bad processor id");
+    is_silenced_[static_cast<std::size_t>(p)] = true;
+  }
+}
+
+void SilencerWindowAdversary::fill_static(int n, sim::WindowPlan& plan) {
   if (is_silenced_.size() != static_cast<std::size_t>(n)) {
-    is_silenced_.assign(static_cast<std::size_t>(n), false);
-    for (sim::ProcId p : silenced_) {
-      AA_REQUIRE(p >= 0 && p < n, "silencer: bad processor id");
-      is_silenced_[static_cast<std::size_t>(p)] = true;
-    }
+    prepare_static(n, 0);  // driven outside run_acceptable_window
   }
   for (auto& order : plan.delivery_order) {
     order.clear();
@@ -59,10 +58,11 @@ RandomWindowAdversary::RandomWindowAdversary(int t, double reset_prob, Rng rng)
              "random adversary: reset_prob out of [0,1]");
 }
 
-void RandomWindowAdversary::plan_window_into(
+sim::PlanDecision RandomWindowAdversary::plan_window_into(
     const sim::Execution& exec, const std::vector<sim::MsgId>& /*batch*/,
     sim::WindowPlan& plan) {
   const int n = exec.n();
+  plan.reset(n);
   for (int i = 0; i < n; ++i) {
     std::vector<sim::ProcId>& ids =
         plan.delivery_order[static_cast<std::size_t>(i)];
@@ -78,6 +78,7 @@ void RandomWindowAdversary::plan_window_into(
     if (static_cast<int>(plan.resets.size()) >= t_) break;
     if (!exec.crashed(p) && rng_.bernoulli(reset_prob_)) plan.resets.push_back(p);
   }
+  return sim::PlanDecision::kUpdated;
 }
 
 // --------------------------------------------------------- reset storm ----
@@ -86,11 +87,11 @@ ResetStormAdversary::ResetStormAdversary(int t, Rng rng) : t_(t), rng_(rng) {
   AA_REQUIRE(t >= 0, "reset storm: t must be non-negative");
 }
 
-void ResetStormAdversary::plan_window_into(const sim::Execution& exec,
-                                           const std::vector<sim::MsgId>&
-                                           /*batch*/,
-                                           sim::WindowPlan& plan) {
+sim::PlanDecision ResetStormAdversary::plan_window_into(
+    const sim::Execution& exec, const std::vector<sim::MsgId>& /*batch*/,
+    sim::WindowPlan& plan) {
   const int n = exec.n();
+  plan.reset(n);
   for (auto& order : plan.delivery_order) fill_all_senders(n, order);
   fill_all_senders(n, ids_);
   for (int i = 0; i < t_ && i < n; ++i) {
@@ -101,6 +102,7 @@ void ResetStormAdversary::plan_window_into(const sim::Execution& exec,
     if (!exec.crashed(ids_[static_cast<std::size_t>(i)]))
       plan.resets.push_back(ids_[static_cast<std::size_t>(i)]);
   }
+  return sim::PlanDecision::kUpdated;
 }
 
 // -------------------------------------------------------- split keeper ----
@@ -151,10 +153,11 @@ std::vector<sim::ProcId> balance_votes(
   return order;
 }
 
-void SplitKeeperAdversary::plan_window_into(
+sim::PlanDecision SplitKeeperAdversary::plan_window_into(
     const sim::Execution& exec, const std::vector<sim::MsgId>& batch,
     sim::WindowPlan& plan) {
   const int n = exec.n();
+  plan.reset(n);
   if (votes_.size() != static_cast<std::size_t>(n)) {
     votes_.resize(static_cast<std::size_t>(n));
     non_votes_.resize(static_cast<std::size_t>(n));
@@ -197,6 +200,30 @@ void SplitKeeperAdversary::plan_window_into(
       if (present_[static_cast<std::size_t>(s)] != epoch) order.push_back(s);
     }
   }
+  return sim::PlanDecision::kUpdated;
+}
+
+// ------------------------------------------------- replan every window ----
+
+ReplanEveryWindow::ReplanEveryWindow(
+    std::unique_ptr<sim::WindowAdversary> inner)
+    : inner_(std::move(inner)) {
+  AA_REQUIRE(inner_ != nullptr, "replan-every-window: null inner adversary");
+}
+
+void ReplanEveryWindow::prepare(int n, int t) {
+  t_ = t;
+  inner_->prepare(n, t);
+}
+
+sim::PlanDecision ReplanEveryWindow::plan_window_into(
+    const sim::Execution& exec, const std::vector<sim::MsgId>& batch,
+    sim::WindowPlan& plan) {
+  // Re-preparing clears the inner adversary's plan cache, so this call is
+  // guaranteed to refill the plan from scratch — the pre-reuse behaviour.
+  inner_->prepare(exec.n(), t_);
+  inner_->plan_window_into(exec, batch, plan);
+  return sim::PlanDecision::kUpdated;
 }
 
 }  // namespace aa::adversary

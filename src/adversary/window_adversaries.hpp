@@ -19,11 +19,16 @@
 //                               below the T3/T2 thresholds and forcing
 //                               fresh coin flips every round.
 //
-// All five fill the reusable WindowPlan they are handed (plan_window_into)
-// and keep their own scratch buffers across windows, so steady-state
-// planning performs no heap allocation.
+// Fair and Silencer have plans that depend only on n, so they derive from
+// sim::StaticWindowAdversary: the plan is filled once (prepare + first
+// window) and every later window answers PlanDecision::kReusePrevious,
+// letting the driver skip the n² fill and re-validation. The other three
+// are genuinely adaptive and refill the reusable WindowPlan every window
+// (kUpdated), keeping their own scratch buffers so steady-state planning
+// still performs no heap allocation.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -33,28 +38,29 @@
 
 namespace aa::adversary {
 
-/// Deliver all messages (sender-id order), no resets.
-class FairWindowAdversary final : public sim::WindowAdversary {
+/// Deliver all messages (sender-id order), no resets. Static: plans once.
+class FairWindowAdversary final : public sim::StaticWindowAdversary {
  public:
-  void plan_window_into(const sim::Execution& exec,
-                        const std::vector<sim::MsgId>& batch,
-                        sim::WindowPlan& plan) override;
   [[nodiscard]] std::string name() const override { return "fair"; }
+
+ protected:
+  void fill_static(int n, sim::WindowPlan& plan) override;
 };
 
 /// Never deliver from the fixed set `silenced` (must have ≤ t elements);
-/// no resets. Models t crashed/partitioned processors.
-class SilencerWindowAdversary final : public sim::WindowAdversary {
+/// no resets. Models t crashed/partitioned processors. Static: plans once.
+class SilencerWindowAdversary final : public sim::StaticWindowAdversary {
  public:
   explicit SilencerWindowAdversary(std::vector<sim::ProcId> silenced);
-  void plan_window_into(const sim::Execution& exec,
-                        const std::vector<sim::MsgId>& batch,
-                        sim::WindowPlan& plan) override;
   [[nodiscard]] std::string name() const override { return "silencer"; }
+
+ protected:
+  void prepare_static(int n, int t) override;
+  void fill_static(int n, sim::WindowPlan& plan) override;
 
  private:
   std::vector<sim::ProcId> silenced_;
-  std::vector<bool> is_silenced_;  ///< sized on first plan
+  std::vector<bool> is_silenced_;  ///< rebuilt whenever n changes
 };
 
 /// Per-window random S_i of size exactly n − t in random order; resets each
@@ -62,9 +68,9 @@ class SilencerWindowAdversary final : public sim::WindowAdversary {
 class RandomWindowAdversary final : public sim::WindowAdversary {
  public:
   RandomWindowAdversary(int t, double reset_prob, Rng rng);
-  void plan_window_into(const sim::Execution& exec,
-                        const std::vector<sim::MsgId>& batch,
-                        sim::WindowPlan& plan) override;
+  sim::PlanDecision plan_window_into(const sim::Execution& exec,
+                                     const std::vector<sim::MsgId>& batch,
+                                     sim::WindowPlan& plan) override;
   [[nodiscard]] std::string name() const override { return "random"; }
 
  private:
@@ -77,9 +83,9 @@ class RandomWindowAdversary final : public sim::WindowAdversary {
 class ResetStormAdversary final : public sim::WindowAdversary {
  public:
   ResetStormAdversary(int t, Rng rng);
-  void plan_window_into(const sim::Execution& exec,
-                        const std::vector<sim::MsgId>& batch,
-                        sim::WindowPlan& plan) override;
+  sim::PlanDecision plan_window_into(const sim::Execution& exec,
+                                     const std::vector<sim::MsgId>& batch,
+                                     sim::WindowPlan& plan) override;
   [[nodiscard]] std::string name() const override { return "reset-storm"; }
 
  private:
@@ -109,9 +115,9 @@ struct BalanceScratch {
 /// adversary and a legal crash-model adversary with zero crashes.
 class SplitKeeperAdversary final : public sim::WindowAdversary {
  public:
-  void plan_window_into(const sim::Execution& exec,
-                        const std::vector<sim::MsgId>& batch,
-                        sim::WindowPlan& plan) override;
+  sim::PlanDecision plan_window_into(const sim::Execution& exec,
+                                     const std::vector<sim::MsgId>& batch,
+                                     sim::WindowPlan& plan) override;
   [[nodiscard]] std::string name() const override { return "split-keeper"; }
 
  private:
@@ -121,6 +127,27 @@ class SplitKeeperAdversary final : public sim::WindowAdversary {
   std::vector<std::uint64_t> present_;
   std::uint64_t epoch_ = 0;
   BalanceScratch balance_;
+};
+
+/// A/B wrapper that strips plan reuse from `inner`: its cache is
+/// invalidated before every window, so every plan_window_into refills the
+/// plan and returns kUpdated — the pre-reuse (replan + revalidate every
+/// window) engine behaviour. Used by benches and the reuse-equivalence
+/// tests; plans are bit-identical to the reusing inner adversary's.
+class ReplanEveryWindow final : public sim::WindowAdversary {
+ public:
+  explicit ReplanEveryWindow(std::unique_ptr<sim::WindowAdversary> inner);
+  void prepare(int n, int t) override;
+  sim::PlanDecision plan_window_into(const sim::Execution& exec,
+                                     const std::vector<sim::MsgId>& batch,
+                                     sim::WindowPlan& plan) override;
+  [[nodiscard]] std::string name() const override {
+    return "replan-every-window(" + inner_->name() + ")";
+  }
+
+ private:
+  std::unique_ptr<sim::WindowAdversary> inner_;
+  int t_ = 0;
 };
 
 /// Helper shared with the async split-keeper: produce an ordering of the

@@ -12,6 +12,7 @@
 #include "adversary/window_adversaries.hpp"
 #include "core/checker.hpp"
 #include "core/exhaustive.hpp"
+#include "core/experiment.hpp"
 #include "core/harness.hpp"
 #include "core/lowerbound.hpp"
 #include "core/zsets.hpp"

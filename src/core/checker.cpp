@@ -88,10 +88,19 @@ MeasureOneReport check_measure_one_window(
     const WindowAdversaryFactory& make_adversary, int trials,
     std::int64_t max_windows, std::uint64_t seed0,
     std::optional<protocols::Thresholds> th, const ParallelConfig& par) {
+  // One spec for every trial; Runner::run_window is const and thread-safe,
+  // so the workers share it.
+  Experiment spec;
+  spec.kind = kind;
+  spec.inputs = inputs;
+  spec.t = t;
+  spec.budget = max_windows;
+  spec.thresholds = th;
+  spec.stop = StopCondition::kAllDecided;
+  const Runner runner(std::move(spec));
   return run_measure_one(trials, seed0, par, [&](std::uint64_t seed) {
     auto adv = make_adversary(seed);
-    const WindowRunResult r = run_window_experiment(
-        kind, inputs, t, *adv, max_windows, seed, th, /*until_all=*/true);
+    const WindowRunResult r = runner.run_window(*adv, seed);
     TrialOutcome o;
     o.agreement = r.agreement;
     o.validity = r.validity;
@@ -107,12 +116,18 @@ MeasureOneReport check_measure_one_async(
     const AsyncAdversaryFactory& make_adversary, int trials,
     std::int64_t max_deliveries, std::uint64_t seed0,
     std::optional<protocols::Thresholds> th, const ParallelConfig& par) {
+  Experiment spec;
+  spec.kind = kind;
+  spec.inputs = inputs;
+  spec.t = t;
+  spec.budget = max_deliveries;
+  spec.thresholds = th;
+  spec.stop = StopCondition::kAllDecided;
+  const Runner runner(std::move(spec));
   MeasureOneReport rep =
       run_measure_one(trials, seed0, par, [&](std::uint64_t seed) {
         auto adv = make_adversary(seed);
-        const AsyncRunOutcome r = run_async_experiment(
-            kind, inputs, t, *adv, max_deliveries, seed, th,
-            /*until_all=*/true);
+        const AsyncRunOutcome r = runner.run_async(*adv, seed);
         TrialOutcome o;
         o.agreement = r.agreement;
         o.validity = r.validity;

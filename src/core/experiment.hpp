@@ -1,0 +1,132 @@
+// Experiment + Runner: the declarative experiment API.
+//
+// An Experiment is a named-field specification of one agreement experiment —
+// protocol kind, inputs, fault budget, step/window budget, thresholds, stop
+// condition, and (optionally) a Byzantine corruption — everything the old
+// positional run_window_experiment / run_async_experiment /
+// run_byzantine_window_experiment trio threaded through long parameter
+// lists. A Runner executes the spec against an adversary, deterministically
+// in the seed. One spec can be reused across many seeded runs (the Runner
+// is immutable and its run methods are const and thread-safe), which is how
+// the measure-one checkers shard trials across workers.
+//
+// The legacy run_*_experiment free functions survive in core/harness.hpp as
+// thin wrappers over this API.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "protocols/byzantine.hpp"
+#include "protocols/factory.hpp"
+#include "protocols/thresholds.hpp"
+#include "sim/async.hpp"
+#include "sim/window.hpp"
+
+namespace aa::core {
+
+/// When a run stops (before the budget runs out).
+enum class StopCondition {
+  kFirstDecision,  ///< stop once some processor wrote its output
+  kAllDecided,     ///< stop once every live (honest) processor has
+};
+
+/// Byzantine corruption riding on top of the adversary's budget: the first
+/// `count` processors lie per `strategy`; `pre_crashed` processors are
+/// crashed before the first window (crash+Byzantine hybrid schedules).
+struct ByzantineSpec {
+  int count = 0;
+  protocols::ByzantineStrategy strategy =
+      protocols::ByzantineStrategy::Equivocate;
+  std::vector<sim::ProcId> pre_crashed;
+};
+
+/// Declarative experiment specification (named fields; see file comment).
+/// `budget` counts acceptable windows in the window model and receiving
+/// steps (deliveries) in the async crash model.
+struct Experiment {
+  protocols::ProtocolKind kind = protocols::ProtocolKind::Reset;
+  std::vector<int> inputs;
+  int t = 0;
+  std::int64_t budget = 0;
+  std::optional<protocols::Thresholds> thresholds;
+  StopCondition stop = StopCondition::kFirstDecision;
+  std::optional<ByzantineSpec> byzantine;
+};
+
+/// Outcome of one window-model run.
+struct WindowRunResult {
+  bool decided = false;            ///< some processor wrote its output
+  bool all_decided = false;        ///< every live processor wrote its output
+  int decision = sim::kBot;        ///< first decided value
+  std::int64_t windows_to_first = -1;  ///< windows before the first decision
+  std::int64_t windows_total = 0;  ///< windows actually run
+  std::int64_t steps = 0;          ///< fine-grained steps taken
+  std::int64_t total_resets = 0;
+  bool agreement = true;           ///< no two outputs conflict
+  bool validity = true;            ///< every output equals some input
+};
+
+/// Outcome of one async (crash-model) run.
+struct AsyncRunOutcome {
+  bool decided = false;
+  bool all_decided = false;  ///< every live processor decided
+  int decision = sim::kBot;
+  std::int64_t deliveries = 0;
+  std::int64_t chain_at_decision = -1;  ///< message-chain length (§5 metric)
+  std::int64_t crashes = 0;
+  bool hit_limit = false;
+  bool agreement = true;
+  bool validity = true;
+};
+
+/// Outcome of a run with Byzantine (value-lying) processors; the verdicts
+/// quantify over HONEST, NON-CRASHED processors only (ids ≥ byzantine.count
+/// that never crashed — a crashed processor owes no output).
+struct ByzantineRunResult {
+  int honest_decided = 0;        ///< live honest processors with outputs
+  bool honest_all_decided = false;
+  bool honest_agreement = true;  ///< no two honest outputs conflict
+  bool honest_validity = true;   ///< honest outputs ∈ honest input values
+  std::int64_t windows_total = 0;
+};
+
+/// Agreement / validity verdicts for a finished execution.
+[[nodiscard]] bool check_agreement(const sim::Execution& exec);
+[[nodiscard]] bool check_validity(const sim::Execution& exec,
+                                  const std::vector<int>& inputs);
+
+/// Executes an Experiment spec. Immutable; every run method is const,
+/// deterministic in `seed`, and safe to call concurrently from multiple
+/// threads (each run builds its own Execution).
+class Runner {
+ public:
+  explicit Runner(Experiment spec);
+
+  [[nodiscard]] const Experiment& spec() const noexcept { return spec_; }
+
+  /// Window model (§2–§4): honest processes vs a window adversary with
+  /// reset budget spec.t, for at most spec.budget acceptable windows.
+  /// Requires spec.byzantine to be unset — use run_byzantine for that.
+  [[nodiscard]] WindowRunResult run_window(sim::WindowAdversary& adversary,
+                                           std::uint64_t seed) const;
+
+  /// Async crash model (§5): honest processes vs an async adversary with
+  /// crash budget spec.t, for at most spec.budget receiving steps.
+  /// Requires spec.byzantine to be unset.
+  [[nodiscard]] AsyncRunOutcome run_async(sim::AsyncAdversary& adversary,
+                                          std::uint64_t seed) const;
+
+  /// Window model with the spec's Byzantine corruption applied (treats an
+  /// unset spec.byzantine as count = 0, i.e. all-honest). Always runs until
+  /// every live honest processor decided or the budget elapses — the
+  /// honest-verdict analogue of StopCondition::kAllDecided.
+  [[nodiscard]] ByzantineRunResult run_byzantine(
+      sim::WindowAdversary& adversary, std::uint64_t seed) const;
+
+ private:
+  Experiment spec_;
+};
+
+}  // namespace aa::core

@@ -1,102 +1,21 @@
 #include "core/harness.hpp"
 
-#include "util/check.hpp"
-
 namespace aa::core {
-
-bool check_agreement(const sim::Execution& exec) {
-  return exec.outputs_agree();
-}
-
-bool check_validity(const sim::Execution& exec,
-                    const std::vector<int>& inputs) {
-  bool have[2] = {false, false};
-  for (int b : inputs) {
-    AA_REQUIRE(b == 0 || b == 1, "check_validity: inputs must be bits");
-    have[b] = true;
-  }
-  for (sim::ProcId p = 0; p < exec.n(); ++p) {
-    const int o = exec.output(p);
-    if (o == sim::kBot) continue;
-    if (!have[o]) return false;
-  }
-  return true;
-}
 
 WindowRunResult run_window_experiment(
     protocols::ProtocolKind kind, const std::vector<int>& inputs, int t,
     sim::WindowAdversary& adversary, std::int64_t max_windows,
     std::uint64_t seed, std::optional<protocols::Thresholds> th,
     bool until_all_decided) {
-  sim::Execution exec(protocols::make_processes(kind, t, inputs, th), seed);
-  const std::int64_t windows =
-      until_all_decided
-          ? sim::run_until_all_decided(exec, adversary, t, max_windows)
-          : sim::run_until_first_decision(exec, adversary, t, max_windows);
-
-  WindowRunResult r;
-  r.windows_total = windows;
-  r.steps = exec.step_count();
-  r.total_resets = exec.total_resets();
-  r.decided = exec.decided_count() > 0;
-  r.all_decided = exec.all_live_decided();
-  if (const auto first = exec.first_decision()) {
-    r.decision = first->value;
-    r.windows_to_first = first->window + 1;  // decision inside window w ⇒ w+1 windows
-  }
-  r.agreement = check_agreement(exec);
-  r.validity = check_validity(exec, inputs);
-  return r;
-}
-
-ByzantineRunResult run_byzantine_window_experiment(
-    protocols::ProtocolKind kind, const std::vector<int>& inputs, int t,
-    int byz_count, protocols::ByzantineStrategy strategy,
-    sim::WindowAdversary& adversary, std::int64_t max_windows,
-    std::uint64_t seed, const std::vector<sim::ProcId>& pre_crashed) {
-  const int n = static_cast<int>(inputs.size());
-  sim::Execution exec(
-      protocols::make_byzantine_processes(kind, t, inputs, byz_count,
-                                          strategy, seed ^ 0xb52b52b52ULL),
-      seed);
-  for (const sim::ProcId p : pre_crashed) exec.crash(p);
-
-  ByzantineRunResult r;
-  auto honest_done = [&] {
-    for (sim::ProcId p = byz_count; p < n; ++p) {
-      if (!exec.crashed(p) && exec.output(p) == sim::kBot) return false;
-    }
-    return true;
-  };
-  std::int64_t w = 0;
-  while (w < max_windows && !honest_done()) {
-    sim::run_acceptable_window(exec, adversary, t);
-    ++w;
-  }
-  r.windows_total = w;
-
-  bool have[2] = {false, false};
-  for (sim::ProcId p = byz_count; p < n; ++p) {
-    const int b = inputs[static_cast<std::size_t>(p)];
-    have[b] = true;
-  }
-  int seen = sim::kBot;
-  r.honest_all_decided = true;
-  for (sim::ProcId p = byz_count; p < n; ++p) {
-    // Same exemption as honest_done(): a crashed honest processor owes no
-    // output, so its kBot must not count as "not all decided".
-    if (exec.crashed(p)) continue;
-    const int o = exec.output(p);
-    if (o == sim::kBot) {
-      r.honest_all_decided = false;
-      continue;
-    }
-    ++r.honest_decided;
-    if (!have[o]) r.honest_validity = false;
-    if (seen == sim::kBot) seen = o;
-    else if (seen != o) r.honest_agreement = false;
-  }
-  return r;
+  Experiment spec;
+  spec.kind = kind;
+  spec.inputs = inputs;
+  spec.t = t;
+  spec.budget = max_windows;
+  spec.thresholds = th;
+  spec.stop = until_all_decided ? StopCondition::kAllDecided
+                                : StopCondition::kFirstDecision;
+  return Runner(std::move(spec)).run_window(adversary, seed);
 }
 
 AsyncRunOutcome run_async_experiment(
@@ -104,23 +23,29 @@ AsyncRunOutcome run_async_experiment(
     sim::AsyncAdversary& adversary, std::int64_t max_deliveries,
     std::uint64_t seed, std::optional<protocols::Thresholds> th,
     bool until_all_decided) {
-  sim::Execution exec(protocols::make_processes(kind, t, inputs, th), seed);
-  const sim::AsyncRunResult rr =
-      sim::run_async(exec, adversary, t, max_deliveries, until_all_decided);
+  Experiment spec;
+  spec.kind = kind;
+  spec.inputs = inputs;
+  spec.t = t;
+  spec.budget = max_deliveries;
+  spec.thresholds = th;
+  spec.stop = until_all_decided ? StopCondition::kAllDecided
+                                : StopCondition::kFirstDecision;
+  return Runner(std::move(spec)).run_async(adversary, seed);
+}
 
-  AsyncRunOutcome r;
-  r.deliveries = rr.deliveries;
-  r.crashes = rr.crashes;
-  r.hit_limit = rr.hit_step_limit;
-  r.decided = exec.decided_count() > 0;
-  r.all_decided = exec.all_live_decided();
-  if (const auto first = exec.first_decision()) {
-    r.decision = first->value;
-    r.chain_at_decision = first->chain;
-  }
-  r.agreement = check_agreement(exec);
-  r.validity = check_validity(exec, inputs);
-  return r;
+ByzantineRunResult run_byzantine_window_experiment(
+    protocols::ProtocolKind kind, const std::vector<int>& inputs, int t,
+    int byz_count, protocols::ByzantineStrategy strategy,
+    sim::WindowAdversary& adversary, std::int64_t max_windows,
+    std::uint64_t seed, const std::vector<sim::ProcId>& pre_crashed) {
+  Experiment spec;
+  spec.kind = kind;
+  spec.inputs = inputs;
+  spec.t = t;
+  spec.budget = max_windows;
+  spec.byzantine = ByzantineSpec{byz_count, strategy, pre_crashed};
+  return Runner(std::move(spec)).run_byzantine(adversary, seed);
 }
 
 }  // namespace aa::core

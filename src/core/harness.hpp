@@ -1,32 +1,21 @@
-// Experiment harness: one-call execution of a protocol against an adversary
-// in either the acceptable-window model (§2–§4) or the fine-grained async
-// crash model (§5), with the bookkeeping every experiment needs (windows to
-// decision, message-chain length, agreement/validity verdicts).
+// Legacy experiment harness — back-compat wrappers over core::Experiment +
+// core::Runner (core/experiment.hpp).
+//
+// The positional run_window_experiment / run_async_experiment /
+// run_byzantine_window_experiment trio predates the declarative Experiment
+// spec; each call below builds the equivalent spec and delegates to a
+// Runner, so existing call sites keep compiling unchanged. New code should
+// construct an Experiment directly — one spec, named fields, reusable
+// across seeded runs.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <vector>
 
-#include "protocols/byzantine.hpp"
-#include "protocols/factory.hpp"
-#include "sim/async.hpp"
-#include "sim/window.hpp"
+#include "core/experiment.hpp"
 
 namespace aa::core {
-
-/// Outcome of one window-model run.
-struct WindowRunResult {
-  bool decided = false;            ///< some processor wrote its output
-  bool all_decided = false;        ///< every live processor wrote its output
-  int decision = sim::kBot;        ///< first decided value
-  std::int64_t windows_to_first = -1;  ///< windows before the first decision
-  std::int64_t windows_total = 0;  ///< windows actually run
-  std::int64_t steps = 0;          ///< fine-grained steps taken
-  std::int64_t total_resets = 0;
-  bool agreement = true;           ///< no two outputs conflict
-  bool validity = true;            ///< every output equals some input
-};
 
 /// Run `kind` on `inputs` against a window adversary with budget `t`,
 /// for at most `max_windows` acceptable windows (stopping early once the
@@ -37,19 +26,6 @@ struct WindowRunResult {
     std::uint64_t seed, std::optional<protocols::Thresholds> th = std::nullopt,
     bool until_all_decided = false);
 
-/// Outcome of one async (crash-model) run.
-struct AsyncRunOutcome {
-  bool decided = false;
-  bool all_decided = false;  ///< every live processor decided
-  int decision = sim::kBot;
-  std::int64_t deliveries = 0;
-  std::int64_t chain_at_decision = -1;  ///< message-chain length (§5 metric)
-  std::int64_t crashes = 0;
-  bool hit_limit = false;
-  bool agreement = true;
-  bool validity = true;
-};
-
 /// Run `kind` on `inputs` against an async adversary with crash budget `t`
 /// for at most `max_deliveries` receiving steps. Deterministic in `seed`.
 [[nodiscard]] AsyncRunOutcome run_async_experiment(
@@ -57,22 +33,6 @@ struct AsyncRunOutcome {
     sim::AsyncAdversary& adversary, std::int64_t max_deliveries,
     std::uint64_t seed, std::optional<protocols::Thresholds> th = std::nullopt,
     bool until_all_decided = false);
-
-/// Agreement / validity verdicts for a finished execution.
-[[nodiscard]] bool check_agreement(const sim::Execution& exec);
-[[nodiscard]] bool check_validity(const sim::Execution& exec,
-                                  const std::vector<int>& inputs);
-
-/// Outcome of a run with Byzantine (value-lying) processors; the verdicts
-/// quantify over HONEST, NON-CRASHED processors only (ids ≥ byz_count that
-/// never crashed — a crashed processor owes no output).
-struct ByzantineRunResult {
-  int honest_decided = 0;        ///< live honest processors with outputs
-  bool honest_all_decided = false;
-  bool honest_agreement = true;  ///< no two honest outputs conflict
-  bool honest_validity = true;   ///< honest outputs ∈ honest input values
-  std::int64_t windows_total = 0;
-};
 
 /// Run `kind` on `inputs` where the first `byz_count` processors are
 /// wrapped in protocols::ByzantineProcess with `strategy`. The adversary's

@@ -33,6 +33,16 @@ void BenOrProcess::on_start(sim::Outbox& out) {
 
 void BenOrProcess::on_receive(const sim::Envelope& env, Rng& rng,
                               sim::Outbox& out) {
+  handle(env, rng, out);
+}
+
+void BenOrProcess::on_receive_batch(std::span<const sim::Envelope* const> envs,
+                                    Rng& rng, sim::Outbox& out) {
+  for (const sim::Envelope* env : envs) handle(*env, rng, out);
+}
+
+void BenOrProcess::handle(const sim::Envelope& env, Rng& rng,
+                          sim::Outbox& out) {
   const sim::Message& m = env.payload;
   int phase = 0;
   if (m.kind == kReportKind) phase = 1;

@@ -35,6 +35,10 @@ class BenOrProcess final : public sim::Process {
   void on_start(sim::Outbox& out) override;
   void on_receive(const sim::Envelope& env, Rng& rng,
                   sim::Outbox& out) override;
+  /// Batched delivery: same per-envelope computation, devirtualized into a
+  /// tight loop over the run.
+  void on_receive_batch(std::span<const sim::Envelope* const> envs, Rng& rng,
+                        sim::Outbox& out) override;
   /// Ben-Or predates resetting failures; a reset erases state and the
   /// processor restarts from round 1 with its input. The protocol makes no
   /// recovery promises under resets (used to demonstrate non-tolerance in
@@ -57,6 +61,9 @@ class BenOrProcess final : public sim::Process {
     bool acted = false;  ///< fire exactly once, at the (n−t)-th arrival
   };
 
+  /// Non-virtual receiving-step computation shared by on_receive and the
+  /// on_receive_batch loop.
+  void handle(const sim::Envelope& env, Rng& rng, sim::Outbox& out);
   void try_advance(Rng& rng, sim::Outbox& out);
   void finish_phase1(sim::Outbox& out);
   void finish_phase2(Rng& rng, sim::Outbox& out);

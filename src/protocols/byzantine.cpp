@@ -67,16 +67,24 @@ void ByzantineProcess::on_receive(const sim::Envelope& env, Rng& rng,
   corrupt_and_forward(staged, out);
 }
 
+void ByzantineProcess::on_receive_batch(
+    std::span<const sim::Envelope* const> envs, Rng& rng, sim::Outbox& out) {
+  sim::Outbox staged(out.n());
+  inner_->on_receive_batch(envs, rng, staged);
+  corrupt_and_forward(staged, out);
+}
+
 void ByzantineProcess::on_reset() { inner_->on_reset(); }
 
 std::vector<std::unique_ptr<sim::Process>> make_byzantine_processes(
     ProtocolKind kind, int t, const std::vector<int>& inputs, int byz_count,
-    ByzantineStrategy strategy, std::uint64_t lie_seed) {
+    ByzantineStrategy strategy, std::uint64_t lie_seed,
+    std::optional<Thresholds> th) {
   const int n = static_cast<int>(inputs.size());
   AA_REQUIRE(byz_count >= 0 && byz_count <= n,
              "make_byzantine_processes: bad byz_count");
   std::vector<std::unique_ptr<sim::Process>> procs =
-      make_processes(kind, t, inputs);
+      make_processes(kind, t, inputs, th);
   for (int i = 0; i < byz_count; ++i) {
     procs[static_cast<std::size_t>(i)] = std::make_unique<ByzantineProcess>(
         std::move(procs[static_cast<std::size_t>(i)]), strategy,

@@ -44,6 +44,12 @@ class ByzantineProcess final : public sim::Process {
   void on_start(sim::Outbox& out) override;
   void on_receive(const sim::Envelope& env, Rng& rng,
                   sim::Outbox& out) override;
+  /// Forward the whole run to the inner process's (possibly devirtualized)
+  /// batch path, then corrupt the staged responses once. Equivalent to
+  /// per-envelope interception: corruption is per staged message and the
+  /// staged order is the concatenation of the per-envelope responses.
+  void on_receive_batch(std::span<const sim::Envelope* const> envs, Rng& rng,
+                        sim::Outbox& out) override;
   void on_reset() override;
 
   [[nodiscard]] int input() const override { return inner_->input(); }
@@ -69,9 +75,12 @@ class ByzantineProcess final : public sim::Process {
 
 /// Build a process vector where the FIRST `byz_count` processors are
 /// Byzantine wrappers around `kind` processes and the rest are honest.
+/// `th` is forwarded to make_processes (honoured by Reset/Forgetful,
+/// ignored by Ben-Or/Bracha).
 [[nodiscard]] std::vector<std::unique_ptr<sim::Process>>
 make_byzantine_processes(ProtocolKind kind, int t,
                          const std::vector<int>& inputs, int byz_count,
-                         ByzantineStrategy strategy, std::uint64_t lie_seed);
+                         ByzantineStrategy strategy, std::uint64_t lie_seed,
+                         std::optional<Thresholds> th = std::nullopt);
 
 }  // namespace aa::protocols

@@ -34,6 +34,16 @@ void ForgetfulProcess::on_start(sim::Outbox& out) {
 
 void ForgetfulProcess::on_receive(const sim::Envelope& env, Rng& rng,
                                   sim::Outbox& out) {
+  handle(env, rng, out);
+}
+
+void ForgetfulProcess::on_receive_batch(
+    std::span<const sim::Envelope* const> envs, Rng& rng, sim::Outbox& out) {
+  for (const sim::Envelope* env : envs) handle(*env, rng, out);
+}
+
+void ForgetfulProcess::handle(const sim::Envelope& env, Rng& rng,
+                              sim::Outbox& out) {
   const sim::Message& m = env.payload;
   if (m.kind != kVoteKind) return;
   if (m.value != 0 && m.value != 1) return;

@@ -37,6 +37,10 @@ class ForgetfulProcess final : public sim::Process {
   void on_start(sim::Outbox& out) override;
   void on_receive(const sim::Envelope& env, Rng& rng,
                   sim::Outbox& out) override;
+  /// Batched delivery: same per-envelope computation, devirtualized into a
+  /// tight loop over the run.
+  void on_receive_batch(std::span<const sim::Envelope* const> envs, Rng& rng,
+                        sim::Outbox& out) override;
   /// The §5 model has no resets; if one happens anyway, restart at round 1.
   void on_reset() override;
 
@@ -56,6 +60,9 @@ class ForgetfulProcess final : public sim::Process {
     std::int32_t count[2] = {0, 0};  ///< 0/1 among the first T1 arrivals
   };
 
+  /// Non-virtual receiving-step computation shared by on_receive and the
+  /// on_receive_batch loop.
+  void handle(const sim::Envelope& env, Rng& rng, sim::Outbox& out);
   void try_advance(Rng& rng, sim::Outbox& out);
 
   int id_;

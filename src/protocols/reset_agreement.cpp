@@ -28,6 +28,16 @@ void ResetProcess::on_start(sim::Outbox& out) {
 
 void ResetProcess::on_receive(const sim::Envelope& env, Rng& rng,
                               sim::Outbox& out) {
+  handle(env, rng, out);
+}
+
+void ResetProcess::on_receive_batch(std::span<const sim::Envelope* const> envs,
+                                    Rng& rng, sim::Outbox& out) {
+  for (const sim::Envelope* env : envs) handle(*env, rng, out);
+}
+
+void ResetProcess::handle(const sim::Envelope& env, Rng& rng,
+                          sim::Outbox& out) {
   const sim::Message& m = env.payload;
   if (m.kind != kVoteKind) return;
   if (m.value != 0 && m.value != 1) return;

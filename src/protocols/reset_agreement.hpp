@@ -35,6 +35,11 @@ class ResetProcess final : public sim::Process {
   void on_start(sim::Outbox& out) override;
   void on_receive(const sim::Envelope& env, Rng& rng,
                   sim::Outbox& out) override;
+  /// Batched delivery: same per-envelope computation, devirtualized into a
+  /// tight loop over the run (one virtual call per window instead of per
+  /// message).
+  void on_receive_batch(std::span<const sim::Envelope* const> envs, Rng& rng,
+                        sim::Outbox& out) override;
   void on_reset() override;
 
   [[nodiscard]] int input() const override { return input_; }
@@ -62,6 +67,9 @@ class ResetProcess final : public sim::Process {
     std::int32_t count[2] = {0, 0};  ///< 0/1 among the first T1 arrivals
   };
 
+  /// The whole receiving-step computation (non-virtual: shared by
+  /// on_receive and the on_receive_batch loop).
+  void handle(const sim::Envelope& env, Rng& rng, sim::Outbox& out);
   /// Step 3 + step 4 on the first T1 votes recorded for round `round_`.
   void step3_and_advance(Rng& rng, sim::Outbox& out);
   /// Run step 3 for as many consecutive rounds as already have T1 votes

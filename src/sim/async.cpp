@@ -8,6 +8,7 @@ AsyncRunResult run_async(Execution& exec, AsyncAdversary& adv, int t,
                          std::int64_t max_deliveries,
                          bool until_all_decided) {
   const int n = exec.n();
+  adv.prepare(n, t);
   // Publish every processor's initial staged messages.
   for (ProcId p = 0; p < n; ++p) exec.sending_step(p);
 

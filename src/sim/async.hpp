@@ -35,6 +35,16 @@ using AsyncAction = std::variant<DeliverAction, CrashAction, StopAction>;
 class AsyncAdversary {
  public:
   virtual ~AsyncAdversary() = default;
+
+  /// Lifecycle hook, called by run_async once before the first action —
+  /// the async mirror of WindowAdversary::prepare. Stateful schedulers
+  /// reset their run-scoped state here, which makes one scheduler instance
+  /// safely reusable across runs. Default: no-op.
+  virtual void prepare(int n, int t) {
+    (void)n;
+    (void)t;
+  }
+
   virtual AsyncAction next(const Execution& exec) = 0;
   [[nodiscard]] virtual std::string name() const = 0;
 };

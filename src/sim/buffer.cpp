@@ -37,6 +37,7 @@ MsgId MessageBuffer::add(ProcId sender, ProcId receiver,
   }
   Slot& slot = slots_[static_cast<std::size_t>(s)];
   slot.env = Envelope{id, sender, receiver, payload, window, chain};
+  slot.lazy = false;
 
   // Append to the receiver list (keeps ascending-id order).
   slot.prev_rcv = rcv_tail_[static_cast<std::size_t>(receiver)];
@@ -160,6 +161,20 @@ void MessageBuffer::mark_delivered(MsgId id) {
   ++delivered_;
 }
 
+const Envelope* MessageBuffer::deliver_lazy(MsgId id, ProcId receiver) {
+  const std::int32_t s = slot_of(id);
+  if (s == kNoSlot) return nullptr;
+  Slot& slot = slots_[static_cast<std::size_t>(s)];
+  AA_CHECK(slot.env.receiver == receiver,
+           "deliver_lazy: message addressed to a different receiver");
+  unlink_receiver(s);
+  id_map_.erase(id);
+  slot.lazy = true;
+  --pending_;
+  ++delivered_;
+  return &slot.env;
+}
+
 void MessageBuffer::mark_dropped(MsgId id) {
   AA_CHECK(is_pending(id), "mark_dropped: message not pending");
   retire(slot_of(id));
@@ -177,12 +192,17 @@ std::size_t MessageBuffer::drop_pending_in_window(std::int64_t w) {
   while (s != kNoSlot) {
     Slot& slot = slots_[static_cast<std::size_t>(s)];
     const std::int32_t next = slot.next_win;
-    unlink_receiver(s);
-    id_map_.erase(slot.env.id);
+    if (slot.lazy) {
+      // deliver_lazy already unlinked/erased it — just recycle the slot.
+      slot.lazy = false;
+    } else {
+      unlink_receiver(s);
+      id_map_.erase(slot.env.id);
+      ++dropped;
+    }
     slot.env.id = kNoMsg;
     slot.next_rcv = free_head_;
     free_head_ = s;
-    ++dropped;
     s = next;
   }
   win_list(w) = WinList{};
@@ -231,12 +251,24 @@ void MessageBuffer::WindowIterator::advance_to_nonempty_window() {
   if (window_ < buf_->win_base_) window_ = buf_->win_base_ - 1;
   while (cur_ < 0 && ++window_ < end) {
     cur_ = buf_->win_list(window_).head;
+    skip_lazy();  // a list of only-parked slots counts as empty
+  }
+}
+
+void MessageBuffer::WindowIterator::skip_lazy() {
+  while (cur_ >= 0 && buf_->slots_[static_cast<std::size_t>(cur_)].lazy) {
+    cur_ = buf_->slots_[static_cast<std::size_t>(cur_)].next_win;
   }
 }
 
 void MessageBuffer::WindowIterator::prefetch() {
-  next_ = cur_ < 0 ? kNoSlot
-                   : buf_->slots_[static_cast<std::size_t>(cur_)].next_win;
+  std::int32_t s = cur_ < 0 ? kNoSlot
+                            : buf_->slots_[static_cast<std::size_t>(cur_)]
+                                  .next_win;
+  while (s >= 0 && buf_->slots_[static_cast<std::size_t>(s)].lazy) {
+    s = buf_->slots_[static_cast<std::size_t>(s)].next_win;
+  }
+  next_ = s;
 }
 
 MessageBuffer::Range<MessageBuffer::PendingIterator> MessageBuffer::pending_to(

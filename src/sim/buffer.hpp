@@ -92,10 +92,17 @@ class MsgIdMap {
     std::uint32_t value = 0;
   };
 
-  // Sequential ids hash to sequential cells — identity is the ideal hash
-  // for monotonically assigned keys under linear probing.
+  // Fibonacci (multiplicative) hashing. Identity hashing looks ideal for
+  // monotonically assigned keys, but it packs a window's live ids into ONE
+  // contiguous probe run — and backward-shift deletion of ascending ids
+  // then rescans the whole remaining run per erase, an O(live²) pathology
+  // per window. Mixing the key keeps probe runs O(1) for every access
+  // pattern, erase included.
   [[nodiscard]] std::size_t home(MsgId key) const noexcept {
-    return static_cast<std::size_t>(static_cast<std::uint64_t>(key)) & mask_;
+    return static_cast<std::size_t>(
+               (static_cast<std::uint64_t>(key) * 0x9E3779B97F4A7C15ull) >>
+               shift_) &
+           mask_;
   }
 
   void grow() {
@@ -103,6 +110,8 @@ class MsgIdMap {
     std::vector<Cell> old = std::move(cells_);
     cells_.assign(cap, Cell{});
     mask_ = cap - 1;
+    shift_ = 64;
+    for (std::size_t c = cap; c > 1; c /= 2) --shift_;
     size_ = 0;
     for (const Cell& c : old) {
       if (c.key != kNoMsg) insert(c.key, c.value);
@@ -111,6 +120,7 @@ class MsgIdMap {
 
   std::vector<Cell> cells_;
   std::size_t mask_ = 0;
+  unsigned shift_ = 64;
   std::size_t size_ = 0;
 };
 
@@ -134,6 +144,21 @@ class MessageBuffer {
   /// Transition pending → delivered and recycle the slot. Precondition:
   /// pending (a retired id throws std::logic_error).
   void mark_delivered(MsgId id);
+
+  /// Single-lookup LAZY delivery for the acceptable-window hot path: if
+  /// `id` is pending AND addressed to `receiver` (a mismatch throws
+  /// std::logic_error BEFORE any state changes), mark it delivered
+  /// (is_pending flips to false, the receiver list and id map are updated,
+  /// counters advance) and return a view of its envelope; if already
+  /// retired, return nullptr (ids never issued throw). Unlike
+  /// mark_delivered, the slot is NOT recycled yet: it stays parked on its
+  /// window list until drop_pending_in_window(its window) sweeps it onto
+  /// the free list in one bulk walk — that is what makes the per-message
+  /// cost low. The caller therefore MUST eventually drop the message's
+  /// window (run_acceptable_window's end_window does); the returned view
+  /// stays valid until then. Window iteration skips parked slots, so
+  /// mid-window queries stay exact.
+  const Envelope* deliver_lazy(MsgId id, ProcId receiver);
   /// Transition pending → dropped and recycle the slot. Precondition:
   /// pending.
   void mark_dropped(MsgId id);
@@ -180,6 +205,7 @@ class MessageBuffer {
     WindowIterator(const MessageBuffer* buf, std::int32_t slot,
                    std::int64_t window, bool all_windows)
         : buf_(buf), cur_(slot), window_(window), all_windows_(all_windows) {
+      skip_lazy();
       if (all_windows_) advance_to_nonempty_window();
       prefetch();
     }
@@ -195,6 +221,7 @@ class MessageBuffer {
 
    private:
     void advance_to_nonempty_window();
+    void skip_lazy();
     void prefetch();
 
     const MessageBuffer* buf_;
@@ -268,6 +295,9 @@ class MessageBuffer {
     std::int32_t next_rcv = -1;  ///< doubles as the free-list link
     std::int32_t prev_win = -1;
     std::int32_t next_win = -1;
+    /// deliver_lazy parking flag: delivered, but still on its window list
+    /// awaiting the bulk sweep in drop_pending_in_window.
+    bool lazy = false;
   };
 
   struct WinList {

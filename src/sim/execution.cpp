@@ -64,11 +64,39 @@ void Execution::receiving_step(MsgId id) {
   check_output_write_once(p, out_before);
 }
 
+int Execution::deliver_run(ProcId receiver, std::span<const MsgId> ids) {
+  AA_REQUIRE(receiver >= 0 && receiver < n_, "deliver_run: bad receiver id");
+  AA_CHECK(!crashed_[static_cast<std::size_t>(receiver)],
+           "deliver_run: delivery to a crashed processor");
+  // Deliver each id up front (lazily: the slots stay parked on their
+  // window list until end_window sweeps them), collecting envelope views
+  // that stay valid through on_receive_batch.
+  run_envs_.clear();
+  std::int64_t& chain = chain_[static_cast<std::size_t>(receiver)];
+  for (const MsgId id : ids) {
+    // deliver_lazy rejects a wrong-receiver id before touching any state.
+    const Envelope* env = buffer_.deliver_lazy(id, receiver);
+    if (env == nullptr) continue;  // already retired — nothing to deliver
+    record(StepKind::Receive, receiver, id);
+    if (env->chain > chain) chain = env->chain;
+    run_envs_.push_back(env);
+  }
+  if (run_envs_.empty()) return 0;
+  const int out_before =
+      procs_[static_cast<std::size_t>(receiver)]->output();
+  procs_[static_cast<std::size_t>(receiver)]->on_receive_batch(
+      run_envs_, rngs_[static_cast<std::size_t>(receiver)],
+      staged_[static_cast<std::size_t>(receiver)]);
+  check_output_write_once(receiver, out_before);
+  return static_cast<int>(run_envs_.size());
+}
+
 void Execution::resetting_step(ProcId p) {
   AA_REQUIRE(p >= 0 && p < n_, "resetting_step: bad proc id");
   AA_CHECK(!crashed_[static_cast<std::size_t>(p)],
            "resetting_step: cannot reset a crashed processor");
   record(StepKind::Reset, p);
+  ++liveness_epoch_;
   const int out_before = procs_[static_cast<std::size_t>(p)]->output();
   procs_[static_cast<std::size_t>(p)]->on_reset();
   check_output_write_once(p, out_before);
@@ -82,6 +110,7 @@ void Execution::crash(ProcId p) {
   AA_REQUIRE(p >= 0 && p < n_, "crash: bad proc id");
   if (crashed_[static_cast<std::size_t>(p)]) return;
   record(StepKind::Crash, p);
+  ++liveness_epoch_;
   crashed_[static_cast<std::size_t>(p)] = true;
   staged_[static_cast<std::size_t>(p)].clear();
   ++crashed_count_;

@@ -75,6 +75,21 @@ class Execution {
   /// the (randomized) local computation.
   void receiving_step(MsgId id);
 
+  /// Batched receiving steps: deliver every still-pending id in `ids` (in
+  /// order; all must be addressed to `receiver`) and run the local
+  /// computation ONCE over the whole run via Process::on_receive_batch.
+  /// The crash check and the output write-once snapshot happen once per
+  /// run instead of once per message; each delivery still counts as one
+  /// receiving step (step counter / event log). Returns the number of
+  /// messages delivered. Used by run_acceptable_window; for protocols that
+  /// honour the on_receive_batch contract this matches a receiving_step
+  /// per id in every observable EXCEPT the Decision record's step/chain
+  /// stamps, which carry end-of-run granularity (the decision's window and
+  /// value are exact; which message within the run triggered the write is
+  /// not reconstructed). Window-model consumers read windows, not steps —
+  /// the async model, whose chain metric is load-bearing, delivers per id.
+  int deliver_run(ProcId receiver, std::span<const MsgId> ids);
+
   /// Resetting step: erase `p`'s memory per §2 (input/output/id/reset
   /// counter survive; everything else, including staged messages, is lost).
   void resetting_step(ProcId p);
@@ -109,6 +124,13 @@ class Execution {
   [[nodiscard]] std::int64_t step_count() const noexcept { return steps_; }
   [[nodiscard]] std::int64_t chain_depth(ProcId p) const;
   [[nodiscard]] bool has_staged(ProcId p) const;
+
+  /// Monotone counter bumped by every crash and resetting step. The window
+  /// driver re-validates a reused plan whenever this changed since the
+  /// plan's last validation (the plan-reuse contract's defensive re-check).
+  [[nodiscard]] std::int64_t liveness_epoch() const noexcept {
+    return liveness_epoch_;
+  }
 
   /// Output of processor p (kBot / 0 / 1).
   [[nodiscard]] int output(ProcId p) const;
@@ -149,11 +171,13 @@ class Execution {
   std::vector<std::int64_t> chain_;
   std::vector<Decision> decisions_;
   std::vector<Event> events_;
-  std::vector<MsgId> published_;  ///< reused by sending_step
+  std::vector<MsgId> published_;            ///< reused by sending_step
+  std::vector<const Envelope*> run_envs_;   ///< reused by deliver_run
   WindowScratch scratch_;
   std::int64_t window_ = 0;
   std::int64_t steps_ = 0;
   std::int64_t total_resets_ = 0;
+  std::int64_t liveness_epoch_ = 0;
   int crashed_count_ = 0;
 };
 

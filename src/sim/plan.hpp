@@ -17,6 +17,13 @@ namespace aa::sim {
 /// have size ≥ n − t (Definition 1). Senders in the list that sent nothing
 /// to i this window are permitted (delivering nothing is a no-op).
 /// `resets` lists ≤ t distinct processors to reset at the window's end.
+///
+/// Plan-reuse contract: the driver hands the SAME plan object to the
+/// adversary window after window without clearing it, so an adversary whose
+/// plan is static can fill it once and answer kReusePrevious afterwards.
+/// An adversary that answers kUpdated must fully overwrite the plan
+/// (typically by calling reset(n) first) — stale rows and resets from the
+/// previous window are otherwise still in it.
 struct WindowPlan {
   std::vector<std::vector<ProcId>> delivery_order;
   std::vector<ProcId> resets;
@@ -37,15 +44,32 @@ struct WindowPlan {
 ///   pair_begin — n²+1 offsets into pair_ids
 ///   pair_ids   — the batch grouped by (sender, receiver), send order kept
 ///   plan       — the adversary's reusable WindowPlan
+///   run_ids    — one receiver's delivery run, in plan order
 ///   stamp      — epoch-stamped duplicate detector for plan validation
+///
+/// Plan-reuse bookkeeping (driven by run_acceptable_window):
+///   planner, planner_t   — the (adversary, t) pairing prepare() last ran
+///                          for on this execution; the driver re-prepares
+///                          when either changes (validation bounds depend
+///                          on t, so a plan reused under a different t
+///                          must not skip re-validation)
+///   plan_validated       — the current plan contents passed validation
+///   plan_liveness_epoch  — Execution::liveness_epoch() at that validation;
+///                          any crash/reset since forces re-validation even
+///                          on reuse windows
 struct WindowScratch {
   std::vector<MsgId> batch;
   std::vector<std::int32_t> pair_count;
   std::vector<std::int32_t> pair_begin;
   std::vector<MsgId> pair_ids;
   WindowPlan plan;
+  std::vector<MsgId> run_ids;
   std::vector<std::uint64_t> stamp;
   std::uint64_t epoch = 0;
+  const void* planner = nullptr;
+  int planner_t = -1;
+  bool plan_validated = false;
+  std::int64_t plan_liveness_epoch = -1;
 };
 
 }  // namespace aa::sim

@@ -10,6 +10,7 @@
 // steps (needed for the reset semantics).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -30,6 +31,7 @@ class Outbox {
   /// notes self-delivery is redundant but harmless — our protocols rely on
   /// counting their own vote, so we keep it).
   void broadcast(const Message& m) {
+    queued_.reserve(queued_.size() + static_cast<std::size_t>(n_));
     for (ProcId p = 0; p < n_; ++p) queued_.push_back({p, m});
   }
 
@@ -62,6 +64,17 @@ class Process {
   /// A receiving step delivered `env`. Perform the local (possibly
   /// randomized) computation and stage any responses.
   virtual void on_receive(const Envelope& env, Rng& rng, Outbox& out) = 0;
+
+  /// A run of receiving steps delivered `envs`, in order, all addressed to
+  /// this processor (the engine batches one acceptable window's deliveries
+  /// per receiver). MUST be observationally identical to calling on_receive
+  /// once per envelope in order — the default does exactly that. Hot
+  /// protocols override it to update their bounded tallies in a tight
+  /// non-virtual loop, skipping the per-message virtual dispatch.
+  virtual void on_receive_batch(std::span<const Envelope* const> envs,
+                                Rng& rng, Outbox& out) {
+    for (const Envelope* env : envs) on_receive(*env, rng, out);
+  }
 
   /// A resetting step: erase all memory EXCEPT the input bit, the output
   /// bit, the identity, and the reset counter (which the engine maintains;

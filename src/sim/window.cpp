@@ -47,6 +47,19 @@ int run_acceptable_window(Execution& exec, WindowAdversary& adv, int t) {
   const int n = exec.n();
   WindowScratch& sc = exec.window_scratch();
 
+  // Once per (execution, adversary, t) pairing: lifecycle hook + a clean
+  // plan. Swapping adversaries mid-execution re-prepares and invalidates
+  // the cached plan, so a kReusePrevious from the new adversary can never
+  // alias the old one's content; a changed t likewise re-prepares, because
+  // the validation a reused plan skips was performed against the old t.
+  if (sc.planner != static_cast<const void*>(&adv) || sc.planner_t != t) {
+    adv.prepare(n, t);
+    sc.planner = static_cast<const void*>(&adv);
+    sc.planner_t = t;
+    sc.plan.reset(n);
+    sc.plan_validated = false;
+  }
+
   // Phase 1: all n processors take sending steps.
   sc.batch.clear();
   for (ProcId p = 0; p < n; ++p) {
@@ -55,19 +68,28 @@ int run_acceptable_window(Execution& exec, WindowAdversary& adv, int t) {
   }
 
   // Phase 2: adversary inspects the batch (full information) and plans.
-  sc.plan.reset(n);
-  adv.plan_window_into(exec, sc.batch, sc.plan);
-  validate_window_plan(sc.plan, n, t, sc);
+  // Validation runs once per updated plan; a reused plan skips it unless a
+  // crash/reset changed liveness since the last validation (defensive
+  // re-check mandated by the plan-reuse contract).
+  const PlanDecision decision = adv.plan_window_into(exec, sc.batch, sc.plan);
+  if (decision == PlanDecision::kUpdated || !sc.plan_validated ||
+      sc.plan_liveness_epoch != exec.liveness_epoch()) {
+    validate_window_plan(sc.plan, n, t, sc);
+    sc.plan_validated = true;
+    sc.plan_liveness_epoch = exec.liveness_epoch();
+  }
 
   // Index the batch by (sender, receiver) with a counting sort into the
   // reusable flat pair arrays. Protocols may send several messages to the
   // same peer in one window (e.g. Bracha's RBC echoes); send order within a
   // pair is preserved, so delivery order matches the append-only original.
+  // At this point the current window's pending list IS the batch (nothing
+  // has been delivered or dropped yet), so both passes walk the buffer's
+  // intrusive list directly — no per-id hash lookups.
   const std::size_t nn = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
   sc.pair_count.assign(nn, 0);
   const MessageBuffer& buf = exec.buffer();
-  for (MsgId id : sc.batch) {
-    const Envelope& env = buf.get(id);
+  for (const Envelope& env : buf.pending_in_window(exec.window())) {
     ++sc.pair_count[static_cast<std::size_t>(env.sender) *
                         static_cast<std::size_t>(n) +
                     static_cast<std::size_t>(env.receiver)];
@@ -80,30 +102,31 @@ int run_acceptable_window(Execution& exec, WindowAdversary& adv, int t) {
     sc.pair_count[k] = 0;  // becomes the scatter cursor
   }
   sc.pair_begin[nn] = acc;
-  sc.pair_ids.resize(sc.batch.size());
-  for (MsgId id : sc.batch) {
-    const Envelope& env = buf.get(id);
+  sc.pair_ids.resize(static_cast<std::size_t>(acc));
+  for (const Envelope& env : buf.pending_in_window(exec.window())) {
     const std::size_t k = static_cast<std::size_t>(env.sender) *
                               static_cast<std::size_t>(n) +
                           static_cast<std::size_t>(env.receiver);
     sc.pair_ids[static_cast<std::size_t>(sc.pair_begin[k] +
-                                         sc.pair_count[k]++)] = id;
+                                         sc.pair_count[k]++)] = env.id;
   }
 
+  // Batched delivery: collect each receiver's whole run in plan order, then
+  // hand it to the engine in one call (crash/pending checks once per run,
+  // one on_receive_batch instead of a virtual call per message).
   int deliveries = 0;
   for (ProcId i = 0; i < n; ++i) {
     if (exec.crashed(i)) continue;
+    sc.run_ids.clear();
     for (ProcId s : sc.plan.delivery_order[static_cast<std::size_t>(i)]) {
       const std::size_t k = static_cast<std::size_t>(s) *
                                 static_cast<std::size_t>(n) +
                             static_cast<std::size_t>(i);
       for (std::int32_t j = sc.pair_begin[k]; j < sc.pair_begin[k + 1]; ++j) {
-        const MsgId id = sc.pair_ids[static_cast<std::size_t>(j)];
-        if (!exec.buffer().is_pending(id)) continue;
-        exec.receiving_step(id);
-        ++deliveries;
+        sc.run_ids.push_back(sc.pair_ids[static_cast<std::size_t>(j)]);
       }
     }
+    deliveries += exec.deliver_run(i, sc.run_ids);
   }
 
   // Phase 3: at most t resetting steps.

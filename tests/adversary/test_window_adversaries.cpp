@@ -18,6 +18,18 @@ Execution make_exec(int n, int t, std::uint64_t seed) {
                    seed);
 }
 
+// Test-side replacement for the removed WindowAdversary::plan_window
+// convenience: owns a fresh plan, runs the prepare lifecycle like the
+// driver would, and returns the filled plan for inspection.
+sim::WindowPlan plan_once(sim::WindowAdversary& adv, const Execution& e, int t,
+                          const std::vector<sim::MsgId>& batch) {
+  adv.prepare(e.n(), t);
+  sim::WindowPlan plan;
+  plan.reset(e.n());
+  adv.plan_window_into(e, batch, plan);
+  return plan;
+}
+
 std::vector<sim::MsgId> send_all(Execution& e) {
   std::vector<sim::MsgId> batch;
   for (int p = 0; p < e.n(); ++p) {
@@ -32,7 +44,7 @@ TEST(FairAdversary, PlansFullDelivery) {
   Execution e = make_exec(n, t, 1);
   const auto batch = send_all(e);
   FairWindowAdversary fair;
-  const sim::WindowPlan plan = fair.plan_window(e, batch);
+  const sim::WindowPlan plan = plan_once(fair, e, t, batch);
   EXPECT_NO_THROW(sim::validate_window_plan(plan, n, t));
   EXPECT_TRUE(plan.resets.empty());
   for (const auto& order : plan.delivery_order)
@@ -45,7 +57,7 @@ TEST(SilencerAdversary, NeverDeliversFromSilenced) {
   Execution e = make_exec(n, t, 2);
   const auto batch = send_all(e);
   SilencerWindowAdversary silencer({0, 5});
-  const sim::WindowPlan plan = silencer.plan_window(e, batch);
+  const sim::WindowPlan plan = plan_once(silencer, e, t, batch);
   EXPECT_NO_THROW(sim::validate_window_plan(plan, n, t));
   for (const auto& order : plan.delivery_order) {
     EXPECT_EQ(std::count(order.begin(), order.end(), 0), 0);
@@ -62,7 +74,7 @@ TEST(RandomAdversary, ProducesValidPlansAcrossWindows) {
   for (int w = 0; w < 20; ++w) {
     // Plans must be valid every window regardless of protocol state.
     const auto batch = e.buffer().pending_in_window_ids(e.window());
-    const sim::WindowPlan plan = rnd.plan_window(e, batch);
+    const sim::WindowPlan plan = plan_once(rnd, e, t, batch);
     EXPECT_NO_THROW(sim::validate_window_plan(plan, n, t));
     EXPECT_LE(plan.resets.size(), static_cast<std::size_t>(t));
   }
@@ -74,7 +86,7 @@ TEST(ResetStormAdversary, ResetsExactlyTDistinct) {
   Execution e = make_exec(n, t, 4);
   ResetStormAdversary storm(t, Rng(7));
   const auto batch = send_all(e);
-  const sim::WindowPlan plan = storm.plan_window(e, batch);
+  const sim::WindowPlan plan = plan_once(storm, e, t, batch);
   EXPECT_NO_THROW(sim::validate_window_plan(plan, n, t));
   EXPECT_EQ(plan.resets.size(), static_cast<std::size_t>(t));
 }
@@ -125,7 +137,7 @@ TEST(SplitKeeper, PlanIsValidAndDeliversEveryone) {
   Execution e = make_exec(n, t, 6);
   const auto batch = send_all(e);
   SplitKeeperAdversary keeper;
-  const sim::WindowPlan plan = keeper.plan_window(e, batch);
+  const sim::WindowPlan plan = plan_once(keeper, e, t, batch);
   EXPECT_NO_THROW(sim::validate_window_plan(plan, n, t));
   EXPECT_TRUE(plan.resets.empty());
   // S_i = [n]: only the order is adversarial.

@@ -1,0 +1,168 @@
+// core::Experiment + core::Runner — the declarative experiment API — and
+// its equivalence with the legacy run_*_experiment wrappers.
+#include <gtest/gtest.h>
+
+#include "adversary/async_adversaries.hpp"
+#include "adversary/window_adversaries.hpp"
+#include "core/harness.hpp"
+
+namespace aa::core {
+namespace {
+
+using protocols::ProtocolKind;
+
+Experiment window_spec(int n, std::int64_t budget,
+                       StopCondition stop = StopCondition::kFirstDecision) {
+  Experiment spec;
+  spec.kind = ProtocolKind::Reset;
+  spec.inputs = protocols::split_inputs(n, 0.5);
+  spec.t = 2;
+  spec.budget = budget;
+  spec.stop = stop;
+  return spec;
+}
+
+TEST(Runner, WindowMatchesLegacyWrapper) {
+  const Runner runner(window_spec(13, 100000, StopCondition::kAllDecided));
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    adversary::FairWindowAdversary fair_a;
+    adversary::FairWindowAdversary fair_b;
+    const WindowRunResult a = runner.run_window(fair_a, seed);
+    const WindowRunResult b = run_window_experiment(
+        ProtocolKind::Reset, protocols::split_inputs(13, 0.5), 2, fair_b,
+        100000, seed, std::nullopt, /*until_all_decided=*/true);
+    EXPECT_EQ(a.decided, b.decided);
+    EXPECT_EQ(a.all_decided, b.all_decided);
+    EXPECT_EQ(a.decision, b.decision);
+    EXPECT_EQ(a.windows_to_first, b.windows_to_first);
+    EXPECT_EQ(a.windows_total, b.windows_total);
+    EXPECT_EQ(a.steps, b.steps);
+    EXPECT_EQ(a.agreement, b.agreement);
+    EXPECT_EQ(a.validity, b.validity);
+  }
+}
+
+TEST(Runner, AsyncMatchesLegacyWrapper) {
+  Experiment spec;
+  spec.kind = ProtocolKind::BenOr;
+  spec.inputs = protocols::split_inputs(9, 0.5);
+  spec.t = 2;
+  spec.budget = 5'000'000;
+  const Runner runner(std::move(spec));
+  adversary::RandomAsyncScheduler sched_a(Rng(3));
+  adversary::RandomAsyncScheduler sched_b(Rng(3));
+  const AsyncRunOutcome a = runner.run_async(sched_a, 13);
+  const AsyncRunOutcome b = run_async_experiment(
+      ProtocolKind::BenOr, protocols::split_inputs(9, 0.5), 2, sched_b,
+      5'000'000, 13);
+  EXPECT_EQ(a.decided, b.decided);
+  EXPECT_EQ(a.decision, b.decision);
+  EXPECT_EQ(a.deliveries, b.deliveries);
+  EXPECT_EQ(a.chain_at_decision, b.chain_at_decision);
+  EXPECT_EQ(a.agreement, b.agreement);
+  EXPECT_EQ(a.validity, b.validity);
+}
+
+TEST(Runner, ByzantineMatchesLegacyWrapper) {
+  Experiment spec = window_spec(13, 100000);
+  spec.byzantine = ByzantineSpec{2, protocols::ByzantineStrategy::Equivocate,
+                                 {12}};
+  const Runner runner(std::move(spec));
+  adversary::FairWindowAdversary fair_a;
+  adversary::FairWindowAdversary fair_b;
+  const ByzantineRunResult a = runner.run_byzantine(fair_a, 7);
+  const ByzantineRunResult b = run_byzantine_window_experiment(
+      ProtocolKind::Reset, protocols::split_inputs(13, 0.5), 2, 2,
+      protocols::ByzantineStrategy::Equivocate, fair_b, 100000, 7, {12});
+  EXPECT_EQ(a.honest_decided, b.honest_decided);
+  EXPECT_EQ(a.honest_all_decided, b.honest_all_decided);
+  EXPECT_EQ(a.honest_agreement, b.honest_agreement);
+  EXPECT_EQ(a.honest_validity, b.honest_validity);
+  EXPECT_EQ(a.windows_total, b.windows_total);
+}
+
+TEST(Runner, StopConditionControlsRunLength) {
+  const Runner first(window_spec(12, 100000, StopCondition::kFirstDecision));
+  const Runner all(window_spec(12, 100000, StopCondition::kAllDecided));
+  adversary::FairWindowAdversary fair_a;
+  adversary::FairWindowAdversary fair_b;
+  const WindowRunResult rf = first.run_window(fair_a, 7);
+  const WindowRunResult ra = all.run_window(fair_b, 7);
+  EXPECT_TRUE(rf.decided);
+  EXPECT_TRUE(ra.all_decided);
+  EXPECT_GE(ra.windows_total, rf.windows_total);
+}
+
+TEST(Runner, OneSpecManySeedsIsDeterministic) {
+  const Runner runner(window_spec(12, 100000));
+  auto run = [&](std::uint64_t seed) {
+    adversary::FairWindowAdversary fair;
+    return runner.run_window(fair, seed).windows_to_first;
+  };
+  EXPECT_EQ(run(42), run(42));
+}
+
+TEST(Runner, ValidatesSpec) {
+  Experiment empty;  // no inputs
+  EXPECT_THROW(Runner{empty}, std::invalid_argument);
+
+  Experiment bad_t = window_spec(8, 10);
+  bad_t.t = -1;
+  EXPECT_THROW(Runner{bad_t}, std::invalid_argument);
+
+  Experiment bad_byz = window_spec(8, 10);
+  bad_byz.byzantine = ByzantineSpec{9, protocols::ByzantineStrategy::Silent,
+                                    {}};
+  EXPECT_THROW(Runner{bad_byz}, std::invalid_argument);
+}
+
+TEST(Runner, HonestPathsRejectByzantineSpec) {
+  Experiment spec = window_spec(8, 10);
+  spec.byzantine = ByzantineSpec{};
+  const Runner runner(std::move(spec));
+  adversary::FairWindowAdversary fair;
+  EXPECT_THROW((void)runner.run_window(fair, 1), std::invalid_argument);
+  adversary::RandomAsyncScheduler sched(Rng(1));
+  EXPECT_THROW((void)runner.run_async(sched, 1), std::invalid_argument);
+}
+
+TEST(Runner, ByzantineHonoursThresholds) {
+  // Custom thresholds must reach the Byzantine path's inner processes: a
+  // count-0 Byzantine run with thresholds th is the same execution as an
+  // honest all-decided run with thresholds th.
+  const int n = 36;
+  const int t = 2;
+  const protocols::Thresholds th{n - 2 * t, n - 2 * t - 3,
+                                 n - 2 * t - 3 - t};
+  Experiment byz_spec;
+  byz_spec.kind = ProtocolKind::Reset;
+  byz_spec.inputs = protocols::split_inputs(n, 0.5);
+  byz_spec.t = t;
+  byz_spec.budget = 100000;
+  byz_spec.thresholds = th;
+  byz_spec.byzantine = ByzantineSpec{};
+  adversary::FairWindowAdversary fair_a;
+  const ByzantineRunResult b = Runner(byz_spec).run_byzantine(fair_a, 11);
+
+  Experiment honest = byz_spec;
+  honest.byzantine.reset();
+  honest.stop = StopCondition::kAllDecided;
+  adversary::FairWindowAdversary fair_b;
+  const WindowRunResult w = Runner(honest).run_window(fair_b, 11);
+  EXPECT_TRUE(b.honest_all_decided);
+  EXPECT_EQ(b.windows_total, w.windows_total);
+}
+
+TEST(Runner, ByzantineWithDefaultSpecCountsEveryone) {
+  // An unset byzantine spec means count = 0: the verdict quantifies over
+  // all processors — the honest-world degenerate case.
+  const Runner runner(window_spec(12, 100000));
+  adversary::FairWindowAdversary fair;
+  const ByzantineRunResult r = runner.run_byzantine(fair, 3);
+  EXPECT_TRUE(r.honest_all_decided);
+  EXPECT_EQ(r.honest_decided, 12);
+  EXPECT_TRUE(r.honest_agreement);
+}
+
+}  // namespace
+}  // namespace aa::core

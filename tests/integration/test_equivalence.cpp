@@ -119,14 +119,16 @@ TEST(Equivalence, ResetPathMatchesToo) {
   // Engine.
   class OneResetAdversary final : public sim::WindowAdversary {
    public:
-    void plan_window_into(const sim::Execution& exec,
-                          const std::vector<sim::MsgId>&,
-                          sim::WindowPlan& plan) override {
+    sim::PlanDecision plan_window_into(const sim::Execution& exec,
+                                       const std::vector<sim::MsgId>&,
+                                       sim::WindowPlan& plan) override {
+      plan.reset(exec.n());
       std::vector<sim::ProcId> everyone;
       for (int i = 0; i < exec.n(); ++i) everyone.push_back(i);
       plan.delivery_order.assign(static_cast<std::size_t>(exec.n()),
                                  everyone);
       if (exec.window() == 0) plan.resets = {0};
+      return sim::PlanDecision::kUpdated;
     }
     [[nodiscard]] std::string name() const override { return "one-reset"; }
   };

@@ -1,0 +1,176 @@
+// Batched delivery (Execution::deliver_run + Process::on_receive_batch):
+//  * the default on_receive_batch (loop of on_receive) is observationally
+//    identical to the protocols' devirtualized overrides, for every
+//    protocol kind — checked by running the same seeded executions with
+//    the overrides masked behind a forwarding wrapper;
+//  * deliver_run itself matches a receiving_step-per-id loop (up to the
+//    documented end-of-run granularity of Decision step/chain stamps);
+//  * deliver_run edge cases (empty run, retired ids, wrong receiver).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "adversary/window_adversaries.hpp"
+#include "protocols/factory.hpp"
+#include "sim/window.hpp"
+
+namespace aa::sim {
+namespace {
+
+using protocols::ProtocolKind;
+
+/// Forwards everything to the wrapped process EXCEPT on_receive_batch,
+/// which falls back to the Process default (per-envelope virtual loop) —
+/// masking any batch override the inner protocol has.
+class PerEnvelopeOnly final : public Process {
+ public:
+  explicit PerEnvelopeOnly(std::unique_ptr<Process> inner)
+      : inner_(std::move(inner)) {}
+
+  void on_start(Outbox& out) override { inner_->on_start(out); }
+  void on_receive(const Envelope& env, Rng& rng, Outbox& out) override {
+    inner_->on_receive(env, rng, out);
+  }
+  // on_receive_batch deliberately NOT overridden.
+  void on_reset() override { inner_->on_reset(); }
+  [[nodiscard]] int input() const override { return inner_->input(); }
+  [[nodiscard]] int output() const override { return inner_->output(); }
+  [[nodiscard]] int round() const override { return inner_->round(); }
+  [[nodiscard]] int estimate() const override { return inner_->estimate(); }
+  [[nodiscard]] const char* protocol_name() const override {
+    return inner_->protocol_name();
+  }
+
+ private:
+  std::unique_ptr<Process> inner_;
+};
+
+Execution make_exec(ProtocolKind kind, int n, int t, std::uint64_t seed,
+                    bool mask_batch_override) {
+  auto procs = protocols::make_processes(kind, t,
+                                         protocols::split_inputs(n, 0.5));
+  if (mask_batch_override) {
+    for (auto& p : procs) {
+      p = std::make_unique<PerEnvelopeOnly>(std::move(p));
+    }
+  }
+  return Execution(std::move(procs), seed);
+}
+
+void expect_same_state(const Execution& a, const Execution& b) {
+  ASSERT_EQ(a.n(), b.n());
+  EXPECT_EQ(a.step_count(), b.step_count());
+  EXPECT_EQ(a.decided_count(), b.decided_count());
+  EXPECT_EQ(a.buffer().delivered_count(), b.buffer().delivered_count());
+  for (ProcId p = 0; p < a.n(); ++p) {
+    EXPECT_EQ(a.output(p), b.output(p)) << "proc " << p;
+    EXPECT_EQ(a.process(p).round(), b.process(p).round()) << "proc " << p;
+    EXPECT_EQ(a.process(p).estimate(), b.process(p).estimate())
+        << "proc " << p;
+  }
+}
+
+TEST(BatchDelivery, OverridesMatchDefaultLoopForAllKinds) {
+  const int n = 10;
+  const int t = 1;
+  for (const ProtocolKind kind :
+       {ProtocolKind::Reset, ProtocolKind::BenOr, ProtocolKind::Bracha,
+        ProtocolKind::Forgetful}) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      Execution with_override = make_exec(kind, n, t, seed, false);
+      Execution default_loop = make_exec(kind, n, t, seed, true);
+      adversary::FairWindowAdversary fair_a;
+      adversary::FairWindowAdversary fair_b;
+      run_until_all_decided(with_override, fair_a, t, 5000);
+      run_until_all_decided(default_loop, fair_b, t, 5000);
+      expect_same_state(with_override, default_loop);
+    }
+  }
+}
+
+TEST(BatchDelivery, OverridesMatchUnderAdversarialOrderAndResets) {
+  const int n = 12;
+  const int t = 2;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    Execution with_override =
+        make_exec(ProtocolKind::Reset, n, t, seed, false);
+    Execution default_loop = make_exec(ProtocolKind::Reset, n, t, seed, true);
+    {
+      adversary::SplitKeeperAdversary keeper;
+      for (int w = 0; w < 8; ++w)
+        run_acceptable_window(with_override, keeper, t);
+    }
+    {
+      adversary::SplitKeeperAdversary keeper;
+      for (int w = 0; w < 8; ++w)
+        run_acceptable_window(default_loop, keeper, t);
+    }
+    expect_same_state(with_override, default_loop);
+
+    adversary::RandomWindowAdversary rnd_a(t, 0.3, Rng(seed));
+    adversary::RandomWindowAdversary rnd_b(t, 0.3, Rng(seed));
+    for (int w = 0; w < 8; ++w)
+      run_acceptable_window(with_override, rnd_a, t);
+    for (int w = 0; w < 8; ++w)
+      run_acceptable_window(default_loop, rnd_b, t);
+    expect_same_state(with_override, default_loop);
+  }
+}
+
+TEST(BatchDelivery, DeliverRunMatchesPerIdReceivingSteps) {
+  const int n = 8;
+  const int t = 1;
+  Execution batched = make_exec(ProtocolKind::Reset, n, t, 7, false);
+  Execution per_id = make_exec(ProtocolKind::Reset, n, t, 7, false);
+
+  auto send_all = [](Execution& e) {
+    std::vector<MsgId> ids;
+    for (ProcId p = 0; p < e.n(); ++p) {
+      for (MsgId id : e.sending_step(p)) ids.push_back(id);
+    }
+    return ids;
+  };
+  const std::vector<MsgId> ids_a = send_all(batched);
+  const std::vector<MsgId> ids_b = send_all(per_id);
+  ASSERT_EQ(ids_a, ids_b);
+
+  // Deliver receiver 3's messages: one deliver_run vs one receiving_step
+  // per id, same order.
+  std::vector<MsgId> to3;
+  for (MsgId id : ids_a) {
+    if (batched.buffer().get(id).receiver == 3) to3.push_back(id);
+  }
+  ASSERT_FALSE(to3.empty());
+  const int delivered = batched.deliver_run(3, to3);
+  EXPECT_EQ(delivered, static_cast<int>(to3.size()));
+  for (MsgId id : to3) per_id.receiving_step(id);
+  expect_same_state(batched, per_id);
+
+  // Every id in the run is now retired: a second run is a no-op.
+  EXPECT_EQ(batched.deliver_run(3, to3), 0);
+}
+
+TEST(BatchDelivery, DeliverRunEdgeCases) {
+  const int n = 8;
+  const int t = 1;
+  Execution e = make_exec(ProtocolKind::Reset, n, t, 9, false);
+  std::vector<MsgId> batch;
+  for (ProcId p = 0; p < n; ++p) {
+    for (MsgId id : e.sending_step(p)) batch.push_back(id);
+  }
+  // Empty run: no-op.
+  EXPECT_EQ(e.deliver_run(2, {}), 0);
+  // A run containing another receiver's message is a driver bug, and the
+  // rejection happens BEFORE the message is consumed.
+  std::vector<MsgId> to0{batch[0]};  // proc 0's first message goes to 0
+  ASSERT_EQ(e.buffer().get(batch[0]).receiver, 0);
+  EXPECT_THROW(e.deliver_run(1, to0), std::logic_error);
+  EXPECT_TRUE(e.buffer().is_pending(batch[0]));
+  // Delivery to a crashed receiver is a driver bug.
+  e.crash(0);
+  EXPECT_THROW(e.deliver_run(0, to0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace aa::sim

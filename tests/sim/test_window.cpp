@@ -89,10 +89,13 @@ TEST(RunAcceptableWindow, UndeliveredMessagesDropped) {
 TEST(RunAcceptableWindow, AdversaryPlanIsValidated) {
   class BadAdversary final : public WindowAdversary {
    public:
-    void plan_window_into(const Execution& exec, const std::vector<MsgId>&,
-                          WindowPlan& plan) override {
+    PlanDecision plan_window_into(const Execution& exec,
+                                  const std::vector<MsgId>&,
+                                  WindowPlan& plan) override {
       // |S_i| = 0 < n − t: illegal.
       plan.delivery_order.assign(static_cast<std::size_t>(exec.n()), {});
+      plan.resets.clear();
+      return PlanDecision::kUpdated;
     }
     [[nodiscard]] std::string name() const override { return "bad"; }
   };
