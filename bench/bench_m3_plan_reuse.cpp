@@ -57,11 +57,15 @@ struct LegacyScratch {
   sim::WindowScratch vscratch;  ///< for validate_window_plan's stamps
 };
 
-/// Faithful pre-PR driver: replan + validate every window, per-id
-/// receiving_step deliveries.
+/// Faithful pre-PR driver: replan + validate every window, a counting-sort
+/// pair-index rebuild from per-id buffer lookups, and per-id
+/// receiving_step deliveries. (Publication itself now always runs through
+/// add_batch inside sending_step, so the delta this mode shows is the
+/// driver redesign minus the publication half — a lower bound.)
 int run_legacy_window(sim::Execution& exec, sim::WindowAdversary& adv, int t,
                       LegacyScratch& sc) {
   const int n = exec.n();
+  exec.begin_window_batch();  // plan_window_into needs the WindowBatch view
   sc.batch.clear();
   for (sim::ProcId p = 0; p < n; ++p) {
     const auto pub = exec.sending_step(p);
@@ -69,7 +73,7 @@ int run_legacy_window(sim::Execution& exec, sim::WindowAdversary& adv, int t,
   }
   adv.prepare(n, t);  // clears any static-plan cache: forces a full refill
   sc.plan.reset(n);
-  adv.plan_window_into(exec, sc.batch, sc.plan);
+  adv.plan_window_into(exec, exec.window_batch(), sc.plan);
   sim::validate_window_plan(sc.plan, n, t, sc.vscratch);
 
   const std::size_t nn =

@@ -1,0 +1,204 @@
+// Experiment M4: the bulk publication pipeline A/B.
+//
+// Two layers:
+//
+//   publication — MessageBuffer in isolation, the staging→publication hot
+//     path alone: one window of n=32 broadcasts published as n² per-item
+//     add() calls vs n add_batch() runs, window dropped, repeated. The
+//     delta is the slot-run allocation + single window-list splice + bulk
+//     id-map insert that add_batch buys.
+//
+//   engine — the same probe as BENCH_m3 (reset-agreement, n=32, t=5, 10k
+//     windows): the full batched pipeline (add_batch publication + fused
+//     pair index + deliver_plan_row whole-list fast path) vs a
+//     per-message reference driver that delivers every message through
+//     receiving_step (per-id id-map lookups, one virtual on_receive per
+//     message) after an identical sending/planning phase. Adversaries:
+//     fair (whole-list splice), silencer (filtered splice), split-keeper
+//     (adversarial order → slow path; the publication + pair-index gains
+//     still show).
+//
+// Writes BENCH_m4_send_batch.json (see bench_json.hpp).
+//
+//   ./build/bench/bench_m4_send_batch [--smoke]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "core/api.hpp"
+
+using namespace aa;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// ---- layer 1: buffer-level publication ------------------------------------
+
+double publication_per_item(int n, std::int64_t windows) {
+  sim::MessageBuffer buf(n);
+  sim::Message m;
+  m.kind = 1;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::int64_t w = 0; w < windows; ++w) {
+    for (sim::ProcId s = 0; s < n; ++s) {
+      for (sim::ProcId r = 0; r < n; ++r) buf.add(s, r, m, w, 1);
+    }
+    buf.drop_pending_in_window(w);
+  }
+  const double secs = seconds_since(start);
+  return static_cast<double>(windows) * n * n / secs;
+}
+
+double publication_batched(int n, std::int64_t windows) {
+  sim::MessageBuffer buf(n);
+  sim::Message m;
+  m.kind = 1;
+  std::vector<sim::StagedMessage> items;
+  for (sim::ProcId r = 0; r < n; ++r) items.push_back({r, m});
+  const auto start = std::chrono::steady_clock::now();
+  for (std::int64_t w = 0; w < windows; ++w) {
+    for (sim::ProcId s = 0; s < n; ++s) buf.add_batch(s, items, w, 1);
+    buf.drop_pending_in_window(w);
+  }
+  const double secs = seconds_since(start);
+  return static_cast<double>(windows) * n * n / secs;
+}
+
+// ---- layer 2: engine windows/s --------------------------------------------
+
+/// Per-message reference: identical sending + planning phases, but every
+/// delivery is one receiving_step (per-id lookups, per-message virtual
+/// dispatch) — the path deliver_plan_row replaces.
+int run_reference_window(sim::Execution& exec, sim::WindowAdversary& adv,
+                         int t, sim::WindowPlan& plan) {
+  const int n = exec.n();
+  exec.begin_window_batch();
+  for (sim::ProcId p = 0; p < n; ++p) exec.sending_step(p);
+  adv.prepare(n, t);
+  plan.reset(n);
+  adv.plan_window_into(exec, exec.window_batch(), plan);
+  sim::validate_window_plan(plan, n, t);
+  const sim::WindowBatch batch = exec.window_batch();
+  int deliveries = 0;
+  for (sim::ProcId i = 0; i < n; ++i) {
+    if (exec.crashed(i)) continue;
+    for (sim::ProcId s : plan.delivery_order[static_cast<std::size_t>(i)]) {
+      for (sim::MsgId id : batch.from_to(s, i)) {
+        exec.receiving_step(id);
+        ++deliveries;
+      }
+    }
+  }
+  for (sim::ProcId p : plan.resets) exec.resetting_step(p);
+  exec.end_window();
+  return deliveries;
+}
+
+enum class AdvKind { Fair, Silencer, SplitKeeper };
+
+std::unique_ptr<sim::WindowAdversary> make_adv(AdvKind kind, int t) {
+  switch (kind) {
+    case AdvKind::Fair:
+      return std::make_unique<adversary::FairWindowAdversary>();
+    case AdvKind::Silencer: {
+      std::vector<sim::ProcId> silenced;
+      for (int i = 0; i < t; ++i) silenced.push_back(i);
+      return std::make_unique<adversary::SilencerWindowAdversary>(silenced);
+    }
+    case AdvKind::SplitKeeper:
+      return std::make_unique<adversary::SplitKeeperAdversary>();
+  }
+  return nullptr;
+}
+
+struct RunStats {
+  double windows_per_sec = 0;
+  std::int64_t deliveries = 0;
+};
+
+RunStats run_engine(AdvKind akind, bool per_message, int n, int t,
+                    std::int64_t windows) {
+  sim::Execution exec(
+      protocols::make_processes(protocols::ProtocolKind::Reset, t,
+                                protocols::split_inputs(n, 0.5)),
+      42);
+  std::unique_ptr<sim::WindowAdversary> adv = make_adv(akind, t);
+  RunStats out;
+  sim::WindowPlan ref_plan;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::int64_t w = 0; w < windows; ++w) {
+    out.deliveries += per_message
+                          ? run_reference_window(exec, *adv, t, ref_plan)
+                          : sim::run_acceptable_window(exec, *adv, t);
+  }
+  out.windows_per_sec = static_cast<double>(windows) / seconds_since(start);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const int n = 32;
+  const int t = 5;  // t < n/6
+  const std::int64_t windows = smoke ? 500 : 10000;
+
+  std::printf("M4: bulk publication pipeline A/B (n=%d, t=%d, %lld windows%s)\n\n",
+              n, t, static_cast<long long>(windows), smoke ? ", smoke" : "");
+
+  bench::BenchJson j("m4_send_batch");
+  j.set("config.n", n);
+  j.set("config.t", t);
+  j.set("config.windows", static_cast<std::int64_t>(windows));
+  j.set("config.smoke", smoke);
+
+  const double per_item = publication_per_item(n, windows);
+  const double batched = publication_batched(n, windows);
+  std::printf("publication  per_item  : %12.0f msgs/s\n", per_item);
+  std::printf("publication  add_batch : %12.0f msgs/s\n", batched);
+  std::printf("publication  speedup   : %.2fx\n\n", batched / per_item);
+  j.set("publication.per_item.msgs_per_sec", per_item);
+  j.set("publication.batched.msgs_per_sec", batched);
+  j.set("publication.speedup", batched / per_item);
+
+  const struct {
+    AdvKind kind;
+    const char* name;
+  } advs[] = {{AdvKind::Fair, "fair"},
+              {AdvKind::Silencer, "silencer"},
+              {AdvKind::SplitKeeper, "split_keeper"}};
+
+  for (const auto& a : advs) {
+    const RunStats ref = run_engine(a.kind, /*per_message=*/true, n, t, windows);
+    const RunStats fast = run_engine(a.kind, /*per_message=*/false, n, t, windows);
+    std::printf("%-12s per_message : %9.0f windows/s (%lld deliveries)\n",
+                a.name, ref.windows_per_sec,
+                static_cast<long long>(ref.deliveries));
+    std::printf("%-12s batched     : %9.0f windows/s (%lld deliveries)\n",
+                a.name, fast.windows_per_sec,
+                static_cast<long long>(fast.deliveries));
+    const double speedup = fast.windows_per_sec / ref.windows_per_sec;
+    std::printf("%-12s speedup     : %.2fx\n\n", a.name, speedup);
+    j.set(std::string(a.name) + ".per_message.windows_per_sec",
+          ref.windows_per_sec);
+    j.set(std::string(a.name) + ".batched.windows_per_sec",
+          fast.windows_per_sec);
+    j.set(std::string(a.name) + ".speedup_vs_per_message", speedup);
+  }
+
+  const std::string path = j.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

@@ -20,7 +20,7 @@ namespace {
 class ScriptedResetAdversary final : public sim::WindowAdversary {
  public:
   sim::PlanDecision plan_window_into(const sim::Execution& exec,
-                                     const std::vector<sim::MsgId>& batch,
+                                     const sim::WindowBatch& batch,
                                      sim::WindowPlan& plan) override {
     keeper_.plan_window_into(exec, batch, plan);  // resets + refills the plan
     if (exec.window() == 1) plan.resets = {0, 1};

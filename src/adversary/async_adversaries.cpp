@@ -1,43 +1,86 @@
 #include "adversary/async_adversaries.hpp"
 
+#include <algorithm>
+
 #include "protocols/reset_agreement.hpp"
 #include "util/check.hpp"
 
 namespace aa::adversary {
 
-namespace {
+namespace detail {
 
-/// Pending messages addressed to live processors, collected into `out`
-/// (send order — matches the historical append-only scan).
-void collect_deliverable(const sim::Execution& exec,
-                         std::vector<sim::MsgId>& out) {
-  out.clear();
-  for (const sim::Envelope& env : exec.buffer().all_pending()) {
-    if (!exec.crashed(env.receiver)) out.push_back(env.id);
+void DeliverableSet::sync(const sim::Execution& exec) {
+  const sim::MessageBuffer& buf = exec.buffer();
+  const std::size_t retired = buf.delivered_count() + buf.dropped_count();
+  const std::size_t expected =
+      retired_seen_ + (last_taken_ != sim::kNoMsg ? 1u : 0u);
+  if (retired != expected) {
+    // Out-of-band driver retired messages behind our back: rebuild from a
+    // full scan (same list, the slow way).
+    ids_.clear();
+    for (const sim::Envelope& env : buf.all_pending()) {
+      if (!exec.crashed(env.receiver)) ids_.push_back(env.id);
+    }
+    ingested_upto_ = static_cast<sim::MsgId>(buf.total_sent());
+    last_taken_ = sim::kNoMsg;
+    crash_count_seen_ = exec.crashed_count();
+    retired_seen_ = retired;
+    return;
   }
+  // 1. Retire the delivery we issued last call (run_async applied it).
+  if (last_taken_ != sim::kNoMsg) {
+    const auto it = std::lower_bound(ids_.begin(), ids_.end(), last_taken_);
+    if (it != ids_.end() && *it == last_taken_) ids_.erase(it);
+    last_taken_ = sim::kNoMsg;
+  }
+  // 2. A crash since the last sync makes some queued entries
+  //    undeliverable; purge them (rare — at most t times per run).
+  if (exec.crashed_count() != crash_count_seen_) {
+    std::erase_if(ids_, [&exec](sim::MsgId id) {
+      return exec.crashed(exec.buffer().get(id).receiver);
+    });
+    crash_count_seen_ = exec.crashed_count();
+  }
+  // 3. Ingest everything published since the last sync: ids in
+  //    [ingested_upto_, total_sent) are exactly the batches the receiving
+  //    steps' responses published. Appending keeps the list ascending —
+  //    bit-identical, entry for entry, to a full all_pending rescan.
+  const auto sent = static_cast<sim::MsgId>(buf.total_sent());
+  for (sim::MsgId id = ingested_upto_; id < sent; ++id) {
+    if (!exec.crashed(buf.get(id).receiver)) ids_.push_back(id);
+  }
+  ingested_upto_ = sent;
+  retired_seen_ = retired;
 }
 
-}  // namespace
+}  // namespace detail
+
+void RandomAsyncScheduler::prepare(int /*n*/, int /*t*/) {
+  deliverable_.reset();
+}
 
 sim::AsyncAction RandomAsyncScheduler::next(const sim::Execution& exec) {
-  collect_deliverable(exec, deliverable_);
+  deliverable_.sync(exec);
   if (deliverable_.empty()) return sim::StopAction{};
-  return sim::DeliverAction{deliverable_[rng_.uniform_index(deliverable_.size())]};
+  return sim::DeliverAction{
+      deliverable_.take(rng_.uniform_index(deliverable_.size()))};
 }
 
 void FixedCrashScheduler::prepare(int /*n*/, int t) {
   AA_REQUIRE(static_cast<int>(to_crash_.size()) <= t,
              "fixed-crash scheduler: crash list exceeds the budget t");
   crashed_so_far_ = 0;
+  deliverable_.reset();
 }
 
 sim::AsyncAction FixedCrashScheduler::next(const sim::Execution& exec) {
   if (crashed_so_far_ < to_crash_.size()) {
     return sim::CrashAction{to_crash_[crashed_so_far_++]};
   }
-  collect_deliverable(exec, deliverable_);
+  deliverable_.sync(exec);
   if (deliverable_.empty()) return sim::StopAction{};
-  return sim::DeliverAction{deliverable_[rng_.uniform_index(deliverable_.size())]};
+  return sim::DeliverAction{
+      deliverable_.take(rng_.uniform_index(deliverable_.size()))};
 }
 
 void AsyncSplitKeeper::prepare(int /*n*/, int /*t*/) { delivered_.clear(); }

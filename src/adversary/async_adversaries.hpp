@@ -15,8 +15,15 @@
 //                            power is pure scheduling), hence trivially
 //                            within any crash budget.
 //
-// All three scan the buffer through its allocation-free pending ranges and
-// reuse member scratch across calls.
+// The two random schedulers keep their deliverable set INCREMENTALLY (the
+// async half of the bulk-publication redesign): instead of re-walking every
+// pending message per action, they consume each receiving step's published
+// batch through the buffer's monotone id watermark (ids in
+// [ingested_upto, total_sent) are exactly the newly published runs) and
+// retire their own last delivery — producing bit-for-bit the same
+// deliverable list, in the same ascending-id order, as the full rescan.
+// AsyncSplitKeeper's policy is stateful per (receiver, round); it scans
+// the allocation-free pending ranges as before.
 #pragma once
 
 #include <array>
@@ -30,15 +37,62 @@
 
 namespace aa::adversary {
 
+namespace detail {
+
+/// Incrementally maintained "pending messages addressed to live
+/// processors" list, ascending id — shared by the two random schedulers.
+class DeliverableSet {
+ public:
+  /// Forget everything (new run / new execution).
+  void reset() {
+    ids_.clear();
+    ingested_upto_ = 0;
+    last_taken_ = sim::kNoMsg;
+    crash_count_seen_ = 0;
+    retired_seen_ = 0;
+  }
+
+  /// Bring the list up to date with `exec`: drop the delivery this
+  /// scheduler issued last call, purge crashed receivers when a crash
+  /// happened since, and ingest every id published since the last call.
+  /// If the buffer retired messages this scheduler did not deliver (an
+  /// out-of-band driver), falls back to a full rescan — the result is the
+  /// same list either way, the incremental path just never walks old
+  /// pending state.
+  void sync(const sim::Execution& exec);
+
+  /// The scheduler's pick; records it so the next sync retires it.
+  [[nodiscard]] sim::MsgId take(std::size_t index) {
+    last_taken_ = ids_[index];
+    return last_taken_;
+  }
+
+  [[nodiscard]] const std::vector<sim::MsgId>& ids() const noexcept {
+    return ids_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return ids_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return ids_.size(); }
+
+ private:
+  std::vector<sim::MsgId> ids_;
+  sim::MsgId ingested_upto_ = 0;
+  sim::MsgId last_taken_ = sim::kNoMsg;
+  int crash_count_seen_ = 0;
+  std::size_t retired_seen_ = 0;  ///< buffer delivered+dropped last sync
+};
+
+}  // namespace detail
+
 class RandomAsyncScheduler final : public sim::AsyncAdversary {
  public:
   explicit RandomAsyncScheduler(Rng rng) : rng_(rng) {}
+  void prepare(int n, int t) override;
   sim::AsyncAction next(const sim::Execution& exec) override;
   [[nodiscard]] std::string name() const override { return "random-async"; }
 
  private:
   Rng rng_;
-  std::vector<sim::MsgId> deliverable_;  ///< reusable scan buffer
+  detail::DeliverableSet deliverable_;
 };
 
 class FixedCrashScheduler final : public sim::AsyncAdversary {
@@ -55,7 +109,7 @@ class FixedCrashScheduler final : public sim::AsyncAdversary {
   std::vector<sim::ProcId> to_crash_;
   std::size_t crashed_so_far_ = 0;
   Rng rng_;
-  std::vector<sim::MsgId> deliverable_;  ///< reusable scan buffer
+  detail::DeliverableSet deliverable_;
 };
 
 /// Theorem 17's scheduling adversary (see class comment above).

@@ -59,7 +59,7 @@ RandomWindowAdversary::RandomWindowAdversary(int t, double reset_prob, Rng rng)
 }
 
 sim::PlanDecision RandomWindowAdversary::plan_window_into(
-    const sim::Execution& exec, const std::vector<sim::MsgId>& /*batch*/,
+    const sim::Execution& exec, const sim::WindowBatch& /*batch*/,
     sim::WindowPlan& plan) {
   const int n = exec.n();
   plan.reset(n);
@@ -88,7 +88,7 @@ ResetStormAdversary::ResetStormAdversary(int t, Rng rng) : t_(t), rng_(rng) {
 }
 
 sim::PlanDecision ResetStormAdversary::plan_window_into(
-    const sim::Execution& exec, const std::vector<sim::MsgId>& /*batch*/,
+    const sim::Execution& exec, const sim::WindowBatch& /*batch*/,
     sim::WindowPlan& plan) {
   const int n = exec.n();
   plan.reset(n);
@@ -154,43 +154,38 @@ std::vector<sim::ProcId> balance_votes(
 }
 
 sim::PlanDecision SplitKeeperAdversary::plan_window_into(
-    const sim::Execution& exec, const std::vector<sim::MsgId>& batch,
+    const sim::Execution& exec, const sim::WindowBatch& /*batch*/,
     sim::WindowPlan& plan) {
   const int n = exec.n();
   plan.reset(n);
-  if (votes_.size() != static_cast<std::size_t>(n)) {
-    votes_.resize(static_cast<std::size_t>(n));
-    non_votes_.resize(static_cast<std::size_t>(n));
+  if (present_.size() != static_cast<std::size_t>(n)) {
     present_.assign(static_cast<std::size_t>(n), 0);
   }
-  for (int i = 0; i < n; ++i) {
-    votes_[static_cast<std::size_t>(i)].clear();
-    non_votes_[static_cast<std::size_t>(i)].clear();
-  }
 
-  // Collect this window's votes per receiver (full information).
-  for (sim::MsgId id : batch) {
-    if (!exec.buffer().is_pending(id)) continue;
-    const sim::Envelope& env = exec.buffer().get(id);
-    if (env.payload.kind == protocols::kVoteKind &&
-        (env.payload.value == 0 || env.payload.value == 1)) {
-      votes_[static_cast<std::size_t>(env.receiver)].emplace_back(
-          env.sender, env.payload.round, env.payload.value);
-    } else {
-      non_votes_[static_cast<std::size_t>(env.receiver)].push_back(env.sender);
+  // Per receiver: walk its pending list directly (during the planning
+  // phase the receiver's pending list IS this window's batch, in id
+  // order — the same order the published-ids scan used to produce) and
+  // split votes from everything else. No per-id buffer lookups.
+  for (int i = 0; i < n; ++i) {
+    votes_.clear();
+    non_votes_.clear();
+    for (const sim::Envelope& env : exec.buffer().pending_to(i)) {
+      if (env.payload.kind == protocols::kVoteKind &&
+          (env.payload.value == 0 || env.payload.value == 1)) {
+        votes_.emplace_back(env.sender, env.payload.round, env.payload.value);
+      } else {
+        non_votes_.push_back(env.sender);
+      }
     }
-  }
-
-  for (int i = 0; i < n; ++i) {
     std::vector<sim::ProcId>& order =
         plan.delivery_order[static_cast<std::size_t>(i)];
-    balance_votes_into(votes_[static_cast<std::size_t>(i)], balance_, order);
+    balance_votes_into(votes_, balance_, order);
     // Append senders of non-vote messages and everyone who sent nothing so
     // that S_i = [n] (the split-keeper never silences anyone — only the
     // delivery ORDER is adversarial).
     const std::uint64_t epoch = ++epoch_;
     for (sim::ProcId s : order) present_[static_cast<std::size_t>(s)] = epoch;
-    for (sim::ProcId s : non_votes_[static_cast<std::size_t>(i)]) {
+    for (sim::ProcId s : non_votes_) {
       if (present_[static_cast<std::size_t>(s)] != epoch) {
         present_[static_cast<std::size_t>(s)] = epoch;
         order.push_back(s);
@@ -217,7 +212,7 @@ void ReplanEveryWindow::prepare(int n, int t) {
 }
 
 sim::PlanDecision ReplanEveryWindow::plan_window_into(
-    const sim::Execution& exec, const std::vector<sim::MsgId>& batch,
+    const sim::Execution& exec, const sim::WindowBatch& batch,
     sim::WindowPlan& plan) {
   // Re-preparing clears the inner adversary's plan cache, so this call is
   // guaranteed to refill the plan from scratch — the pre-reuse behaviour.

@@ -69,7 +69,7 @@ class RandomWindowAdversary final : public sim::WindowAdversary {
  public:
   RandomWindowAdversary(int t, double reset_prob, Rng rng);
   sim::PlanDecision plan_window_into(const sim::Execution& exec,
-                                     const std::vector<sim::MsgId>& batch,
+                                     const sim::WindowBatch& batch,
                                      sim::WindowPlan& plan) override;
   [[nodiscard]] std::string name() const override { return "random"; }
 
@@ -84,7 +84,7 @@ class ResetStormAdversary final : public sim::WindowAdversary {
  public:
   ResetStormAdversary(int t, Rng rng);
   sim::PlanDecision plan_window_into(const sim::Execution& exec,
-                                     const std::vector<sim::MsgId>& batch,
+                                     const sim::WindowBatch& batch,
                                      sim::WindowPlan& plan) override;
   [[nodiscard]] std::string name() const override { return "reset-storm"; }
 
@@ -116,14 +116,14 @@ struct BalanceScratch {
 class SplitKeeperAdversary final : public sim::WindowAdversary {
  public:
   sim::PlanDecision plan_window_into(const sim::Execution& exec,
-                                     const std::vector<sim::MsgId>& batch,
+                                     const sim::WindowBatch& batch,
                                      sim::WindowPlan& plan) override;
   [[nodiscard]] std::string name() const override { return "split-keeper"; }
 
  private:
   // Reusable per-window scratch (cleared, never shrunk).
-  std::vector<std::vector<std::tuple<sim::ProcId, int, int>>> votes_;
-  std::vector<std::vector<sim::ProcId>> non_votes_;
+  std::vector<std::tuple<sim::ProcId, int, int>> votes_;
+  std::vector<sim::ProcId> non_votes_;
   std::vector<std::uint64_t> present_;
   std::uint64_t epoch_ = 0;
   BalanceScratch balance_;
@@ -139,7 +139,7 @@ class ReplanEveryWindow final : public sim::WindowAdversary {
   explicit ReplanEveryWindow(std::unique_ptr<sim::WindowAdversary> inner);
   void prepare(int n, int t) override;
   sim::PlanDecision plan_window_into(const sim::Execution& exec,
-                                     const std::vector<sim::MsgId>& batch,
+                                     const sim::WindowBatch& batch,
                                      sim::WindowPlan& plan) override;
   [[nodiscard]] std::string name() const override {
     return "replan-every-window(" + inner_->name() + ")";

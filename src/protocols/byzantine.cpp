@@ -28,6 +28,7 @@ void ByzantineProcess::corrupt_and_forward(sim::Outbox& staged,
     return;
   }
   const int n = staged.n();
+  out.reserve(staged.items().size());
   for (const sim::Outbox::Item& item : staged.items()) {
     sim::Message m = item.msg;
     // Only bit-valued fields are corrupted; ⊥/'?' markers pass through

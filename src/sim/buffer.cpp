@@ -21,49 +21,72 @@ MessageBuffer::MessageBuffer(int n)
 MsgId MessageBuffer::add(ProcId sender, ProcId receiver,
                          const Message& payload, std::int64_t window,
                          std::int64_t chain) {
-  AA_REQUIRE(sender >= 0 && sender < n_, "MessageBuffer::add: bad sender");
-  AA_REQUIRE(receiver >= 0 && receiver < n_, "MessageBuffer::add: bad receiver");
+  const StagedMessage item{receiver, payload};
+  return add_batch(sender, std::span<const StagedMessage>(&item, 1), window,
+                   chain);
+}
+
+MsgId MessageBuffer::add_batch(ProcId sender,
+                               std::span<const StagedMessage> items,
+                               std::int64_t window, std::int64_t chain) {
+  AA_REQUIRE(sender >= 0 && sender < n_, "MessageBuffer::add_batch: bad sender");
   AA_REQUIRE(window >= win_base_,
-             "MessageBuffer::add: window counter moved backwards");
-  const MsgId id = next_id_++;
-
-  std::int32_t s;
-  if (free_head_ != kNoSlot) {
-    s = free_head_;
-    free_head_ = slots_[static_cast<std::size_t>(s)].next_rcv;
-  } else {
-    s = static_cast<std::int32_t>(slots_.size());
-    slots_.emplace_back();
+             "MessageBuffer::add_batch: window counter moved backwards");
+  const MsgId first = next_id_;
+  if (items.empty()) return first;
+  for (const StagedMessage& item : items) {
+    AA_REQUIRE(item.to >= 0 && item.to < n_,
+               "MessageBuffer::add_batch: bad receiver");
   }
-  Slot& slot = slots_[static_cast<std::size_t>(s)];
-  slot.env = Envelope{id, sender, receiver, payload, window, chain};
-  slot.lazy = false;
-
-  // Append to the receiver list (keeps ascending-id order).
-  slot.prev_rcv = rcv_tail_[static_cast<std::size_t>(receiver)];
-  slot.next_rcv = kNoSlot;
-  if (slot.prev_rcv != kNoSlot) {
-    slots_[static_cast<std::size_t>(slot.prev_rcv)].next_rcv = s;
-  } else {
-    rcv_head_[static_cast<std::size_t>(receiver)] = s;
-  }
-  rcv_tail_[static_cast<std::size_t>(receiver)] = s;
-
-  // Append to the window list.
+  id_map_.reserve_extra(items.size());
   reserve_window(window);
-  WinList& wl = win_list(window);
-  slot.prev_win = wl.tail;
-  slot.next_win = kNoSlot;
-  if (wl.tail != kNoSlot) {
-    slots_[static_cast<std::size_t>(wl.tail)].next_win = s;
-  } else {
-    wl.head = s;
-  }
-  wl.tail = s;
+  // The window ring and win_list reference stay stable across the loop
+  // (one window, reserved once); slots_ may still grow, so all links go
+  // through indices.
+  std::int32_t win_prev = win_list(window).tail;
+  std::int32_t win_head = win_list(window).head;
+  for (const StagedMessage& item : items) {
+    const MsgId id = next_id_++;
+    std::int32_t s;
+    if (free_head_ != kNoSlot) {
+      s = free_head_;
+      free_head_ = slots_[static_cast<std::size_t>(s)].next_rcv;
+    } else {
+      s = static_cast<std::int32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    Slot& slot = slots_[static_cast<std::size_t>(s)];
+    slot.env = Envelope{id, sender, item.to, item.msg, window, chain};
+    slot.lazy = false;
 
-  id_map_.insert(id, static_cast<std::uint32_t>(s));
-  ++pending_;
-  return id;
+    // Append to the receiver list (staging order is ascending-id order).
+    slot.prev_rcv = rcv_tail_[static_cast<std::size_t>(item.to)];
+    slot.next_rcv = kNoSlot;
+    if (slot.prev_rcv != kNoSlot) {
+      slots_[static_cast<std::size_t>(slot.prev_rcv)].next_rcv = s;
+    } else {
+      rcv_head_[static_cast<std::size_t>(item.to)] = s;
+    }
+    rcv_tail_[static_cast<std::size_t>(item.to)] = s;
+
+    // Thread the run onto the window list locally; head/tail attach once
+    // after the loop.
+    slot.prev_win = win_prev;
+    slot.next_win = kNoSlot;
+    if (win_prev != kNoSlot) {
+      slots_[static_cast<std::size_t>(win_prev)].next_win = s;
+    } else {
+      win_head = s;
+    }
+    win_prev = s;
+
+    id_map_.insert_no_grow(id, static_cast<std::uint32_t>(s));
+  }
+  WinList& wl = win_list(window);
+  wl.head = win_head;
+  wl.tail = win_prev;
+  pending_ += items.size();
+  return first;
 }
 
 std::int32_t MessageBuffer::slot_of(MsgId id) const {
@@ -173,6 +196,51 @@ const Envelope* MessageBuffer::deliver_lazy(MsgId id, ProcId receiver) {
   --pending_;
   ++delivered_;
   return &slot.env;
+}
+
+int MessageBuffer::deliver_window_run_to(ProcId receiver, std::int64_t w,
+                                         const std::uint64_t* sender_stamp,
+                                         std::uint64_t epoch,
+                                         std::vector<const Envelope*>& out) {
+  AA_REQUIRE(receiver >= 0 && receiver < n_,
+             "deliver_window_run_to: bad receiver");
+  std::int32_t s = rcv_head_[static_cast<std::size_t>(receiver)];
+  std::int32_t prev_kept = kNoSlot;
+  std::int32_t new_head = kNoSlot;
+  int delivered = 0;
+  while (s != kNoSlot) {
+    Slot& slot = slots_[static_cast<std::size_t>(s)];
+    const std::int32_t next = slot.next_rcv;
+    const bool take =
+        slot.env.window == w &&
+        (sender_stamp == nullptr ||
+         sender_stamp[static_cast<std::size_t>(slot.env.sender)] == epoch);
+    if (take) {
+      // Park the slot like deliver_lazy: off the receiver list and the id
+      // map now, recycled by the caller's eventual window-w sweep.
+      id_map_.erase(slot.env.id);
+      slot.lazy = true;
+      out.push_back(&slot.env);
+      ++delivered;
+    } else {
+      slot.prev_rcv = prev_kept;
+      if (prev_kept == kNoSlot) {
+        new_head = s;
+      } else {
+        slots_[static_cast<std::size_t>(prev_kept)].next_rcv = s;
+      }
+      prev_kept = s;
+    }
+    s = next;
+  }
+  if (prev_kept != kNoSlot) {
+    slots_[static_cast<std::size_t>(prev_kept)].next_rcv = kNoSlot;
+  }
+  rcv_head_[static_cast<std::size_t>(receiver)] = new_head;
+  rcv_tail_[static_cast<std::size_t>(receiver)] = prev_kept;
+  pending_ -= static_cast<std::size_t>(delivered);
+  delivered_ += static_cast<std::size_t>(delivered);
+  return delivered;
 }
 
 void MessageBuffer::mark_dropped(MsgId id) {

@@ -24,12 +24,23 @@
 //
 // Because slots recycle, envelope lookups are only valid for PENDING ids:
 // querying a retired id throws (std::logic_error), and is_pending(id) is the
-// only question that can be asked about the whole history. References
-// returned by get()/iteration are invalidated by the next add().
+// only question that can be asked about the whole history.
+//
+// Envelope-view invalidation contract (batch API): references returned by
+// get()/iteration and the views handed out by deliver_lazy /
+// deliver_window_run_to are invalidated by the next publication — a single
+// add() OR any add_batch(), which may grow the slot arena — and, for
+// delivered (parked) slots, by the drop_pending_in_window sweep that
+// recycles them. Within one acceptable window the engine publishes first
+// and delivers after, so views collected during the delivery phase stay
+// valid until the window's end_window sweep; holders that outlive a
+// publication (anything keeping a view across sending steps) must copy the
+// envelope out.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -61,6 +72,17 @@ class MsgIdMap {
 
   void insert(MsgId key, std::uint32_t value) {
     if ((size_ + 1) * 4 >= cells_.size() * 3) grow();
+    insert_no_grow(key, value);
+  }
+
+  /// Grow once so that `extra` further insert_no_grow calls stay under the
+  /// load factor — the bulk-insert half of add_batch.
+  void reserve_extra(std::size_t extra) {
+    while ((size_ + extra + 1) * 4 >= cells_.size() * 3) grow();
+  }
+
+  /// Precondition: capacity ensured via reserve_extra (or insert's check).
+  void insert_no_grow(MsgId key, std::uint32_t value) noexcept {
     std::size_t i = home(key);
     while (cells_[i].key != kNoMsg) i = (i + 1) & mask_;
     cells_[i] = Cell{key, value};
@@ -134,6 +156,17 @@ class MessageBuffer {
   MsgId add(ProcId sender, ProcId receiver, const Message& payload,
             std::int64_t window, std::int64_t chain);
 
+  /// Bulk publication: add `sender`'s staged run in staging order, exactly
+  /// as items.size() consecutive add() calls would — ids are consecutive
+  /// starting at the returned value, receiver lists stay ascending-id, and
+  /// every iteration order is unchanged. One pass allocates the slot run,
+  /// splices the whole run onto the window list in a single attach, and
+  /// bulk-inserts into the id map (capacity ensured once up front).
+  /// Returns the first id of the run (== total_sent() before the call,
+  /// also for an empty run).
+  MsgId add_batch(ProcId sender, std::span<const StagedMessage> items,
+                  std::int64_t window, std::int64_t chain);
+
   /// Envelope lookup. Valid for PENDING ids only (retired slots recycle).
   [[nodiscard]] const Envelope& get(MsgId id) const;
 
@@ -159,6 +192,22 @@ class MessageBuffer {
   /// stays valid until then. Window iteration skips parked slots, so
   /// mid-window queries stay exact.
   const Envelope* deliver_lazy(MsgId id, ProcId receiver);
+
+  /// Whole-list delivery run — the bulk counterpart of deliver_lazy for the
+  /// window fast path. Walks `receiver`'s pending list once, in list (id)
+  /// order, and delivers every message sent in window `w` whose sender is
+  /// selected: all of them when `sender_stamp` is null, else exactly those
+  /// with sender_stamp[sender] == epoch. Delivered slots are parked lazily
+  /// (same sweep obligation as deliver_lazy: the caller MUST eventually
+  /// drop window w) and their ids leave the id map WITHOUT any per-id
+  /// lookup; unselected messages stay pending, relinked in one pass.
+  /// Appends one envelope view per delivery to `out` (valid until the next
+  /// publication or the window sweep) and returns the number delivered.
+  int deliver_window_run_to(ProcId receiver, std::int64_t w,
+                            const std::uint64_t* sender_stamp,
+                            std::uint64_t epoch,
+                            std::vector<const Envelope*>& out);
+
   /// Transition pending → dropped and recycle the slot. Precondition:
   /// pending.
   void mark_dropped(MsgId id);

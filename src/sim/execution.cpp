@@ -31,19 +31,87 @@ Execution::Execution(std::vector<std::unique_ptr<Process>> procs,
   }
 }
 
-std::span<const MsgId> Execution::sending_step(ProcId p) {
+SentBatch Execution::sending_step(ProcId p) {
   AA_REQUIRE(p >= 0 && p < n_, "sending_step: bad proc id");
   record(StepKind::Send, p);
   published_.clear();
-  if (crashed_[static_cast<std::size_t>(p)]) return published_;
+  if (crashed_[static_cast<std::size_t>(p)]) return SentBatch(p, published_);
   Outbox& out = staged_[static_cast<std::size_t>(p)];
   // Complete-response semantics: an empty outbox means the step is a no-op.
-  for (const Outbox::Item& item : out.items()) {
-    published_.push_back(buffer_.add(p, item.to, item.msg, window_,
-                                     chain_[static_cast<std::size_t>(p)] + 1));
+  const auto& items = out.items();
+  const std::size_t m = items.size();
+  if (m == 0) return SentBatch(p, published_);
+  const MsgId first = buffer_.add_batch(
+      p, items, window_, chain_[static_cast<std::size_t>(p)] + 1);
+  published_.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    published_[i] = first + static_cast<MsgId>(i);
+  }
+  if (scratch_.collect_window != window_) {
+    out.clear();
+    return SentBatch(p, published_);
+  }
+
+  // Window collection armed: fold this step's receiver grouping into the
+  // incremental pair index. Ids are assigned in staging order, so the
+  // stable grouping preserves per-pair send order — appending sender rows
+  // in step order reproduces the old counting-sort layout exactly.
+  WindowScratch& sc = scratch_;
+  AA_CHECK(sc.row_stamp[static_cast<std::size_t>(p)] != sc.batch_epoch,
+           "sending_step: one non-empty publication per sender per "
+           "collected window");
+  out.index_by_receiver(sc.sort_begin, sc.sort_order);
+  sc.batch.insert(sc.batch.end(), published_.begin(), published_.end());
+  const auto base = static_cast<std::int32_t>(sc.pair_ids.size());
+  const std::size_t row =
+      static_cast<std::size_t>(p) * (static_cast<std::size_t>(n_) + 1);
+  for (std::size_t r = 0; r <= static_cast<std::size_t>(n_); ++r) {
+    sc.pair_begin[row + r] = base + sc.sort_begin[r];
+  }
+  sc.pair_ids.resize(static_cast<std::size_t>(base) + m);
+  for (std::size_t j = 0; j < m; ++j) {
+    sc.pair_ids[static_cast<std::size_t>(base) + j] =
+        first + static_cast<MsgId>(sc.sort_order[j]);
+  }
+  sc.row_stamp[static_cast<std::size_t>(p)] = sc.batch_epoch;
+  for (std::size_t r = 0; r < static_cast<std::size_t>(n_); ++r) {
+    const std::int32_t c = sc.sort_begin[r + 1] - sc.sort_begin[r];
+    if (c == 0) continue;
+    if (sc.rcv_stamp[r] == sc.batch_epoch) {
+      sc.rcv_total[r] += c;
+    } else {
+      sc.rcv_stamp[r] = sc.batch_epoch;
+      sc.rcv_total[r] = c;
+    }
   }
   out.clear();
-  return published_;
+  return SentBatch(
+      p, published_,
+      std::span<const std::int32_t>(sc.pair_begin).subspan(
+          row, static_cast<std::size_t>(n_) + 1),
+      sc.pair_ids);
+}
+
+void Execution::begin_window_batch() {
+  WindowScratch& sc = scratch_;
+  const auto n = static_cast<std::size_t>(n_);
+  if (sc.row_stamp.size() != n) {
+    sc.row_stamp.assign(n, 0);
+    sc.rcv_stamp.assign(n, 0);
+    sc.rcv_total.assign(n, 0);
+    sc.member_stamp.assign(n, 0);
+    sc.pair_begin.assign(n * (n + 1), 0);
+  }
+  sc.batch.clear();
+  sc.pair_ids.clear();
+  ++sc.batch_epoch;
+  sc.collect_window = window_;
+}
+
+WindowBatch Execution::window_batch() const {
+  AA_CHECK(scratch_.collect_window == window_,
+           "window_batch: no batch collected for the current window");
+  return WindowBatch(&scratch_, n_);
 }
 
 void Execution::receiving_step(MsgId id) {
@@ -89,6 +157,68 @@ int Execution::deliver_run(ProcId receiver, std::span<const MsgId> ids) {
       staged_[static_cast<std::size_t>(receiver)]);
   check_output_write_once(receiver, out_before);
   return static_cast<int>(run_envs_.size());
+}
+
+int Execution::deliver_plan_row(ProcId receiver, std::span<const ProcId> row) {
+  AA_REQUIRE(receiver >= 0 && receiver < n_, "deliver_plan_row: bad receiver");
+  AA_CHECK(!crashed_[static_cast<std::size_t>(receiver)],
+           "deliver_plan_row: delivery to a crashed processor");
+  WindowScratch& sc = scratch_;
+  AA_CHECK(sc.collect_window == window_,
+           "deliver_plan_row: no batch collected for the current window");
+  const WindowBatch batch(&sc, n_);
+
+  // Fast-path eligibility: list order (ascending id ⇒ ascending sender
+  // within one window) must equal plan order, i.e. the row's
+  // senders-with-messages must already be ascending. Senders that sent
+  // nothing to this receiver are order-irrelevant no-ops.
+  bool ascending = true;
+  ProcId last = -1;
+  std::int64_t covered = 0;
+  const std::uint64_t member_epoch = ++sc.member_epoch;
+  for (const ProcId s : row) {
+    AA_REQUIRE(s >= 0 && s < n_, "deliver_plan_row: sender id out of range");
+    sc.member_stamp[static_cast<std::size_t>(s)] = member_epoch;
+    const std::int32_t c = batch.count(s, receiver);
+    if (c == 0) continue;
+    if (s < last) ascending = false;
+    last = s;
+    covered += c;
+  }
+  if (covered == 0) return 0;  // row senders published nothing to receiver
+
+  if (ascending) {
+    // Whole-list fast path: consume the receiver's pending list in one
+    // splice. A full cover (row ⊇ every sender with messages) needs no
+    // membership test at all; a partial cover filters by the stamped row.
+    const bool full = covered == batch.count_to(receiver);
+    run_envs_.clear();
+    const int delivered = buffer_.deliver_window_run_to(
+        receiver, window_, full ? nullptr : sc.member_stamp.data(),
+        member_epoch, run_envs_);
+    std::int64_t& chain = chain_[static_cast<std::size_t>(receiver)];
+    for (const Envelope* env : run_envs_) {
+      record(StepKind::Receive, receiver, env->id);
+      if (env->chain > chain) chain = env->chain;
+    }
+    if (delivered == 0) return 0;
+    const int out_before =
+        procs_[static_cast<std::size_t>(receiver)]->output();
+    procs_[static_cast<std::size_t>(receiver)]->on_receive_batch(
+        run_envs_, rngs_[static_cast<std::size_t>(receiver)],
+        staged_[static_cast<std::size_t>(receiver)]);
+    check_output_write_once(receiver, out_before);
+    return delivered;
+  }
+
+  // Slow path (genuinely adversarial order): gather the run in plan order
+  // from the pair index and deliver per id.
+  sc.run_ids.clear();
+  for (const ProcId s : row) {
+    const std::span<const MsgId> seg = batch.from_to(s, receiver);
+    sc.run_ids.insert(sc.run_ids.end(), seg.begin(), seg.end());
+  }
+  return deliver_run(receiver, sc.run_ids);
 }
 
 void Execution::resetting_step(ProcId p) {

@@ -65,11 +65,15 @@ class Execution {
 
   // ---- the three step kinds of §2 (+ crash for §5) ----
 
-  /// Sending step: publish `p`'s staged messages into the buffer.
-  /// Returns a view of the ids published (empty when the step is a no-op).
-  /// The view aliases a reusable internal buffer — it is invalidated by the
-  /// next sending step, so copy it out if it must outlive one step.
-  std::span<const MsgId> sending_step(ProcId p);
+  /// Sending step: publish `p`'s staged messages into the buffer in one
+  /// MessageBuffer::add_batch run. Returns a SentBatch view of the ids
+  /// published (empty when the step is a no-op); while a window batch is
+  /// being collected (begin_window_batch) the step also folds the sender's
+  /// receiver grouping into the window pair index and the SentBatch
+  /// exposes it via to(r). The view aliases reusable internal buffers — it
+  /// is invalidated by the next sending step, so copy it out if it must
+  /// outlive one step.
+  SentBatch sending_step(ProcId p);
 
   /// Receiving step: deliver pending message `id` to its recipient and run
   /// the (randomized) local computation.
@@ -89,6 +93,35 @@ class Execution {
   /// not reconstructed). Window-model consumers read windows, not steps —
   /// the async model, whose chain metric is load-bearing, delivers per id.
   int deliver_run(ProcId receiver, std::span<const MsgId> ids);
+
+  // ---- bulk publication (the window driver's batch pipeline) ----
+
+  /// Arm window-batch collection for the CURRENT window: clears the
+  /// scratch batch and pair index and stamps a fresh batch epoch, so the
+  /// following sending steps build the (sender, receiver) pair index
+  /// incrementally instead of the driver re-walking the window list.
+  /// Collection disarms automatically when the window counter advances.
+  /// Precondition (checked): each sender takes at most one non-empty
+  /// sending step per collected window — exactly what Definition 1's
+  /// sending phase does.
+  void begin_window_batch();
+
+  /// View of the batch collected since begin_window_batch (ids + pair
+  /// index). Precondition: collection is armed for the current window.
+  [[nodiscard]] WindowBatch window_batch() const;
+
+  /// Deliver one receiver's whole window run given its plan row (the
+  /// ordered sender list, duplicate-free — validated plans are). Uses the
+  /// collected pair index (precondition: begin_window_batch this window).
+  /// When the row's senders-with-messages appear in ascending order, the
+  /// delivery sequence equals the receiver's pending-list order and the
+  /// run is consumed in one whole-list splice (bulk lazy delivery, a
+  /// single on_receive_batch) — no per-message id-map lookups. A full
+  /// cover of the receiver's window messages skips even the sender
+  /// membership test. Rows in non-ascending (genuinely adversarial) order
+  /// fall back to the per-id gather + deliver_run slow path, which is
+  /// observationally identical. Returns the number delivered.
+  int deliver_plan_row(ProcId receiver, std::span<const ProcId> row);
 
   /// Resetting step: erase `p`'s memory per §2 (input/output/id/reset
   /// counter survive; everything else, including staged messages, is lost).

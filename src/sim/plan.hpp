@@ -1,10 +1,13 @@
-// WindowPlan — the adversary's choice for one acceptable window — and
-// WindowScratch — the reusable workspace that makes a steady-state window
-// allocation-free (owned by Execution, threaded through
-// run_acceptable_window / sending_step).
+// WindowPlan — the adversary's choice for one acceptable window — plus the
+// bulk-publication types: WindowScratch (the reusable workspace that makes a
+// steady-state window allocation-free, owned by Execution), SentBatch (the
+// view one sending step returns), and WindowBatch (the incrementally built
+// (sender, receiver) pair index the adversary and the delivery phase
+// consume, replacing the per-window counting-sort rebuild).
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -38,16 +41,37 @@ struct WindowPlan {
 };
 
 /// Per-execution scratch for the window driver. Every buffer is reused
-/// window to window, so after warm-up a window performs no heap allocation:
-///   batch      — ids published by this window's sending steps
-///   pair_count — n²-indexed (sender, receiver) counting-sort workspace
-///   pair_begin — n²+1 offsets into pair_ids
-///   pair_ids   — the batch grouped by (sender, receiver), send order kept
-///   plan       — the adversary's reusable WindowPlan
-///   run_ids    — one receiver's delivery run, in plan order
-///   stamp      — epoch-stamped duplicate detector for plan validation
+/// window to window, so after warm-up a window performs no heap allocation.
 ///
-/// Plan-reuse bookkeeping (driven by run_acceptable_window):
+/// Publication batch + fused pair index (filled by Execution::sending_step
+/// while a window batch is being collected — see begin_window_batch):
+///   batch        — ids published by this window's sending steps, in
+///                  publication order
+///   pair_begin   — n rows of n+1 absolute offsets into pair_ids; row s
+///                  (entries s·(n+1) .. s·(n+1)+n) maps receiver r to the
+///                  segment of sender s's window-batch ids addressed to r
+///   pair_ids     — the batch grouped (sender-major, receiver-minor, id
+///                  ascending within a pair) — the same layout the old
+///                  per-window counting sort produced
+///   row_stamp    — pair_begin row s is valid iff row_stamp[s] ==
+///                  batch_epoch; stale rows mean "sender published
+///                  nothing", so no counter array is ever reset (the old
+///                  4 KiB per-window pair_count wipe is gone)
+///   rcv_total    — per-receiver message totals this window (valid iff
+///                  rcv_stamp[r] == batch_epoch), used by the whole-list
+///                  delivery fast path's coverage check
+///   sort_begin / sort_order — Outbox::index_by_receiver output scratch
+///   member_stamp — per-sender plan-row membership marks for the filtered
+///                  delivery fast path (epoch member_epoch)
+///   batch_epoch  — bumped by every begin_window_batch
+///   collect_window — the window index being collected, or -1 when the
+///                  execution is not in a collected window (async drivers
+///                  never arm this, so sending steps skip all indexing)
+///
+/// Plan bookkeeping (driven by run_acceptable_window):
+///   plan         — the adversary's reusable WindowPlan
+///   run_ids      — one receiver's delivery run, in plan order (slow path)
+///   stamp, epoch — epoch-stamped duplicate detector for plan validation
 ///   planner, planner_t   — the (adversary, t) pairing prepare() last ran
 ///                          for on this execution; the driver re-prepares
 ///                          when either changes (validation bounds depend
@@ -59,9 +83,17 @@ struct WindowPlan {
 ///                          on reuse windows
 struct WindowScratch {
   std::vector<MsgId> batch;
-  std::vector<std::int32_t> pair_count;
   std::vector<std::int32_t> pair_begin;
   std::vector<MsgId> pair_ids;
+  std::vector<std::uint64_t> row_stamp;
+  std::vector<std::int32_t> rcv_total;
+  std::vector<std::uint64_t> rcv_stamp;
+  std::vector<std::int32_t> sort_begin;
+  std::vector<std::uint32_t> sort_order;
+  std::vector<std::uint64_t> member_stamp;
+  std::uint64_t member_epoch = 0;
+  std::uint64_t batch_epoch = 0;
+  std::int64_t collect_window = -1;
   WindowPlan plan;
   std::vector<MsgId> run_ids;
   std::vector<std::uint64_t> stamp;
@@ -70,6 +102,104 @@ struct WindowScratch {
   int planner_t = -1;
   bool plan_validated = false;
   std::int64_t plan_liveness_epoch = -1;
+};
+
+/// View of the messages one sending step just published. `ids` is in
+/// staging order (consecutive, ascending). While the execution is
+/// collecting a window batch, the sender's pair-index row is additionally
+/// exposed: to(r) is the slice of this step's ids addressed to receiver r.
+/// All spans alias reusable Execution/WindowScratch storage and are
+/// invalidated by the next sending step.
+class SentBatch {
+ public:
+  SentBatch() = default;
+  SentBatch(ProcId sender, std::span<const MsgId> ids)
+      : sender_(sender), ids_(ids) {}
+  SentBatch(ProcId sender, std::span<const MsgId> ids,
+            std::span<const std::int32_t> row,
+            std::span<const MsgId> pair_ids)
+      : sender_(sender), ids_(ids), row_(row), pair_ids_(pair_ids) {}
+
+  [[nodiscard]] ProcId sender() const noexcept { return sender_; }
+  [[nodiscard]] std::span<const MsgId> ids() const noexcept { return ids_; }
+  [[nodiscard]] std::size_t size() const noexcept { return ids_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ids_.empty(); }
+  [[nodiscard]] MsgId operator[](std::size_t i) const { return ids_[i]; }
+  [[nodiscard]] auto begin() const noexcept { return ids_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return ids_.end(); }
+
+  /// True iff the per-receiver view below is populated (window collection
+  /// was armed when the step ran and the step published something).
+  [[nodiscard]] bool indexed() const noexcept { return !row_.empty(); }
+  /// This step's ids addressed to receiver r (staging order). Empty view
+  /// unless indexed().
+  [[nodiscard]] std::span<const MsgId> to(ProcId r) const {
+    if (row_.empty()) return {};
+    const auto i = static_cast<std::size_t>(r);
+    return pair_ids_.subspan(
+        static_cast<std::size_t>(row_[i]),
+        static_cast<std::size_t>(row_[i + 1] - row_[i]));
+  }
+
+ private:
+  ProcId sender_ = -1;
+  std::span<const MsgId> ids_;
+  std::span<const std::int32_t> row_;  ///< n+1 offsets into pair_ids_
+  std::span<const MsgId> pair_ids_;    ///< the whole window pair_ids array
+};
+
+/// Read-only view of one collected window's publication batch, indexed by
+/// (sender, receiver). Built incrementally as sending steps publish —
+/// handed to WindowAdversary::plan_window_into and consumed by the
+/// delivery phase, so the driver never re-walks the window list to build
+/// a counting sort. Aliases the execution's WindowScratch: valid only
+/// until the window ends (or the next begin_window_batch).
+class WindowBatch {
+ public:
+  WindowBatch(const WindowScratch* sc, int n) : sc_(sc), n_(n) {}
+
+  [[nodiscard]] int n() const noexcept { return n_; }
+  /// All ids published this window, publication order.
+  [[nodiscard]] std::span<const MsgId> ids() const noexcept {
+    return sc_->batch;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return sc_->batch.size(); }
+
+  /// Number of messages sender s published to receiver r this window.
+  [[nodiscard]] std::int32_t count(ProcId s, ProcId r) const {
+    const std::size_t row = row_base(s);
+    if (sc_->row_stamp[static_cast<std::size_t>(s)] != sc_->batch_epoch)
+      return 0;
+    return sc_->pair_begin[row + static_cast<std::size_t>(r) + 1] -
+           sc_->pair_begin[row + static_cast<std::size_t>(r)];
+  }
+
+  /// The ids sender s published to receiver r this window (send order).
+  [[nodiscard]] std::span<const MsgId> from_to(ProcId s, ProcId r) const {
+    const std::size_t row = row_base(s);
+    if (sc_->row_stamp[static_cast<std::size_t>(s)] != sc_->batch_epoch)
+      return {};
+    const auto b =
+        static_cast<std::size_t>(sc_->pair_begin[row + static_cast<std::size_t>(r)]);
+    const auto e = static_cast<std::size_t>(
+        sc_->pair_begin[row + static_cast<std::size_t>(r) + 1]);
+    return std::span<const MsgId>(sc_->pair_ids).subspan(b, e - b);
+  }
+
+  /// Total messages published to receiver r this window (all senders).
+  [[nodiscard]] std::int32_t count_to(ProcId r) const {
+    return sc_->rcv_stamp[static_cast<std::size_t>(r)] == sc_->batch_epoch
+               ? sc_->rcv_total[static_cast<std::size_t>(r)]
+               : 0;
+  }
+
+ private:
+  [[nodiscard]] std::size_t row_base(ProcId s) const noexcept {
+    return static_cast<std::size_t>(s) * (static_cast<std::size_t>(n_) + 1);
+  }
+
+  const WindowScratch* sc_;
+  int n_;
 };
 
 }  // namespace aa::sim

@@ -45,6 +45,14 @@ struct Message {
   friend bool operator==(const Message&, const Message&) = default;
 };
 
+/// One staged (not yet published) message: receiver + payload. Processes
+/// queue these in an Outbox; a sending step hands the whole run to
+/// MessageBuffer::add_batch, which assigns ids in staging order.
+struct StagedMessage {
+  ProcId to;
+  Message msg;
+};
+
 /// A message instance in flight: payload plus channel metadata maintained by
 /// the engine. `window` is the acceptable-window index at which the sending
 /// step occurred (or the async batch counter in the crash model). `chain` is

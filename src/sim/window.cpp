@@ -60,18 +60,20 @@ int run_acceptable_window(Execution& exec, WindowAdversary& adv, int t) {
     sc.plan_validated = false;
   }
 
-  // Phase 1: all n processors take sending steps.
-  sc.batch.clear();
-  for (ProcId p = 0; p < n; ++p) {
-    const std::span<const MsgId> pub = exec.sending_step(p);
-    sc.batch.insert(sc.batch.end(), pub.begin(), pub.end());
-  }
+  // Phase 1: all n processors take sending steps under window-batch
+  // collection — each step publishes its whole outbox in one add_batch and
+  // folds its receiver grouping into the (sender, receiver) pair index, so
+  // the index is ready the moment the last step returns (no extra walks
+  // over the window list, no per-window counter reset).
+  exec.begin_window_batch();
+  for (ProcId p = 0; p < n; ++p) exec.sending_step(p);
 
   // Phase 2: adversary inspects the batch (full information) and plans.
   // Validation runs once per updated plan; a reused plan skips it unless a
   // crash/reset changed liveness since the last validation (defensive
   // re-check mandated by the plan-reuse contract).
-  const PlanDecision decision = adv.plan_window_into(exec, sc.batch, sc.plan);
+  const PlanDecision decision =
+      adv.plan_window_into(exec, exec.window_batch(), sc.plan);
   if (decision == PlanDecision::kUpdated || !sc.plan_validated ||
       sc.plan_liveness_epoch != exec.liveness_epoch()) {
     validate_window_plan(sc.plan, n, t, sc);
@@ -79,54 +81,16 @@ int run_acceptable_window(Execution& exec, WindowAdversary& adv, int t) {
     sc.plan_liveness_epoch = exec.liveness_epoch();
   }
 
-  // Index the batch by (sender, receiver) with a counting sort into the
-  // reusable flat pair arrays. Protocols may send several messages to the
-  // same peer in one window (e.g. Bracha's RBC echoes); send order within a
-  // pair is preserved, so delivery order matches the append-only original.
-  // At this point the current window's pending list IS the batch (nothing
-  // has been delivered or dropped yet), so both passes walk the buffer's
-  // intrusive list directly — no per-id hash lookups.
-  const std::size_t nn = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
-  sc.pair_count.assign(nn, 0);
-  const MessageBuffer& buf = exec.buffer();
-  for (const Envelope& env : buf.pending_in_window(exec.window())) {
-    ++sc.pair_count[static_cast<std::size_t>(env.sender) *
-                        static_cast<std::size_t>(n) +
-                    static_cast<std::size_t>(env.receiver)];
-  }
-  sc.pair_begin.resize(nn + 1);
-  std::int32_t acc = 0;
-  for (std::size_t k = 0; k < nn; ++k) {
-    sc.pair_begin[k] = acc;
-    acc += sc.pair_count[k];
-    sc.pair_count[k] = 0;  // becomes the scatter cursor
-  }
-  sc.pair_begin[nn] = acc;
-  sc.pair_ids.resize(static_cast<std::size_t>(acc));
-  for (const Envelope& env : buf.pending_in_window(exec.window())) {
-    const std::size_t k = static_cast<std::size_t>(env.sender) *
-                              static_cast<std::size_t>(n) +
-                          static_cast<std::size_t>(env.receiver);
-    sc.pair_ids[static_cast<std::size_t>(sc.pair_begin[k] +
-                                         sc.pair_count[k]++)] = env.id;
-  }
-
-  // Batched delivery: collect each receiver's whole run in plan order, then
-  // hand it to the engine in one call (crash/pending checks once per run,
-  // one on_receive_batch instead of a virtual call per message).
+  // Batched delivery: each live receiver's whole run in one call —
+  // ascending plan rows are consumed straight off the receiver's pending
+  // list (whole-list splice, no per-message id-map lookups), adversarially
+  // ordered rows gather from the prebuilt pair index and fall back to the
+  // per-id deliver_run path.
   int deliveries = 0;
   for (ProcId i = 0; i < n; ++i) {
     if (exec.crashed(i)) continue;
-    sc.run_ids.clear();
-    for (ProcId s : sc.plan.delivery_order[static_cast<std::size_t>(i)]) {
-      const std::size_t k = static_cast<std::size_t>(s) *
-                                static_cast<std::size_t>(n) +
-                            static_cast<std::size_t>(i);
-      for (std::int32_t j = sc.pair_begin[k]; j < sc.pair_begin[k + 1]; ++j) {
-        sc.run_ids.push_back(sc.pair_ids[static_cast<std::size_t>(j)]);
-      }
-    }
-    deliveries += exec.deliver_run(i, sc.run_ids);
+    deliveries += exec.deliver_plan_row(
+        i, sc.plan.delivery_order[static_cast<std::size_t>(i)]);
   }
 
   // Phase 3: at most t resetting steps.

@@ -20,15 +20,23 @@
 //
 //   * prepare(n, t) runs once per (execution, adversary) pairing, before
 //     the first window, so static adversaries can set up their plan shape.
-//   * plan_window_into returns a PlanDecision. kUpdated means the plan was
-//     overwritten (the driver re-validates it); kReusePrevious means the
-//     plan object already holds exactly what the adversary wants, and the
-//     driver skips both the n² plan fill and validate_window_plan — unless
-//     a crash/reset changed liveness since the last validation, which
-//     forces one defensive re-validation.
-//   * deliveries run through Execution::deliver_run, which performs the
-//     per-receiver checks once per run and hands the whole run to
-//     Process::on_receive_batch.
+//   * the sending phase runs under Execution::begin_window_batch: each
+//     sending step publishes its whole outbox in one
+//     MessageBuffer::add_batch and folds its receiver grouping into the
+//     window's (sender, receiver) pair index as it goes — the driver never
+//     re-walks the window list to build a counting sort.
+//   * plan_window_into receives that prebuilt index as a WindowBatch view
+//     and returns a PlanDecision. kUpdated means the plan was overwritten
+//     (the driver re-validates it); kReusePrevious means the plan object
+//     already holds exactly what the adversary wants, and the driver skips
+//     both the n² plan fill and validate_window_plan — unless a
+//     crash/reset changed liveness since the last validation, which forces
+//     one defensive re-validation.
+//   * deliveries run through Execution::deliver_plan_row: a plan row whose
+//     senders-with-messages are in ascending order is consumed straight
+//     off the receiver's pending list in one whole-list splice (bulk lazy
+//     delivery, a single Process::on_receive_batch); adversarially ordered
+//     rows fall back to the per-id gather + deliver_run path.
 #pragma once
 
 #include <string>
@@ -76,12 +84,14 @@ class WindowAdversary {
   /// this adversary last wrote into it is still there, enabling
   /// kReusePrevious without any fill. Implementations that return kUpdated
   /// must fully overwrite the plan (call plan.reset(exec.n()) first, then
-  /// append to plan.delivery_order[i] / plan.resets). `batch` holds the ids
-  /// of all messages just published by the window's sending steps.
-  /// Implementations may inspect the whole execution (states, buffer
-  /// contents) — the model is full-information.
+  /// append to plan.delivery_order[i] / plan.resets). `batch` is the
+  /// window's publication batch with its prebuilt (sender, receiver) pair
+  /// index — batch.ids() lists every id just published, batch.from_to(s,r)
+  /// slices it per pair without any buffer lookups. Implementations may
+  /// also inspect the whole execution (states, buffer contents) — the
+  /// model is full-information.
   virtual PlanDecision plan_window_into(const Execution& exec,
-                                        const std::vector<MsgId>& batch,
+                                        const WindowBatch& batch,
                                         WindowPlan& plan) = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
@@ -102,7 +112,7 @@ class StaticWindowAdversary : public WindowAdversary {
   }
 
   PlanDecision plan_window_into(const Execution& exec,
-                                const std::vector<MsgId>& /*batch*/,
+                                const WindowBatch& /*batch*/,
                                 WindowPlan& plan) final {
     const int n = exec.n();
     if (cached_plan_ == &plan && cached_n_ == n) {

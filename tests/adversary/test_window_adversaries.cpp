@@ -20,31 +20,30 @@ Execution make_exec(int n, int t, std::uint64_t seed) {
 
 // Test-side replacement for the removed WindowAdversary::plan_window
 // convenience: owns a fresh plan, runs the prepare lifecycle like the
-// driver would, and returns the filled plan for inspection.
-sim::WindowPlan plan_once(sim::WindowAdversary& adv, const Execution& e, int t,
-                          const std::vector<sim::MsgId>& batch) {
+// driver would, plans against the execution's collected window batch, and
+// returns the filled plan for inspection.
+sim::WindowPlan plan_once(sim::WindowAdversary& adv, const Execution& e,
+                          int t) {
   adv.prepare(e.n(), t);
   sim::WindowPlan plan;
   plan.reset(e.n());
-  adv.plan_window_into(e, batch, plan);
+  adv.plan_window_into(e, e.window_batch(), plan);
   return plan;
 }
 
-std::vector<sim::MsgId> send_all(Execution& e) {
-  std::vector<sim::MsgId> batch;
-  for (int p = 0; p < e.n(); ++p) {
-    for (sim::MsgId id : e.sending_step(p)) batch.push_back(id);
-  }
-  return batch;
+// Sending phase of one window, batch collection armed like the driver's.
+void send_all(Execution& e) {
+  e.begin_window_batch();
+  for (int p = 0; p < e.n(); ++p) e.sending_step(p);
 }
 
 TEST(FairAdversary, PlansFullDelivery) {
   const int n = 8;
   const int t = 1;
   Execution e = make_exec(n, t, 1);
-  const auto batch = send_all(e);
+  send_all(e);
   FairWindowAdversary fair;
-  const sim::WindowPlan plan = plan_once(fair, e, t, batch);
+  const sim::WindowPlan plan = plan_once(fair, e, t);
   EXPECT_NO_THROW(sim::validate_window_plan(plan, n, t));
   EXPECT_TRUE(plan.resets.empty());
   for (const auto& order : plan.delivery_order)
@@ -55,9 +54,9 @@ TEST(SilencerAdversary, NeverDeliversFromSilenced) {
   const int n = 13;
   const int t = 2;
   Execution e = make_exec(n, t, 2);
-  const auto batch = send_all(e);
+  send_all(e);
   SilencerWindowAdversary silencer({0, 5});
-  const sim::WindowPlan plan = plan_once(silencer, e, t, batch);
+  const sim::WindowPlan plan = plan_once(silencer, e, t);
   EXPECT_NO_THROW(sim::validate_window_plan(plan, n, t));
   for (const auto& order : plan.delivery_order) {
     EXPECT_EQ(std::count(order.begin(), order.end(), 0), 0);
@@ -73,8 +72,8 @@ TEST(RandomAdversary, ProducesValidPlansAcrossWindows) {
   RandomWindowAdversary rnd(t, 0.3, Rng(5));
   for (int w = 0; w < 20; ++w) {
     // Plans must be valid every window regardless of protocol state.
-    const auto batch = e.buffer().pending_in_window_ids(e.window());
-    const sim::WindowPlan plan = plan_once(rnd, e, t, batch);
+    e.begin_window_batch();
+    const sim::WindowPlan plan = plan_once(rnd, e, t);
     EXPECT_NO_THROW(sim::validate_window_plan(plan, n, t));
     EXPECT_LE(plan.resets.size(), static_cast<std::size_t>(t));
   }
@@ -85,8 +84,8 @@ TEST(ResetStormAdversary, ResetsExactlyTDistinct) {
   const int t = 3;
   Execution e = make_exec(n, t, 4);
   ResetStormAdversary storm(t, Rng(7));
-  const auto batch = send_all(e);
-  const sim::WindowPlan plan = plan_once(storm, e, t, batch);
+  send_all(e);
+  const sim::WindowPlan plan = plan_once(storm, e, t);
   EXPECT_NO_THROW(sim::validate_window_plan(plan, n, t));
   EXPECT_EQ(plan.resets.size(), static_cast<std::size_t>(t));
 }
@@ -135,9 +134,9 @@ TEST(SplitKeeper, PlanIsValidAndDeliversEveryone) {
   const int n = 12;
   const int t = 2;
   Execution e = make_exec(n, t, 6);
-  const auto batch = send_all(e);
+  send_all(e);
   SplitKeeperAdversary keeper;
-  const sim::WindowPlan plan = plan_once(keeper, e, t, batch);
+  const sim::WindowPlan plan = plan_once(keeper, e, t);
   EXPECT_NO_THROW(sim::validate_window_plan(plan, n, t));
   EXPECT_TRUE(plan.resets.empty());
   // S_i = [n]: only the order is adversarial.

@@ -120,7 +120,7 @@ TEST(Equivalence, ResetPathMatchesToo) {
   class OneResetAdversary final : public sim::WindowAdversary {
    public:
     sim::PlanDecision plan_window_into(const sim::Execution& exec,
-                                       const std::vector<sim::MsgId>&,
+                                       const sim::WindowBatch&,
                                        sim::WindowPlan& plan) override {
       plan.reset(exec.n());
       std::vector<sim::ProcId> everyone;

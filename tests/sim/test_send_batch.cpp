@@ -1,0 +1,411 @@
+// Bulk publication pipeline (MessageBuffer::add_batch + the incremental
+// window pair index + Execution::deliver_plan_row):
+//  * add_batch is observationally identical to a loop of add() — ids,
+//    receiver/window list order, id-map state — including slot runs that
+//    straddle arena recycling boundaries (fragmented free list + growth);
+//  * the epoch-stamped pair counters never leak counts across windows
+//    (stale rows read as empty without any per-window reset);
+//  * deliver_plan_row's whole-list fast path produces bit-identical
+//    decisions and tallies to the per-message receiving_step path for
+//    Fair / Silencer / SplitKeeper at n = 32;
+//  * a crash mid-window and adversarially (non-ascending) ordered rows
+//    force the slow path, whose delivery ORDER is the plan order.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "adversary/window_adversaries.hpp"
+#include "protocols/factory.hpp"
+#include "sim/window.hpp"
+#include "util/rng.hpp"
+
+namespace aa::sim {
+namespace {
+
+using protocols::ProtocolKind;
+
+// ---------------------------------------------------------------------------
+// add_batch vs a loop of add()
+// ---------------------------------------------------------------------------
+
+std::vector<StagedMessage> make_items(Rng& rng, int n, int count) {
+  std::vector<StagedMessage> items;
+  Message m;
+  m.kind = 1;
+  for (int k = 0; k < count; ++k) {
+    m.value = static_cast<std::int32_t>(rng.uniform_index(2));
+    items.push_back({static_cast<ProcId>(rng.uniform_index(
+                         static_cast<std::size_t>(n))),
+                     m});
+  }
+  return items;
+}
+
+void expect_same_buffers(const MessageBuffer& a, const MessageBuffer& b) {
+  ASSERT_EQ(a.n(), b.n());
+  EXPECT_EQ(a.total_sent(), b.total_sent());
+  EXPECT_EQ(a.pending_count(), b.pending_count());
+  EXPECT_EQ(a.delivered_count(), b.delivered_count());
+  EXPECT_EQ(a.dropped_count(), b.dropped_count());
+  EXPECT_EQ(a.all_pending_ids(), b.all_pending_ids());
+  for (ProcId r = 0; r < a.n(); ++r) {
+    EXPECT_EQ(a.pending_to_ids(r), b.pending_to_ids(r)) << "receiver " << r;
+    for (ProcId s = 0; s < a.n(); ++s) {
+      EXPECT_EQ(a.pending_from_to_ids(s, r), b.pending_from_to_ids(s, r));
+    }
+  }
+}
+
+TEST(AddBatch, MatchesPerItemAddUnderChurn) {
+  // Interleave batched and per-item publication with random retirements and
+  // window drops; after every step both buffers must agree on everything.
+  const int n = 6;
+  MessageBuffer batched(n);
+  MessageBuffer per_item(n);
+  Rng rng(99);
+  std::int64_t window = 0;
+  for (int step = 0; step < 200; ++step) {
+    const auto sender =
+        static_cast<ProcId>(rng.uniform_index(static_cast<std::size_t>(n)));
+    const auto items =
+        make_items(rng, n, 1 + static_cast<int>(rng.uniform_index(9)));
+    const MsgId first = batched.add_batch(sender, items, window, step + 1);
+    EXPECT_EQ(first, static_cast<MsgId>(per_item.total_sent()));
+    for (const StagedMessage& item : items) {
+      per_item.add(sender, item.to, item.msg, window, step + 1);
+    }
+    // The run's ids are consecutive from `first`, in staging order.
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      const Envelope& env = batched.get(first + static_cast<MsgId>(i));
+      EXPECT_EQ(env.receiver, items[i].to);
+      EXPECT_EQ(env.sender, sender);
+    }
+    // Random retirements fragment the free list so later batch runs span
+    // recycled slots and fresh growth.
+    for (MsgId id : batched.all_pending_ids()) {
+      if (rng.uniform_index(3) == 0) {
+        batched.mark_delivered(id);
+        per_item.mark_delivered(id);
+      }
+    }
+    if (rng.uniform_index(4) == 0) {
+      batched.drop_pending_in_window(window);
+      per_item.drop_pending_in_window(window);
+      ++window;
+    }
+    expect_same_buffers(batched, per_item);
+    EXPECT_EQ(batched.slot_capacity(), per_item.slot_capacity());
+  }
+}
+
+TEST(AddBatch, SlotRunStraddlesRecyclingBoundary) {
+  // Arena with exactly 3 recycled holes; a 5-message run must consume the
+  // whole free list, then grow — and every query must still be exact.
+  const int n = 4;
+  MessageBuffer buf(n);
+  Message m;
+  m.kind = 1;
+  std::vector<MsgId> seed_ids;
+  for (int k = 0; k < 3; ++k) seed_ids.push_back(buf.add(0, 1, m, 0, 1));
+  for (MsgId id : seed_ids) buf.mark_delivered(id);
+  ASSERT_EQ(buf.slot_capacity(), 3u);
+
+  std::vector<StagedMessage> items;
+  for (int k = 0; k < 5; ++k) {
+    items.push_back({static_cast<ProcId>(k % n), m});
+  }
+  const MsgId first = buf.add_batch(2, items, 1, 7);
+  EXPECT_EQ(first, 3);
+  EXPECT_EQ(buf.slot_capacity(), 5u);  // 3 recycled + 2 fresh
+  EXPECT_EQ(buf.pending_count(), 5u);
+  const std::vector<MsgId> expect_ids{3, 4, 5, 6, 7};
+  EXPECT_EQ(buf.all_pending_ids(), expect_ids);
+  EXPECT_EQ(buf.pending_in_window_ids(1), expect_ids);
+  for (int k = 0; k < 5; ++k) {
+    const Envelope& env = buf.get(first + k);
+    EXPECT_EQ(env.window, 1);
+    EXPECT_EQ(env.chain, 7);
+    EXPECT_EQ(env.receiver, static_cast<ProcId>(k % n));
+  }
+  // Old ids stay retired even though their slots were reused.
+  for (MsgId id : seed_ids) EXPECT_FALSE(buf.is_pending(id));
+}
+
+TEST(AddBatch, EmptyRunAndBadReceiverAreAtomic) {
+  MessageBuffer buf(3);
+  Message m;
+  EXPECT_EQ(buf.add_batch(0, {}, 0, 1), 0);
+  EXPECT_EQ(buf.total_sent(), 0u);
+  // A bad receiver anywhere in the run is rejected before ANY item lands.
+  std::vector<StagedMessage> items{{0, m}, {7, m}};
+  EXPECT_THROW(buf.add_batch(0, items, 0, 1), std::invalid_argument);
+  EXPECT_EQ(buf.total_sent(), 0u);
+  EXPECT_EQ(buf.pending_count(), 0u);
+}
+
+TEST(AddBatch, LiveSlotsStayBoundedAcross5kBatchedWindows) {
+  // The arena bounded-slots regression, driven through the batched
+  // pipeline end to end: add_batch publication + whole-list fast-path
+  // delivery (fair ⇒ every receiver takes the splice) + lazy-parked slots
+  // recycled by the window sweep. Memory must stay one window's burst.
+  const int n = 16;
+  const int t = 2;
+  Execution e(protocols::make_processes(ProtocolKind::Reset, t,
+                                        protocols::split_inputs(n, 0.5)),
+              7);
+  adversary::FairWindowAdversary fair;
+  std::size_t capacity_after_warmup = 0;
+  for (int w = 0; w < 5000; ++w) {
+    run_acceptable_window(e, fair, t);
+    if (w == 99) capacity_after_warmup = e.buffer().slot_capacity();
+  }
+  EXPECT_EQ(e.buffer().pending_count(), 0u);
+  EXPECT_EQ(e.buffer().slot_capacity(), capacity_after_warmup);
+  EXPECT_LE(e.buffer().slot_capacity(),
+            static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  EXPECT_EQ(e.buffer().total_sent(),
+            5000u * static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+}
+
+// ---------------------------------------------------------------------------
+// Epoch-stamped pair counters
+// ---------------------------------------------------------------------------
+
+TEST(WindowBatchIndex, CountersDoNotLeakAcrossWindows) {
+  const int n = 8;
+  const int t = 1;
+  Execution e(protocols::make_processes(ProtocolKind::Reset, t,
+                                        protocols::split_inputs(n, 0.5)),
+              5);
+  // Window 0: everyone broadcasts its round-1 vote (n messages each).
+  e.begin_window_batch();
+  for (ProcId p = 0; p < n; ++p) e.sending_step(p);
+  {
+    const WindowBatch batch = e.window_batch();
+    EXPECT_EQ(batch.size(), static_cast<std::size_t>(n) * n);
+    for (ProcId s = 0; s < n; ++s) {
+      for (ProcId r = 0; r < n; ++r) {
+        EXPECT_EQ(batch.count(s, r), 1);
+        ASSERT_EQ(batch.from_to(s, r).size(), 1u);
+        EXPECT_EQ(e.buffer().get(batch.from_to(s, r)[0]).sender, s);
+      }
+      EXPECT_EQ(batch.count_to(s), n);
+    }
+  }
+  e.end_window();
+
+  // Window 1: nothing was delivered, so nobody has anything staged — every
+  // row of the fresh index must read empty WITHOUT any reset having run.
+  e.begin_window_batch();
+  for (ProcId p = 0; p < n; ++p) e.sending_step(p);
+  {
+    const WindowBatch batch = e.window_batch();
+    EXPECT_EQ(batch.size(), 0u);
+    for (ProcId s = 0; s < n; ++s) {
+      for (ProcId r = 0; r < n; ++r) {
+        EXPECT_EQ(batch.count(s, r), 0);
+        EXPECT_TRUE(batch.from_to(s, r).empty());
+      }
+      EXPECT_EQ(batch.count_to(s), 0);
+    }
+  }
+  e.end_window();
+
+  // Window 2 after a real delivery round: counts reflect ONLY the new
+  // batch (stale window-0 rows must not shine through).
+  adversary::FairWindowAdversary fair;
+  const int deliveries = run_acceptable_window(e, fair, t);
+  EXPECT_EQ(deliveries, 0);  // window 2's batch was empty
+  e.begin_window_batch();
+  for (ProcId p = 0; p < n; ++p) e.sending_step(p);
+  const WindowBatch batch = e.window_batch();
+  EXPECT_EQ(batch.size(), 0u);
+  for (ProcId s = 0; s < n; ++s) EXPECT_EQ(batch.count_to(s), 0);
+}
+
+// ---------------------------------------------------------------------------
+// deliver_plan_row fast path vs the per-message reference driver
+// ---------------------------------------------------------------------------
+
+/// Reference window driver: identical phases, but every delivery is one
+/// receiving_step (per-id buffer lookups, one virtual on_receive each) —
+/// the per-message path the fast path must reproduce bit for bit.
+int run_reference_window(Execution& exec, WindowAdversary& adv, int t,
+                         WindowPlan& plan) {
+  const int n = exec.n();
+  exec.begin_window_batch();
+  for (ProcId p = 0; p < n; ++p) exec.sending_step(p);
+  adv.prepare(n, t);
+  plan.reset(n);
+  adv.plan_window_into(exec, exec.window_batch(), plan);
+  validate_window_plan(plan, n, t);
+  const WindowBatch batch = exec.window_batch();
+  int deliveries = 0;
+  for (ProcId i = 0; i < n; ++i) {
+    if (exec.crashed(i)) continue;
+    for (ProcId s : plan.delivery_order[static_cast<std::size_t>(i)]) {
+      for (MsgId id : batch.from_to(s, i)) {
+        exec.receiving_step(id);
+        ++deliveries;
+      }
+    }
+  }
+  for (ProcId p : plan.resets) exec.resetting_step(p);
+  exec.end_window();
+  return deliveries;
+}
+
+void expect_same_outcome(const Execution& a, const Execution& b) {
+  ASSERT_EQ(a.n(), b.n());
+  EXPECT_EQ(a.step_count(), b.step_count());
+  EXPECT_EQ(a.decided_count(), b.decided_count());
+  EXPECT_EQ(a.buffer().delivered_count(), b.buffer().delivered_count());
+  EXPECT_EQ(a.buffer().dropped_count(), b.buffer().dropped_count());
+  EXPECT_EQ(a.total_resets(), b.total_resets());
+  for (ProcId p = 0; p < a.n(); ++p) {
+    EXPECT_EQ(a.output(p), b.output(p)) << "proc " << p;
+    EXPECT_EQ(a.process(p).round(), b.process(p).round()) << "proc " << p;
+    EXPECT_EQ(a.process(p).estimate(), b.process(p).estimate())
+        << "proc " << p;
+    EXPECT_EQ(a.chain_depth(p), b.chain_depth(p)) << "proc " << p;
+  }
+  // Decisions agree in (proc, value, window); the documented batch-path
+  // divergence is only the step/chain stamp granularity inside a run.
+  ASSERT_EQ(a.decisions().size(), b.decisions().size());
+  for (std::size_t i = 0; i < a.decisions().size(); ++i) {
+    EXPECT_EQ(a.decisions()[i].proc, b.decisions()[i].proc);
+    EXPECT_EQ(a.decisions()[i].value, b.decisions()[i].value);
+    EXPECT_EQ(a.decisions()[i].window, b.decisions()[i].window);
+  }
+}
+
+Execution make_exec(ProtocolKind kind, int n, int t, std::uint64_t seed) {
+  return Execution(
+      protocols::make_processes(kind, t, protocols::split_inputs(n, 0.5)),
+      seed);
+}
+
+TEST(DeliverPlanRow, FastPathMatchesPerMessagePathAtN32) {
+  const int n = 32;
+  const int t = 5;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    // Fair: every row ascending + full cover → whole-list splice.
+    {
+      Execution fast = make_exec(ProtocolKind::Reset, n, t, seed);
+      Execution ref = make_exec(ProtocolKind::Reset, n, t, seed);
+      adversary::FairWindowAdversary fair_a;
+      adversary::FairWindowAdversary fair_b;
+      WindowPlan plan;
+      for (int w = 0; w < 40; ++w) {
+        run_acceptable_window(fast, fair_a, t);
+        run_reference_window(ref, fair_b, t, plan);
+      }
+      expect_same_outcome(fast, ref);
+    }
+    // Silencer: ascending partial cover → filtered whole-list walk.
+    {
+      std::vector<ProcId> silenced;
+      for (int i = 0; i < t; ++i) silenced.push_back(2 * i);
+      Execution fast = make_exec(ProtocolKind::Forgetful, n, t, seed);
+      Execution ref = make_exec(ProtocolKind::Forgetful, n, t, seed);
+      adversary::SilencerWindowAdversary sil_a(silenced);
+      adversary::SilencerWindowAdversary sil_b(silenced);
+      WindowPlan plan;
+      for (int w = 0; w < 40; ++w) {
+        run_acceptable_window(fast, sil_a, t);
+        run_reference_window(ref, sil_b, t, plan);
+      }
+      expect_same_outcome(fast, ref);
+    }
+    // SplitKeeper: alternating vote order → slow path (gather + deliver_run).
+    {
+      Execution fast = make_exec(ProtocolKind::Reset, n, t, seed);
+      Execution ref = make_exec(ProtocolKind::Reset, n, t, seed);
+      adversary::SplitKeeperAdversary keep_a;
+      adversary::SplitKeeperAdversary keep_b;
+      WindowPlan plan;
+      for (int w = 0; w < 40; ++w) {
+        run_acceptable_window(fast, keep_a, t);
+        run_reference_window(ref, keep_b, t, plan);
+      }
+      expect_same_outcome(fast, ref);
+    }
+  }
+}
+
+TEST(DeliverPlanRow, NonAscendingRowDeliversInPlanOrder) {
+  // A descending row cannot take the whole-list path (list order would
+  // invert the plan order); the slow path must deliver exactly in plan
+  // order — observable through the recorded event sequence.
+  const int n = 6;
+  const int t = 1;
+  Execution e(protocols::make_processes(ProtocolKind::Reset, t,
+                                        protocols::split_inputs(n, 0.5)),
+              3, ExecutionConfig{/*record_events=*/true});
+  e.begin_window_batch();
+  for (ProcId p = 0; p < n; ++p) e.sending_step(p);
+  const WindowBatch batch = e.window_batch();
+  std::vector<ProcId> descending;
+  for (ProcId s = n - 1; s >= 0; --s) descending.push_back(s);
+  std::vector<MsgId> expected;
+  for (ProcId s : descending) {
+    for (MsgId id : batch.from_to(s, /*r=*/2)) expected.push_back(id);
+  }
+  ASSERT_EQ(expected.size(), static_cast<std::size_t>(n));
+  const int delivered = e.deliver_plan_row(2, descending);
+  EXPECT_EQ(delivered, n);
+  std::vector<MsgId> seen;
+  for (const Event& ev : e.events()) {
+    if (ev.kind == StepKind::Receive) seen.push_back(ev.msg);
+  }
+  EXPECT_EQ(seen, expected);  // descending sender blocks, not id order
+}
+
+TEST(DeliverPlanRow, CrashMidWindowForcesSlowPathAndStaysExact) {
+  // Crash a processor BETWEEN the sending phase and delivery: its
+  // published messages stay deliverable, it takes no receiving steps, and
+  // a non-ascending row over the remaining senders must still deliver in
+  // plan order. Mirrored against the per-message reference.
+  const int n = 12;
+  const int t = 2;
+  const ProcId crashed = 3;
+  Execution fast = make_exec(ProtocolKind::Reset, n, t, 11);
+  Execution ref = make_exec(ProtocolKind::Reset, n, t, 11);
+
+  auto drive = [&](Execution& e, bool batched) {
+    e.begin_window_batch();
+    for (ProcId p = 0; p < n; ++p) e.sending_step(p);
+    e.crash(crashed);  // mid-window: after publication, before delivery
+    const WindowBatch batch = e.window_batch();
+    // Rows: receiver parity picks ascending (fast-eligible) or descending
+    // (slow) so both paths see the crash.
+    for (ProcId i = 0; i < n; ++i) {
+      if (e.crashed(i)) continue;
+      std::vector<ProcId> row;
+      if (i % 2 == 0) {
+        for (ProcId s = 0; s < n; ++s) row.push_back(s);
+      } else {
+        for (ProcId s = n - 1; s >= 0; --s) row.push_back(s);
+      }
+      if (batched) {
+        e.deliver_plan_row(i, row);
+      } else {
+        for (ProcId s : row) {
+          for (MsgId id : batch.from_to(s, i)) e.receiving_step(id);
+        }
+      }
+    }
+    e.end_window();
+  };
+  drive(fast, /*batched=*/true);
+  drive(ref, /*batched=*/false);
+  expect_same_outcome(fast, ref);
+  // The crashed processor's inbox was dropped at the window edge, not
+  // delivered.
+  EXPECT_GT(fast.buffer().dropped_count(), 0u);
+  EXPECT_EQ(fast.buffer().pending_count(), 0u);
+}
+
+}  // namespace
+}  // namespace aa::sim

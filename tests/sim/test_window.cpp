@@ -90,7 +90,7 @@ TEST(RunAcceptableWindow, AdversaryPlanIsValidated) {
   class BadAdversary final : public WindowAdversary {
    public:
     PlanDecision plan_window_into(const Execution& exec,
-                                  const std::vector<MsgId>&,
+                                  const WindowBatch&,
                                   WindowPlan& plan) override {
       // |S_i| = 0 < n − t: illegal.
       plan.delivery_order.assign(static_cast<std::size_t>(exec.n()), {});

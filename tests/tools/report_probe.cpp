@@ -1,0 +1,180 @@
+// report_probe: deterministic dump of checker / exhaustive / harness
+// reports, used to verify that engine refactors keep every report
+// bit-identical across commits and thread counts.
+//
+//   ./build/tests/tools/report_probe [threads...]
+//
+// Prints one line per (component, config, thread-count) with every report
+// field at full precision. Diff the output of two builds to prove
+// equivalence; the driver runs it at threads 1/2/8.
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+
+using namespace aa;
+
+namespace {
+
+void print_measure_one(const char* tag, int threads,
+                       const core::MeasureOneReport& r) {
+  std::printf("%s threads=%d trials=%d agree_viol=%d valid_viol=%d "
+              "decided=%d all_decided=%d mean_windows=%.17g mean_chain=%.17g "
+              "seeds=[",
+              tag, threads, r.trials, r.agreement_violations,
+              r.validity_violations, r.decided_runs, r.all_decided_runs,
+              r.mean_windows_to_first, r.mean_chain_at_decision);
+  for (std::size_t i = 0; i < r.violating_seeds.size(); ++i) {
+    std::printf("%s%" PRIu64, i ? "," : "", r.violating_seeds[i]);
+  }
+  std::printf("]\n");
+}
+
+core::WindowAdversaryFactory window_factory(const std::string& name, int t) {
+  return [name, t](std::uint64_t seed) -> std::unique_ptr<sim::WindowAdversary> {
+    if (name == "fair") return std::make_unique<adversary::FairWindowAdversary>();
+    if (name == "silencer") {
+      std::vector<sim::ProcId> silenced;
+      for (int i = 0; i < t; ++i) silenced.push_back(i);
+      return std::make_unique<adversary::SilencerWindowAdversary>(silenced);
+    }
+    if (name == "split-keeper")
+      return std::make_unique<adversary::SplitKeeperAdversary>();
+    if (name == "reset-storm")
+      return std::make_unique<adversary::ResetStormAdversary>(t, Rng(seed * 7 + 1));
+    return std::make_unique<adversary::RandomWindowAdversary>(t, 0.1,
+                                                              Rng(seed * 9 + 2));
+  };
+}
+
+core::AsyncAdversaryFactory async_factory(const std::string& name, int t) {
+  return [name, t](std::uint64_t seed) -> std::unique_ptr<sim::AsyncAdversary> {
+    if (name == "random-async")
+      return std::make_unique<adversary::RandomAsyncScheduler>(Rng(seed * 3 + 1));
+    if (name == "fixed-crash") {
+      std::vector<sim::ProcId> crash;
+      for (int i = 0; i < t; ++i) crash.push_back(i);
+      return std::make_unique<adversary::FixedCrashScheduler>(crash,
+                                                              Rng(seed * 5 + 3));
+    }
+    return std::make_unique<adversary::AsyncSplitKeeper>();
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<int> thread_counts;
+  for (int i = 1; i < argc; ++i) thread_counts.push_back(std::atoi(argv[i]));
+  if (thread_counts.empty()) thread_counts = {1, 2, 8};
+
+  const struct {
+    protocols::ProtocolKind kind;
+    const char* kname;
+  } kinds[] = {{protocols::ProtocolKind::Reset, "reset"},
+               {protocols::ProtocolKind::Forgetful, "forgetful"},
+               {protocols::ProtocolKind::BenOr, "benor"},
+               {protocols::ProtocolKind::Bracha, "bracha"}};
+
+  for (const int threads : thread_counts) {
+    aa::ParallelConfig par;
+    par.threads = threads;
+
+    // ---- window-model checker, every adversary ----
+    for (const auto& k : kinds) {
+      for (const char* adv :
+           {"fair", "silencer", "split-keeper", "reset-storm", "random"}) {
+        const int n = 16;
+        const int t = 2;
+        const auto rep = core::check_measure_one_window(
+            k.kind, protocols::split_inputs(n, 0.5), t,
+            window_factory(adv, t), /*trials=*/40, /*max_windows=*/600,
+            /*seed0=*/1000, std::nullopt, par);
+        std::printf("window %s %s ", k.kname, adv);
+        print_measure_one("", threads, rep);
+      }
+    }
+
+    // ---- async checker, every scheduler ----
+    for (const auto& k : kinds) {
+      for (const char* adv : {"random-async", "fixed-crash", "async-split"}) {
+        const int n = 10;
+        const int t = 2;
+        const auto rep = core::check_measure_one_async(
+            k.kind, protocols::split_inputs(n, 0.5), t, async_factory(adv, t),
+            /*trials=*/30, /*max_deliveries=*/40000, /*seed0=*/500,
+            std::nullopt, par);
+        std::printf("async %s %s ", k.kname, adv);
+        print_measure_one("", threads, rep);
+      }
+    }
+
+    // ---- exhaustive checker ----
+    {
+      core::ExhaustiveOptions opt;
+      opt.max_depth = 3;
+      opt.parallel = par;
+      const auto th = protocols::canonical_thresholds(8, 1);
+      const auto rep =
+          core::exhaustive_check(1, th, protocols::split_inputs(8, 0.5), opt);
+      std::printf("exhaustive threads=%d configs=%" PRId64 " transitions=%" PRId64
+                  " depth=%d budget=%d agree=%d valid=%d\n",
+                  threads, rep.configs_explored, rep.transitions,
+                  rep.depth_completed, rep.budget_exhausted ? 1 : 0,
+                  rep.agreement_ok ? 1 : 0, rep.validity_ok ? 1 : 0);
+    }
+  }
+
+  // ---- harness experiments (thread-independent single runs) ----
+  for (const auto& k : kinds) {
+    for (const char* adv :
+         {"fair", "silencer", "split-keeper", "reset-storm", "random"}) {
+      const int n = 16;
+      const int t = 2;
+      auto a = window_factory(adv, t)(7);
+      const auto r = core::run_window_experiment(
+          k.kind, protocols::split_inputs(n, 0.5), t, *a,
+          /*max_windows=*/500, /*seed=*/77);
+      std::printf("harness-window %s %s decided=%d all=%d val=%d wtf=%" PRId64
+                  " wins=%" PRId64 " steps=%" PRId64 " resets=%" PRId64
+                  " agree=%d valid=%d\n",
+                  k.kname, adv, r.decided ? 1 : 0, r.all_decided ? 1 : 0,
+                  r.decision, r.windows_to_first, r.windows_total, r.steps,
+                  r.total_resets, r.agreement ? 1 : 0, r.validity ? 1 : 0);
+    }
+    for (const char* adv : {"random-async", "fixed-crash", "async-split"}) {
+      const int n = 10;
+      const int t = 2;
+      auto a = async_factory(adv, t)(11);
+      const auto r = core::run_async_experiment(
+          k.kind, protocols::split_inputs(n, 0.5), t, *a,
+          /*max_deliveries=*/60000, /*seed=*/33);
+      std::printf("harness-async %s %s decided=%d all=%d val=%d deliv=%" PRId64
+                  " chain=%" PRId64 " crashes=%" PRId64
+                  " limit=%d agree=%d valid=%d\n",
+                  k.kname, adv, r.decided ? 1 : 0, r.all_decided ? 1 : 0,
+                  r.decision, r.deliveries, r.chain_at_decision, r.crashes,
+                  r.hit_limit ? 1 : 0, r.agreement ? 1 : 0,
+                  r.validity ? 1 : 0);
+    }
+  }
+
+  // ---- Byzantine harness ----
+  for (const char* adv : {"fair", "silencer", "split-keeper"}) {
+    const int n = 16;
+    const int t = 2;
+    auto a = window_factory(adv, t)(3);
+    const auto r = core::run_byzantine_window_experiment(
+        protocols::ProtocolKind::Reset, protocols::split_inputs(n, 0.5), t,
+        /*byz_count=*/2, protocols::ByzantineStrategy::Equivocate, *a,
+        /*max_windows=*/500, /*seed=*/13, /*pre_crashed=*/{5});
+    std::printf("harness-byz %s hd=%d had=%d ha=%d hv=%d wins=%" PRId64 "\n",
+                adv, r.honest_decided, r.honest_all_decided ? 1 : 0,
+                r.honest_agreement ? 1 : 0, r.honest_validity ? 1 : 0,
+                r.windows_total);
+  }
+  return 0;
+}
