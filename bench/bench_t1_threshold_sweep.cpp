@@ -20,11 +20,14 @@ struct Preset {
   protocols::Thresholds th;
 };
 
-/// All trial work in this bench runs through the thread pool: one worker
-/// per hardware thread, small chunks so even the 8-trial grid rows shard.
+/// All trial work in this bench runs through ONE shared campaign context:
+/// one worker per hardware thread, small chunks so even the 8-trial grid
+/// rows shard, and the pool + per-worker Execution scratch persist across
+/// every check (no spawn/join or arena regrowth per call).
 const ParallelConfig kPool{.threads = 0, .chunk_size = 2};
 
-void run_preset(Table& table, int n, int t, const Preset& preset, int trials) {
+void run_preset(Table& table, core::CampaignContext& ctx, int n, int t,
+                const Preset& preset, int trials) {
   const std::string violation =
       protocols::threshold_violation(n, t, preset.th);
   const bool valid = violation.empty();
@@ -32,14 +35,19 @@ void run_preset(Table& table, int n, int t, const Preset& preset, int trials) {
   // Valid presets terminate quickly; broken presets may stall some
   // processor forever, so cap their horizon (violations show up early).
   const std::int64_t max_windows = valid ? 50000 : 2000;
+  core::Experiment spec;
+  spec.kind = protocols::ProtocolKind::Reset;
+  spec.inputs = protocols::split_inputs(n, 0.5);
+  spec.t = t;
+  spec.budget = max_windows;
+  spec.thresholds = preset.th;
   const core::MeasureOneReport rep = core::check_measure_one_window(
-      protocols::ProtocolKind::Reset, protocols::split_inputs(n, 0.5), t,
+      spec,
       [t](std::uint64_t seed) {
         return std::make_unique<adversary::RandomWindowAdversary>(t, 0.2,
                                                                   Rng(seed));
       },
-      trials, max_windows,
-      /*seed0=*/static_cast<std::uint64_t>(n) * 100 + t, preset.th, kPool);
+      trials, /*seed0=*/static_cast<std::uint64_t>(n) * 100 + t, ctx);
 
   const double agree_rate =
       1.0 - static_cast<double>(rep.agreement_violations) / trials;
@@ -60,6 +68,8 @@ int main() {
               "adversary with resets)\n\n");
   Table table({"n", "t", "preset", "T1/T2/T3", "Thm4-ok", "agree", "term",
                "mean win"});
+  // One long-lived pool + per-worker scratch for the whole bench.
+  core::CampaignContext ctx(kPool);
 
   const int trials = 8;
   // At the resilience ceiling (t just under n/6), canonical is the ONLY
@@ -68,7 +78,7 @@ int main() {
   // decides sooner — the Theorem 4 remark about small t.
   for (const auto& [n, t] : std::vector<std::pair<int, int>>{
            {13, 2}, {19, 3}, {25, 4}, {31, 5}}) {
-    run_preset(table, n, t,
+    run_preset(table, ctx, n, t,
                Preset{"canonical", protocols::canonical_thresholds(n, t)},
                trials);
   }
@@ -77,11 +87,11 @@ int main() {
   // comparison is itself exponentially slow (the F1 effect). (19, 2) keeps
   // both sides affordable; larger slack pairs would take hours.
   for (const auto& [n, t] : std::vector<std::pair<int, int>>{{19, 2}}) {
-    run_preset(table, n, t,
+    run_preset(table, ctx, n, t,
                Preset{"canonical", protocols::canonical_thresholds(n, t)},
                trials);
     const protocols::Thresholds relaxed{n - 2 * t, n / 2 + 1 + t, n / 2 + 1};
-    run_preset(table, n, t, Preset{"relaxed-T2", relaxed}, trials);
+    run_preset(table, ctx, n, t, Preset{"relaxed-T2", relaxed}, trials);
   }
   // The cautionary rows: break 2*T3 > n (conflicting deterministic adopts
   // become possible) and T2 >= T3 + t (premature decisions vs resets).
@@ -89,9 +99,9 @@ int main() {
     const int n = 13;
     const int t = 2;
     const protocols::Thresholds broken_t3{n - 2 * t, n / 2 + 1, n / 2};
-    run_preset(table, n, t, Preset{"BROKEN-T3", broken_t3}, 30);
+    run_preset(table, ctx, n, t, Preset{"BROKEN-T3", broken_t3}, 30);
     const protocols::Thresholds broken_t2{n - 2 * t, n - 3 * t, n - 3 * t};
-    run_preset(table, n, t, Preset{"BROKEN-T2", broken_t2}, 30);
+    run_preset(table, ctx, n, t, Preset{"BROKEN-T2", broken_t2}, 30);
   }
   table.print(std::cout, "T1 threshold regime");
   std::printf("Theorem 4 rows (Thm4-ok = yes) must show agree = 1.00 and "
@@ -103,26 +113,34 @@ int main() {
     const int n = 13;
     const int t = 2;
     const int tp_trials = 64;
-    const auto measure = [&](const ParallelConfig& par,
+    core::Experiment spec;
+    spec.kind = protocols::ProtocolKind::Reset;
+    spec.inputs = protocols::split_inputs(n, 0.5);
+    spec.t = t;
+    spec.budget = 50000;
+    spec.thresholds = protocols::canonical_thresholds(n, t);
+    const auto measure = [&](core::CampaignContext& run_ctx,
                              core::MeasureOneReport& rep) {
       const auto start = std::chrono::steady_clock::now();
       rep = core::check_measure_one_window(
-          protocols::ProtocolKind::Reset, protocols::split_inputs(n, 0.5), t,
+          spec,
           [t](std::uint64_t seed) {
             return std::make_unique<adversary::RandomWindowAdversary>(
                 t, 0.2, Rng(seed));
           },
-          tp_trials, 50000, /*seed0=*/9000,
-          protocols::canonical_thresholds(n, t), par);
+          tp_trials, /*seed0=*/9000, run_ctx);
       return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                            start)
           .count();
     };
     core::MeasureOneReport serial_rep;
     core::MeasureOneReport parallel_rep;
-    const double serial_s =
-        measure(ParallelConfig{.threads = 1, .chunk_size = 2}, serial_rep);
-    const double parallel_s = measure(kPool, parallel_rep);
+    core::CampaignContext serial_ctx(
+        ParallelConfig{.threads = 1, .chunk_size = 2});
+    const double serial_s = measure(serial_ctx, serial_rep);
+    // The parallel side reuses the bench-wide context: pool already up,
+    // per-worker Executions already warm from the sweep above.
+    const double parallel_s = measure(ctx, parallel_rep);
     const bool identical =
         serial_rep.mean_windows_to_first == parallel_rep.mean_windows_to_first &&
         serial_rep.all_decided_runs == parallel_rep.all_decided_runs &&

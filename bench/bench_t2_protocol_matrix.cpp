@@ -70,25 +70,33 @@ struct Cell {
 };
 
 Cell run_cell(protocols::ProtocolKind kind, Adv a, int n, int t, int trials,
-              std::int64_t horizon, const ParallelConfig& par) {
+              std::int64_t horizon, core::CampaignContext& ctx) {
+  const ParallelConfig& par = ctx.parallel();
   std::vector<Cell> parts(static_cast<std::size_t>(chunk_count(trials, par)));
-  parallel_for_chunks(
-      trials, par, [&](int ci, std::int64_t begin, std::int64_t end) {
-        Cell& p = parts[static_cast<std::size_t>(ci)];
-        for (std::int64_t trial = begin; trial < end; ++trial) {
-          const auto seed = static_cast<std::uint64_t>(trial) + 31;
-          auto adv = make_adv(a, t, seed);
-          const auto r = core::run_window_experiment(
-              kind, protocols::split_inputs(n, 0.5), t, *adv, horizon, seed,
-              std::nullopt, /*until_all=*/true);
-          if (r.all_decided) {
-            ++p.decided;
-            p.windows.add(static_cast<double>(r.windows_total));
-          }
-          if (r.agreement) ++p.agree;
-          if (r.validity) ++p.valid;
-        }
-      });
+  core::Experiment spec;
+  spec.kind = kind;
+  spec.inputs = protocols::split_inputs(n, 0.5);
+  spec.t = t;
+  spec.budget = horizon;
+  spec.stop = core::StopCondition::kAllDecided;
+  const core::Runner runner(std::move(spec));
+  const auto body = [&](int ci, std::int64_t begin, std::int64_t end) {
+    Cell& p = parts[static_cast<std::size_t>(ci)];
+    core::WorkerScratch& scratch = ctx.worker_scratch();
+    for (std::int64_t trial = begin; trial < end; ++trial) {
+      const auto seed = static_cast<std::uint64_t>(trial) + 31;
+      auto adv = make_adv(a, t, seed);
+      const auto r = runner.run_window(*adv, seed, scratch);
+      if (r.all_decided) {
+        ++p.decided;
+        p.windows.add(static_cast<double>(r.windows_total));
+      }
+      if (r.agreement) ++p.agree;
+      if (r.validity) ++p.valid;
+    }
+  };
+  if (ctx.pool() != nullptr) parallel_for_chunks(trials, par, body, *ctx.pool());
+  else parallel_for_chunks(trials, par, body);
   Cell cell;
   for (const Cell& p : parts) cell.merge(p);
   return cell;
@@ -111,11 +119,11 @@ int main() {
   const Adv advs[] = {Adv::Fair, Adv::Silencer, Adv::Random, Adv::ResetStorm,
                       Adv::SplitKeeper};
 
-  const auto run_matrix = [&](const ParallelConfig& par, Table* table) {
+  const auto run_matrix = [&](core::CampaignContext& ctx, Table* table) {
     const auto start = std::chrono::steady_clock::now();
     for (const auto kind : kinds) {
       for (const Adv a : advs) {
-        const Cell cell = run_cell(kind, a, n, t, trials, horizon, par);
+        const Cell cell = run_cell(kind, a, n, t, trials, horizon, ctx);
         if (table) {
           table->add_row(
               {protocols::protocol_kind_name(kind), adv_label(a),
@@ -134,9 +142,14 @@ int main() {
   Table table({"protocol", "adversary", "decided", "agree", "valid",
                "mean windows"});
   const ParallelConfig pool{.threads = 0, .chunk_size = 1};
-  const double parallel_s = run_matrix(pool, &table);
-  const double serial_s =
-      run_matrix(ParallelConfig{.threads = 1, .chunk_size = 1}, nullptr);
+  // One context per throughput mode, each persisting across all 20 cells:
+  // the pool spawn and per-worker Execution growth happen once, not per
+  // cell — the overhead that used to flatten this bench's speedup.
+  core::CampaignContext parallel_ctx(pool);
+  core::CampaignContext serial_ctx(
+      ParallelConfig{.threads = 1, .chunk_size = 1});
+  const double parallel_s = run_matrix(parallel_ctx, &table);
+  const double serial_s = run_matrix(serial_ctx, nullptr);
   table.print(std::cout, "T2 protocol x adversary");
 
   const int total = static_cast<int>(std::size(kinds)) *

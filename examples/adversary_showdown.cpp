@@ -2,7 +2,10 @@
 //
 // Pit all four message-passing protocols against the full adversary suite
 // on the same split-input instance and watch who keeps which guarantee.
-// A compact interactive version of experiment T2.
+// A compact interactive version of experiment T2, written against the
+// declarative core::Experiment / core::Runner API: one spec per protocol,
+// one Runner shared across its trials, one WorkerScratch reusing the same
+// Execution for every run.
 //
 //   ./build/examples/adversary_showdown [n] [t] [trials]
 #include <cstdio>
@@ -30,7 +33,15 @@ int main(int argc, char** argv) {
   const protocols::ProtocolKind kinds[] = {
       protocols::ProtocolKind::Reset, protocols::ProtocolKind::BenOr,
       protocols::ProtocolKind::Bracha, protocols::ProtocolKind::Forgetful};
+  core::WorkerScratch scratch;  // one reused Execution for every run
   for (const auto kind : kinds) {
+    core::Experiment spec;
+    spec.kind = kind;
+    spec.inputs = protocols::split_inputs(n, 0.5);
+    spec.t = t;
+    spec.budget = 4000;
+    spec.stop = core::StopCondition::kAllDecided;
+    const core::Runner runner(std::move(spec));
     for (int a = 0; a < 4; ++a) {
       int done = 0;
       int safe = 0;
@@ -57,9 +68,7 @@ int main(int argc, char** argv) {
             adv = std::make_unique<adversary::SplitKeeperAdversary>();
         }
         label = adv->name();
-        const auto r = core::run_window_experiment(
-            kind, protocols::split_inputs(n, 0.5), t, *adv, 4000, seed,
-            std::nullopt, /*until_all=*/true);
+        const auto r = runner.run_window(*adv, seed, scratch);
         if (r.all_decided) {
           ++done;
           windows.add(static_cast<double>(r.windows_total));

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json perf metrics against a previous run's artifacts.
+
+Usage:
+    bench_diff.py --current DIR [--previous DIR] [--tolerance 0.15]
+
+For every BENCH_<name>.json present in BOTH directories, compares the
+tracked metrics (currently `parallel_speedup`) and exits 1 if any metric
+regressed by more than --tolerance (relative). A missing previous
+directory / file / metric is reported and tolerated — the first run on a
+branch, or a bench that predates the metric, must not fail CI.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+TRACKED_METRICS = ["parallel_speedup"]
+
+
+def load_metrics(path: pathlib.Path):
+    try:
+        with path.open() as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"  ! unreadable {path}: {exc}")
+        return {}
+    return {m: doc[m] for m in TRACKED_METRICS if isinstance(doc.get(m), (int, float))}
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--current", required=True, type=pathlib.Path,
+                    help="directory holding this run's BENCH_*.json")
+    ap.add_argument("--previous", type=pathlib.Path, default=None,
+                    help="directory holding the previous run's BENCH_*.json")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="max allowed relative regression (default 0.15)")
+    args = ap.parse_args()
+
+    current_files = sorted(args.current.glob("BENCH_*.json"))
+    if not current_files:
+        print(f"bench_diff: no BENCH_*.json under {args.current}", file=sys.stderr)
+        return 1
+
+    if args.previous is None or not args.previous.is_dir():
+        print("bench_diff: no previous artifact directory — nothing to compare, passing")
+        return 0
+
+    regressions = []
+    for cur_path in current_files:
+        prev_path = args.previous / cur_path.name
+        cur = load_metrics(cur_path)
+        if not cur:
+            print(f"{cur_path.name}: no tracked metrics, skipping")
+            continue
+        if not prev_path.is_file():
+            print(f"{cur_path.name}: no previous artifact, skipping")
+            continue
+        prev = load_metrics(prev_path)
+        for metric, cur_val in sorted(cur.items()):
+            prev_val = prev.get(metric)
+            if prev_val is None:
+                print(f"{cur_path.name}: {metric} absent previously, skipping")
+                continue
+            if prev_val <= 0:
+                print(f"{cur_path.name}: previous {metric}={prev_val} unusable, skipping")
+                continue
+            ratio = cur_val / prev_val
+            verdict = "ok"
+            if ratio < 1.0 - args.tolerance:
+                verdict = "REGRESSION"
+                regressions.append((cur_path.name, metric, prev_val, cur_val))
+            print(f"{cur_path.name}: {metric} {prev_val:.4f} -> {cur_val:.4f} "
+                  f"({(ratio - 1.0) * 100:+.1f}%) {verdict}")
+
+    if regressions:
+        print(f"\nbench_diff: {len(regressions)} metric(s) regressed more than "
+              f"{args.tolerance:.0%}:", file=sys.stderr)
+        for name, metric, prev_val, cur_val in regressions:
+            print(f"  {name}: {metric} {prev_val:.4f} -> {cur_val:.4f}",
+                  file=sys.stderr)
+        return 1
+    print("bench_diff: all tracked metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

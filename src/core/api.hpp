@@ -10,8 +10,10 @@
 
 #include "adversary/async_adversaries.hpp"
 #include "adversary/window_adversaries.hpp"
+#include "core/campaign.hpp"
 #include "core/checker.hpp"
 #include "core/exhaustive.hpp"
+#include "core/report.hpp"
 #include "core/experiment.hpp"
 #include "core/harness.hpp"
 #include "core/lowerbound.hpp"

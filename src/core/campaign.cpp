@@ -1,0 +1,402 @@
+#include "core/campaign.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "adversary/async_adversaries.hpp"
+#include "adversary/window_adversaries.hpp"
+#include "core/checker.hpp"
+#include "util/check.hpp"
+
+namespace aa::core {
+
+namespace {
+
+// ---------------------------------------------------------------- parsing
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split_list(const std::string& value) {
+  std::vector<std::string> out;
+  std::string item;
+  std::stringstream ss(value);
+  while (std::getline(ss, item, ',')) {
+    item = trim(item);
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+long long parse_int(const std::string& value, int line) {
+  std::size_t pos = 0;
+  long long v = 0;
+  bool ok = true;
+  try {
+    v = std::stoll(value, &pos);
+  } catch (...) {
+    ok = false;
+  }
+  AA_REQUIRE(ok && pos == value.size(),
+             "campaign config line " + std::to_string(line) +
+                 ": expected an integer, got '" + value + "'");
+  return v;
+}
+
+std::vector<int> parse_int_list(const std::string& value, int line) {
+  std::vector<int> out;
+  for (const std::string& item : split_list(value)) {
+    out.push_back(static_cast<int>(parse_int(item, line)));
+  }
+  AA_REQUIRE(!out.empty(), "campaign config line " + std::to_string(line) +
+                               ": empty list");
+  return out;
+}
+
+// ------------------------------------------------- axis-value resolution
+
+protocols::ProtocolKind protocol_kind(const std::string& name) {
+  if (name == "reset" || name == "reset-agreement") {
+    return protocols::ProtocolKind::Reset;
+  }
+  if (name == "forgetful") return protocols::ProtocolKind::Forgetful;
+  if (name == "benor" || name == "ben-or") return protocols::ProtocolKind::BenOr;
+  if (name == "bracha") return protocols::ProtocolKind::Bracha;
+  AA_REQUIRE(false, "campaign: unknown protocol '" + name +
+                        "' (want reset|forgetful|benor|bracha)");
+  return protocols::ProtocolKind::Reset;
+}
+
+std::optional<protocols::Thresholds> threshold_preset(const std::string& name,
+                                                      int n, int t) {
+  if (name == "default") return std::nullopt;
+  if (name == "canonical") return protocols::canonical_thresholds(n, t);
+  if (name == "relaxed") {
+    return protocols::Thresholds{n - 2 * t, n / 2 + 1 + t, n / 2 + 1};
+  }
+  AA_REQUIRE(false, "campaign: unknown thresholds preset '" + name +
+                        "' (want default|canonical|relaxed)");
+  return std::nullopt;
+}
+
+/// The same named adversary menus report_probe and the examples use.
+WindowAdversaryFactory window_factory(const std::string& name, int t) {
+  AA_REQUIRE(name == "fair" || name == "silencer" || name == "split-keeper" ||
+                 name == "reset-storm" || name == "random",
+             "campaign: unknown window adversary '" + name +
+                 "' (want fair|silencer|split-keeper|reset-storm|random)");
+  return [name, t](std::uint64_t seed) -> std::unique_ptr<sim::WindowAdversary> {
+    if (name == "fair") {
+      return std::make_unique<adversary::FairWindowAdversary>();
+    }
+    if (name == "silencer") {
+      std::vector<sim::ProcId> silenced;
+      for (int i = 0; i < t; ++i) silenced.push_back(i);
+      return std::make_unique<adversary::SilencerWindowAdversary>(silenced);
+    }
+    if (name == "split-keeper") {
+      return std::make_unique<adversary::SplitKeeperAdversary>();
+    }
+    if (name == "reset-storm") {
+      return std::make_unique<adversary::ResetStormAdversary>(
+          t, Rng(seed * 7 + 1));
+    }
+    return std::make_unique<adversary::RandomWindowAdversary>(
+        t, 0.1, Rng(seed * 9 + 2));
+  };
+}
+
+AsyncAdversaryFactory async_factory(const std::string& name, int t) {
+  AA_REQUIRE(name == "random-async" || name == "fixed-crash" ||
+                 name == "async-split",
+             "campaign: unknown async adversary '" + name +
+                 "' (want random-async|fixed-crash|async-split)");
+  return [name, t](std::uint64_t seed) -> std::unique_ptr<sim::AsyncAdversary> {
+    if (name == "random-async") {
+      return std::make_unique<adversary::RandomAsyncScheduler>(
+          Rng(seed * 3 + 1));
+    }
+    if (name == "fixed-crash") {
+      std::vector<sim::ProcId> crash;
+      for (int i = 0; i < t; ++i) crash.push_back(i);
+      return std::make_unique<adversary::FixedCrashScheduler>(
+          crash, Rng(seed * 5 + 3));
+    }
+    return std::make_unique<adversary::AsyncSplitKeeper>();
+  };
+}
+
+// ------------------------------------------------------------- JSON bits
+
+void json_kv(std::string& out, const char* key, const std::string& value,
+             bool last = false) {
+  out += "  \"";
+  out += key;
+  out += "\": \"";
+  out += value;
+  out += last ? "\"\n" : "\",\n";
+}
+
+void json_kv_int(std::string& out, const char* key, long long value,
+                 bool last = false) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%lld", value);
+  out += "  \"";
+  out += key;
+  out += "\": ";
+  out += buf;
+  out += last ? "\n" : ",\n";
+}
+
+void json_kv_double(std::string& out, const char* key, double value,
+                    bool last = false) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  out += "  \"";
+  out += key;
+  out += "\": ";
+  out += buf;
+  out += last ? "\n" : ",\n";
+}
+
+void json_report_fields(std::string& out, const MeasureOneReport& rep) {
+  json_kv_int(out, "trials", rep.trials);
+  json_kv_int(out, "agreement_violations", rep.agreement_violations);
+  json_kv_int(out, "validity_violations", rep.validity_violations);
+  json_kv_int(out, "decided_runs", rep.decided_runs);
+  json_kv_int(out, "all_decided_runs", rep.all_decided_runs);
+  json_kv_double(out, "mean_windows_to_first", rep.mean_windows_to_first);
+  json_kv_double(out, "mean_chain_at_decision", rep.mean_chain_at_decision);
+  out += "  \"violating_seeds\": [";
+  for (std::size_t i = 0; i < rep.violating_seeds.size(); ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%s%" PRIu64, i ? "," : "",
+                  rep.violating_seeds[i]);
+    out += buf;
+  }
+  out += "]\n";
+}
+
+}  // namespace
+
+CampaignConfig parse_campaign_config(const std::string& text) {
+  CampaignConfig cfg;
+  std::stringstream ss(text);
+  std::string raw;
+  int line = 0;
+  while (std::getline(ss, raw)) {
+    ++line;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const std::string stripped = trim(raw);
+    if (stripped.empty()) continue;
+    const std::size_t eq = stripped.find('=');
+    AA_REQUIRE(eq != std::string::npos,
+               "campaign config line " + std::to_string(line) +
+                   ": expected 'key = value', got '" + stripped + "'");
+    const std::string key = trim(stripped.substr(0, eq));
+    const std::string value = trim(stripped.substr(eq + 1));
+    AA_REQUIRE(!key.empty() && !value.empty(),
+               "campaign config line " + std::to_string(line) +
+                   ": empty key or value");
+
+    if (key == "name") {
+      cfg.name = value;
+    } else if (key == "model") {
+      if (value == "window") cfg.model = CampaignModel::kWindow;
+      else if (value == "async") cfg.model = CampaignModel::kAsync;
+      else
+        AA_REQUIRE(false, "campaign config line " + std::to_string(line) +
+                              ": model must be window or async");
+    } else if (key == "n") {
+      cfg.n = parse_int_list(value, line);
+    } else if (key == "t") {
+      cfg.t = parse_int_list(value, line);
+    } else if (key == "protocols") {
+      cfg.protocols = split_list(value);
+    } else if (key == "thresholds") {
+      cfg.thresholds = split_list(value);
+    } else if (key == "memory_k") {
+      cfg.memory_k = parse_int_list(value, line);
+    } else if (key == "adversaries") {
+      cfg.adversaries = split_list(value);
+    } else if (key == "split") {
+      try {
+        cfg.split = std::stod(value);
+      } catch (...) {
+        AA_REQUIRE(false, "campaign config line " + std::to_string(line) +
+                              ": split must be a number");
+      }
+    } else if (key == "trials") {
+      cfg.trials = static_cast<int>(parse_int(value, line));
+    } else if (key == "budget") {
+      cfg.budget = parse_int(value, line);
+    } else if (key == "seed") {
+      cfg.seed = static_cast<std::uint64_t>(parse_int(value, line));
+    } else if (key == "threads") {
+      cfg.threads = static_cast<int>(parse_int(value, line));
+    } else if (key == "chunk_size") {
+      cfg.chunk_size = static_cast<int>(parse_int(value, line));
+    } else if (key == "output_dir") {
+      cfg.output_dir = value;
+    } else {
+      AA_REQUIRE(false, "campaign config line " + std::to_string(line) +
+                            ": unknown key '" + key + "'");
+    }
+  }
+  AA_REQUIRE(cfg.trials > 0, "campaign config: trials must be positive");
+  AA_REQUIRE(cfg.budget > 0, "campaign config: budget must be positive");
+  AA_REQUIRE(!cfg.n.empty() && !cfg.t.empty() && !cfg.protocols.empty() &&
+                 !cfg.adversaries.empty() && !cfg.thresholds.empty() &&
+                 !cfg.memory_k.empty(),
+             "campaign config: every sweep axis needs at least one value");
+  return cfg;
+}
+
+CampaignConfig load_campaign_config(const std::string& path) {
+  std::ifstream in(path);
+  AA_REQUIRE(in.good(), "campaign: cannot read config file '" + path + "'");
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return parse_campaign_config(ss.str());
+}
+
+CampaignResult run_campaign(const CampaignConfig& config,
+                            CampaignContext& ctx) {
+  CampaignResult result;
+  result.config = config;
+
+  MeasureOneAccumulator summary;
+  int index = 0;
+  // Canonical sweep order: outermost n, innermost adversary. The per-cell
+  // seed block [seed + index*trials, ...) depends only on the config, so
+  // cell identities — and every report — are thread-count-independent.
+  for (const int n : config.n) {
+    for (const int t : config.t) {
+      for (const std::string& proto : config.protocols) {
+        const protocols::ProtocolKind kind = protocol_kind(proto);
+        for (const std::string& th_name : config.thresholds) {
+          // memory_k is Forgetful's knob; other protocols run one cell.
+          const std::size_t k_count =
+              kind == protocols::ProtocolKind::Forgetful
+                  ? config.memory_k.size()
+                  : 1;
+          for (std::size_t ki = 0; ki < k_count; ++ki) {
+            const int memory_k = config.memory_k[ki];
+            for (const std::string& adv : config.adversaries) {
+              CampaignCell cell;
+              cell.index = index;
+              cell.n = n;
+              cell.t = t;
+              cell.protocol = proto;
+              cell.thresholds = th_name;
+              cell.memory_k = memory_k;
+              cell.adversary = adv;
+              cell.seed0 = config.seed + static_cast<std::uint64_t>(index) *
+                                             static_cast<std::uint64_t>(
+                                                 config.trials);
+
+              Experiment spec;
+              spec.kind = kind;
+              spec.inputs = protocols::split_inputs(n, config.split);
+              spec.t = t;
+              spec.budget = config.budget;
+              spec.thresholds = threshold_preset(th_name, n, t);
+              spec.memory_k = memory_k;
+
+              if (config.model == CampaignModel::kWindow) {
+                cell.report = check_measure_one_window(
+                    spec, window_factory(adv, t), config.trials, cell.seed0,
+                    ctx, &summary);
+              } else {
+                cell.report = check_measure_one_async(
+                    spec, async_factory(adv, t), config.trials, cell.seed0,
+                    ctx, &summary);
+              }
+              result.cells.push_back(std::move(cell));
+              ++index;
+            }
+          }
+        }
+      }
+    }
+  }
+  result.summary =
+      summary.finalize(config.model == CampaignModel::kAsync);
+  return result;
+}
+
+CampaignResult run_campaign(const CampaignConfig& config) {
+  ParallelConfig par;
+  par.threads = config.threads;
+  par.chunk_size = config.chunk_size;
+  CampaignContext ctx(par);
+  return run_campaign(config, ctx);
+}
+
+std::string campaign_cell_json(const CampaignConfig& config,
+                               const CampaignCell& cell) {
+  std::string out = "{\n";
+  json_kv(out, "campaign", config.name);
+  json_kv(out, "model",
+          config.model == CampaignModel::kWindow ? "window" : "async");
+  json_kv_int(out, "cell", cell.index);
+  json_kv_int(out, "n", cell.n);
+  json_kv_int(out, "t", cell.t);
+  json_kv(out, "protocol", cell.protocol);
+  json_kv(out, "thresholds", cell.thresholds);
+  json_kv_int(out, "memory_k", cell.memory_k);
+  json_kv(out, "adversary", cell.adversary);
+  json_kv_int(out, "seed0", static_cast<long long>(cell.seed0));
+  json_kv_int(out, "budget", config.budget);
+  json_report_fields(out, cell.report);
+  out += "}\n";
+  return out;
+}
+
+std::string campaign_summary_json(const CampaignResult& result) {
+  const CampaignConfig& config = result.config;
+  std::string out = "{\n";
+  json_kv(out, "campaign", config.name);
+  json_kv(out, "model",
+          config.model == CampaignModel::kWindow ? "window" : "async");
+  json_kv_int(out, "cells", static_cast<long long>(result.cells.size()));
+  json_kv_int(out, "trials_per_cell", config.trials);
+  json_kv_int(out, "budget", config.budget);
+  json_kv_int(out, "seed", static_cast<long long>(config.seed));
+  json_report_fields(out, result.summary);
+  out += "}\n";
+  return out;
+}
+
+void write_campaign_json(const CampaignResult& result,
+                         const std::string& dir) {
+  namespace fs = std::filesystem;
+  AA_REQUIRE(!dir.empty(), "write_campaign_json: empty output directory");
+  fs::create_directories(dir);
+  const auto write_file = [](const fs::path& path, const std::string& body) {
+    std::ofstream out(path, std::ios::binary);
+    AA_REQUIRE(out.good(),
+               "write_campaign_json: cannot write " + path.string());
+    out << body;
+  };
+  for (const CampaignCell& cell : result.cells) {
+    write_file(fs::path(dir) / (result.config.name + "_cell_" +
+                                std::to_string(cell.index) + ".json"),
+               campaign_cell_json(result.config, cell));
+  }
+  write_file(fs::path(dir) / (result.config.name + "_summary.json"),
+             campaign_summary_json(result));
+}
+
+}  // namespace aa::core

@@ -1,0 +1,118 @@
+// Campaign engine: config-file-driven sweeps over the measure-one
+// checkers, sharing ONE CampaignContext (work-stealing pool + per-worker
+// Execution scratch) across every cell.
+//
+// A campaign is a cross product of sweep axes — n × t × protocol ×
+// thresholds-preset × memory-K × adversary — where each cell runs `trials`
+// seeded checker trials under one model (window or async). Cell order,
+// per-cell seed blocks, and the merged summary are functions of the config
+// ALONE: the same config produces byte-identical per-cell reports and
+// summary JSON at --threads 1 and --threads 8 (per-cell reports via the
+// checker's fixed-chunk merge, the summary via the exactly-associative
+// MeasureOneAccumulator — core/report.hpp).
+//
+// Config files are flat `key = value` text: one key per line, lists
+// comma-separated, `#` starts a comment. See CampaignConfig for the keys
+// and examples/campaign_smoke.cfg for a worked example.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+
+namespace aa::core {
+
+/// Which checker a campaign's cells run.
+enum class CampaignModel {
+  kWindow,  ///< window model (§2–§4): check_measure_one_window
+  kAsync,   ///< async crash model (§5): check_measure_one_async
+};
+
+/// Named-field campaign specification; field = config-file key.
+/// Vector-valued fields are sweep axes (the campaign runs their cross
+/// product), scalar fields apply to every cell.
+struct CampaignConfig {
+  std::string name = "campaign";  ///< label used in output file names
+  CampaignModel model = CampaignModel::kWindow;  ///< `model = window|async`
+
+  // ---- sweep axes ----
+  std::vector<int> n = {8};                         ///< ring sizes
+  std::vector<int> t = {1};                         ///< fault budgets
+  std::vector<std::string> protocols = {"reset"};   ///< reset|forgetful|benor|bracha
+  /// Threshold presets per cell: `default` (the protocol's own defaults),
+  /// `canonical` (Theorem 4's canonical_thresholds(n, t)), `relaxed`
+  /// (the bench T1 relaxed-T2 preset {n−2t, n/2+1+t, n/2+1}).
+  std::vector<std::string> thresholds = {"default"};
+  /// Forgetful's bounded-memory horizon values. Only ProtocolKind::
+  /// Forgetful sweeps this axis; other protocols run its FIRST value only
+  /// (no duplicate cells for a knob they ignore).
+  std::vector<int> memory_k = {0};
+  /// Adversary menu, by model: window — fair, silencer, split-keeper,
+  /// reset-storm, random; async — random-async, fixed-crash, async-split.
+  std::vector<std::string> adversaries = {"random"};
+
+  // ---- per-cell scalars ----
+  double split = 0.5;        ///< input pattern: fraction of 1-inputs
+  int trials = 40;           ///< trials per cell
+  std::int64_t budget = 600; ///< max windows (window) / deliveries (async)
+  std::uint64_t seed = 1000; ///< cell c uses seeds seed + c*trials ...
+
+  // ---- execution / output ----
+  int threads = 1;        ///< pool width (0 = hardware concurrency)
+  int chunk_size = 16;    ///< trials per work chunk (fixed merge grain)
+  std::string output_dir; ///< JSON output directory ("" = don't write)
+};
+
+/// Parse config text (`key = value` lines, `#` comments). Unknown keys and
+/// malformed values throw with a line-numbered message.
+[[nodiscard]] CampaignConfig parse_campaign_config(const std::string& text);
+
+/// Read and parse a config file.
+[[nodiscard]] CampaignConfig load_campaign_config(const std::string& path);
+
+/// One finished sweep cell: its axis coordinates plus the checker report.
+struct CampaignCell {
+  int index = 0;  ///< position in canonical sweep order
+  int n = 0;
+  int t = 0;
+  std::string protocol;
+  std::string thresholds;
+  int memory_k = 0;
+  std::string adversary;
+  std::uint64_t seed0 = 0;  ///< first trial seed of this cell's block
+  MeasureOneReport report;
+};
+
+struct CampaignResult {
+  CampaignConfig config;
+  std::vector<CampaignCell> cells;  ///< canonical sweep order
+  /// Accumulator-merged totals over every cell (finalized: seeds sorted,
+  /// one exact division for the mean) — the byte-identity surface.
+  MeasureOneReport summary;
+};
+
+/// Run every cell of `config`'s sweep on the shared context. Cells run in
+/// canonical order (n, t, protocol, thresholds, memory_k, adversary
+/// nesting, outermost first); each cell's trials shard onto ctx's pool.
+[[nodiscard]] CampaignResult run_campaign(const CampaignConfig& config,
+                                          CampaignContext& ctx);
+
+/// Convenience: build a context from config.threads / config.chunk_size.
+[[nodiscard]] CampaignResult run_campaign(const CampaignConfig& config);
+
+/// The merged-summary JSON document (stable key order, %.17g doubles) —
+/// what `campaign` writes to <output_dir>/<name>_summary.json.
+[[nodiscard]] std::string campaign_summary_json(const CampaignResult& result);
+
+/// One cell's JSON document (same conventions).
+[[nodiscard]] std::string campaign_cell_json(const CampaignConfig& config,
+                                             const CampaignCell& cell);
+
+/// Write one JSON file per cell plus the merged summary under `dir`
+/// (created if missing): <name>_cell_<index>.json, <name>_summary.json.
+void write_campaign_json(const CampaignResult& result, const std::string& dir);
+
+}  // namespace aa::core

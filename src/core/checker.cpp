@@ -1,6 +1,7 @@
 #include "core/checker.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/stats.hpp"
 
@@ -8,107 +9,125 @@ namespace aa::core {
 
 namespace {
 
-/// Verdict of one trial, stripped to what the report needs. `metric` is the
-/// model's decision-cost measure (windows to first decision / chain length).
-struct TrialOutcome {
-  bool agreement = true;
-  bool validity = true;
-  bool decided = false;
-  bool all_decided = false;
-  double metric = 0.0;
-};
-
-/// Shared trial engine: run `trial(seed0 + i)` for i in [0, trials), sharded
-/// into fixed chunks across `par` workers. Partial tallies are merged
-/// serially in chunk order, so the report — including the floating-point
-/// metric mean — is bit-identical at any thread count. Returns the report
-/// with the merged metric mean in `mean_windows_to_first`.
+/// Shared trial engine: run `trial(seed0 + i, scratch)` for i in
+/// [0, trials), sharded into fixed chunks across the context's pool.
+/// Partial tallies are merged serially in chunk order, so the report —
+/// including the floating-point metric mean, which keeps the historical
+/// chunk-order RunningStats fold — is bit-identical at any thread count.
+/// When `acc_out` is non-null every verdict is also folded into it (the
+/// exactly-associative campaign path; see core/report.hpp for why the two
+/// aggregations coexist).
 template <typename RunTrial>
 MeasureOneReport run_measure_one(int trials, std::uint64_t seed0,
-                                 const ParallelConfig& par,
+                                 CampaignContext& ctx,
+                                 MeasureOneAccumulator* acc_out,
                                  const RunTrial& trial) {
   struct Partial {
-    int agreement_violations = 0;
-    int validity_violations = 0;
-    int decided_runs = 0;
-    int all_decided_runs = 0;
     RunningStats metric;
-    std::vector<std::uint64_t> violating_seeds;
+    MeasureOneAccumulator acc;
   };
+  const ParallelConfig& par = ctx.parallel();
   std::vector<Partial> parts(
       static_cast<std::size_t>(chunk_count(trials, par)));
 
-  parallel_for_chunks(
-      trials, par,
-      [&](int ci, std::int64_t begin, std::int64_t end) {
-        Partial& p = parts[static_cast<std::size_t>(ci)];
-        for (std::int64_t i = begin; i < end; ++i) {
-          const std::uint64_t seed = seed0 + static_cast<std::uint64_t>(i);
-          const TrialOutcome o = trial(seed);
-          bool bad = false;
-          if (!o.agreement) {
-            ++p.agreement_violations;
-            bad = true;
-          }
-          if (!o.validity) {
-            ++p.validity_violations;
-            bad = true;
-          }
-          if (bad) p.violating_seeds.push_back(seed);
-          if (o.decided) {
-            ++p.decided_runs;
-            p.metric.add(o.metric);
-          }
-          if (o.all_decided) ++p.all_decided_runs;
-        }
-      });
+  const auto body = [&](int ci, std::int64_t begin, std::int64_t end) {
+    Partial& p = parts[static_cast<std::size_t>(ci)];
+    WorkerScratch& scratch = ctx.worker_scratch();
+    for (std::int64_t i = begin; i < end; ++i) {
+      const std::uint64_t seed = seed0 + static_cast<std::uint64_t>(i);
+      const TrialVerdict v = trial(seed, scratch);
+      p.acc.add(seed, v);
+      if (v.decided) p.metric.add(static_cast<double>(v.metric));
+    }
+  };
+  if (ctx.pool() != nullptr) {
+    parallel_for_chunks(trials, par, body, *ctx.pool());
+  } else {
+    parallel_for_chunks(trials, par, body);
+  }
 
-  MeasureOneReport rep;
-  rep.trials = trials;
+  // Chunk-order merges. The accumulator part is order-independent anyway;
+  // the RunningStats part is exactly the historical reduction tree.
+  MeasureOneAccumulator acc;
   RunningStats metric;
   for (const Partial& p : parts) {
-    rep.agreement_violations += p.agreement_violations;
-    rep.validity_violations += p.validity_violations;
-    rep.decided_runs += p.decided_runs;
-    rep.all_decided_runs += p.all_decided_runs;
+    acc.merge(p.acc);
     metric.merge(p.metric);
-    rep.violating_seeds.insert(rep.violating_seeds.end(),
-                               p.violating_seeds.begin(),
-                               p.violating_seeds.end());
   }
-  std::sort(rep.violating_seeds.begin(), rep.violating_seeds.end());
+  MeasureOneReport rep = acc.finalize();
   rep.mean_windows_to_first = metric.mean();
+  rep.mean_chain_at_decision = 0.0;
+  if (acc_out != nullptr) acc_out->merge(acc);
   return rep;
 }
 
+/// The checkers always run trials to the all-decided stop condition.
+Experiment checker_spec(Experiment spec) {
+  spec.stop = StopCondition::kAllDecided;
+  return spec;
+}
+
 }  // namespace
+
+MeasureOneReport check_measure_one_window(
+    const Experiment& spec, const WindowAdversaryFactory& make_adversary,
+    int trials, std::uint64_t seed0, CampaignContext& ctx,
+    MeasureOneAccumulator* acc) {
+  // One spec for every trial; Runner::run_window is const and thread-safe,
+  // so the workers share it.
+  const Runner runner(checker_spec(spec));
+  return run_measure_one(
+      trials, seed0, ctx, acc,
+      [&](std::uint64_t seed, WorkerScratch& scratch) {
+        auto adv = make_adversary(seed);
+        const WindowRunResult r = runner.run_window(*adv, seed, scratch);
+        TrialVerdict v;
+        v.agreement = r.agreement;
+        v.validity = r.validity;
+        v.decided = r.decided;
+        v.all_decided = r.all_decided;
+        v.metric = r.windows_to_first;
+        return v;
+      });
+}
+
+MeasureOneReport check_measure_one_async(
+    const Experiment& spec, const AsyncAdversaryFactory& make_adversary,
+    int trials, std::uint64_t seed0, CampaignContext& ctx,
+    MeasureOneAccumulator* acc) {
+  const Runner runner(checker_spec(spec));
+  MeasureOneReport rep = run_measure_one(
+      trials, seed0, ctx, acc,
+      [&](std::uint64_t seed, WorkerScratch& scratch) {
+        auto adv = make_adversary(seed);
+        const AsyncRunOutcome r = runner.run_async(*adv, seed, scratch);
+        TrialVerdict v;
+        v.agreement = r.agreement;
+        v.validity = r.validity;
+        v.decided = r.decided;
+        v.all_decided = r.all_decided;
+        v.metric = r.chain_at_decision;
+        return v;
+      });
+  // The async decision metric is the message-chain length. It also stays in
+  // mean_windows_to_first, which older callers read.
+  rep.mean_chain_at_decision = rep.mean_windows_to_first;
+  return rep;
+}
 
 MeasureOneReport check_measure_one_window(
     protocols::ProtocolKind kind, const std::vector<int>& inputs, int t,
     const WindowAdversaryFactory& make_adversary, int trials,
     std::int64_t max_windows, std::uint64_t seed0,
     std::optional<protocols::Thresholds> th, const ParallelConfig& par) {
-  // One spec for every trial; Runner::run_window is const and thread-safe,
-  // so the workers share it.
   Experiment spec;
   spec.kind = kind;
   spec.inputs = inputs;
   spec.t = t;
   spec.budget = max_windows;
   spec.thresholds = th;
-  spec.stop = StopCondition::kAllDecided;
-  const Runner runner(std::move(spec));
-  return run_measure_one(trials, seed0, par, [&](std::uint64_t seed) {
-    auto adv = make_adversary(seed);
-    const WindowRunResult r = runner.run_window(*adv, seed);
-    TrialOutcome o;
-    o.agreement = r.agreement;
-    o.validity = r.validity;
-    o.decided = r.decided;
-    o.all_decided = r.all_decided;
-    o.metric = static_cast<double>(r.windows_to_first);
-    return o;
-  });
+  CampaignContext ctx(par);
+  return check_measure_one_window(spec, make_adversary, trials, seed0, ctx);
 }
 
 MeasureOneReport check_measure_one_async(
@@ -122,24 +141,8 @@ MeasureOneReport check_measure_one_async(
   spec.t = t;
   spec.budget = max_deliveries;
   spec.thresholds = th;
-  spec.stop = StopCondition::kAllDecided;
-  const Runner runner(std::move(spec));
-  MeasureOneReport rep =
-      run_measure_one(trials, seed0, par, [&](std::uint64_t seed) {
-        auto adv = make_adversary(seed);
-        const AsyncRunOutcome r = runner.run_async(*adv, seed);
-        TrialOutcome o;
-        o.agreement = r.agreement;
-        o.validity = r.validity;
-        o.decided = r.decided;
-        o.all_decided = r.all_decided;
-        o.metric = static_cast<double>(r.chain_at_decision);
-        return o;
-      });
-  // The async decision metric is the message-chain length. It also stays in
-  // mean_windows_to_first, which older callers read.
-  rep.mean_chain_at_decision = rep.mean_windows_to_first;
-  return rep;
+  CampaignContext ctx(par);
+  return check_measure_one_async(spec, make_adversary, trials, seed0, ctx);
 }
 
 }  // namespace aa::core

@@ -6,6 +6,17 @@
 // checkers run many independent seeded executions under a caller-supplied
 // adversary factory and report every violation with its seed, so any
 // failure is exactly reproducible.
+//
+// Two call shapes per checker:
+//   * The CampaignContext shape is the primary engine: trials shard onto
+//     the context's long-lived work-stealing pool and every worker reuses
+//     its per-context Execution scratch across trials AND across checks —
+//     build one context per campaign and pass it to every check.
+//   * The ParallelConfig shape is the legacy convenience wrapper: it
+//     builds a throwaway context per call (the pre-campaign cost model).
+// Both produce bit-identical reports at any thread count: chunk boundaries
+// and the partial-merge order depend only on (trials, chunk_size), see
+// util/thread_pool.hpp.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +26,7 @@
 #include <vector>
 
 #include "core/harness.hpp"
+#include "core/report.hpp"
 #include "util/thread_pool.hpp"
 
 namespace aa::core {
@@ -25,30 +37,25 @@ using WindowAdversaryFactory =
 using AsyncAdversaryFactory =
     std::function<std::unique_ptr<sim::AsyncAdversary>(std::uint64_t seed)>;
 
-struct MeasureOneReport {
-  int trials = 0;
-  int agreement_violations = 0;
-  int validity_violations = 0;
-  int decided_runs = 0;        ///< trials where some processor decided
-  int all_decided_runs = 0;    ///< trials where all live processors decided
-  /// Mean windows to the first decision, over deciding runs (window model).
-  /// For compatibility the async checker also stores its mean chain length
-  /// here; prefer mean_chain_at_decision for async results.
-  double mean_windows_to_first = 0.0;
-  /// Mean message-chain length at the first decision, over deciding runs
-  /// (async model; 0 for window-model reports).
-  double mean_chain_at_decision = 0.0;
-  std::vector<std::uint64_t> violating_seeds;  ///< ascending
+/// Window-model checker on a shared campaign context: `trials` runs of
+/// `spec` (budget = max acceptable windows; the stop condition is forced
+/// to kAllDecided), seeds seed0, seed0+1, ... Trials are sharded across
+/// the context's pool per ctx.parallel(); the report is bit-identical at
+/// any thread count. When `acc` is non-null the per-trial verdicts are
+/// ALSO folded into it (exactly-associative campaign aggregation — the
+/// report itself keeps the legacy chunk-order statistics fold).
+[[nodiscard]] MeasureOneReport check_measure_one_window(
+    const Experiment& spec, const WindowAdversaryFactory& make_adversary,
+    int trials, std::uint64_t seed0, CampaignContext& ctx,
+    MeasureOneAccumulator* acc = nullptr);
 
-  [[nodiscard]] bool clean() const noexcept {
-    return agreement_violations == 0 && validity_violations == 0;
-  }
-};
+/// Async crash-model checker, same shape (spec.budget = max deliveries).
+[[nodiscard]] MeasureOneReport check_measure_one_async(
+    const Experiment& spec, const AsyncAdversaryFactory& make_adversary,
+    int trials, std::uint64_t seed0, CampaignContext& ctx,
+    MeasureOneAccumulator* acc = nullptr);
 
-/// Window-model checker: `trials` runs of `kind` on `inputs` with budget t,
-/// each for at most `max_windows` windows, seeds seed0, seed0+1, ...
-/// Trials are sharded across `par.threads` workers; the report is
-/// bit-identical at any thread count (see util/thread_pool.hpp).
+/// Legacy wrapper: unpacked parameters, throwaway context per call.
 [[nodiscard]] MeasureOneReport check_measure_one_window(
     protocols::ProtocolKind kind, const std::vector<int>& inputs, int t,
     const WindowAdversaryFactory& make_adversary, int trials,
@@ -56,7 +63,7 @@ struct MeasureOneReport {
     std::optional<protocols::Thresholds> th = std::nullopt,
     const ParallelConfig& par = {});
 
-/// Async crash-model checker, same shape.
+/// Legacy wrapper, same shape.
 [[nodiscard]] MeasureOneReport check_measure_one_async(
     protocols::ProtocolKind kind, const std::vector<int>& inputs, int t,
     const AsyncAdversaryFactory& make_adversary, int trials,

@@ -6,6 +6,7 @@
 #include <queue>
 #include <set>
 
+#include "core/experiment.hpp"
 #include "util/check.hpp"
 
 namespace aa::core {
@@ -100,7 +101,8 @@ std::vector<AbstractConfig> expand_config(
 ExhaustiveReport explore(int t, const protocols::Thresholds& th,
                          const AbstractConfig& start,
                          const std::array<bool, 2>& valid_values,
-                         const ExhaustiveOptions& options) {
+                         const ExhaustiveOptions& options,
+                         CampaignContext& ctx) {
   const int n = start.n();
   ExhaustiveReport report;
 
@@ -123,13 +125,11 @@ ExhaustiveReport explore(int t, const protocols::Thresholds& th,
   // candidate regardless of thread count, so reports are bit-identical —
   // parallelism only ever wastes a little generation work past the exit.
   // Peak memory is one block of expanded successor lists (block size =
-  // worker count, the minimum that keeps every worker busy); one pool is
-  // reused across all blocks and depths.
-  ParallelConfig gen = options.parallel;
+  // worker count, the minimum that keeps every worker busy); the context's
+  // long-lived pool is shared across all blocks, depths — and checks.
+  ParallelConfig gen = ctx.parallel();
   gen.chunk_size = 1;  // one frontier configuration is already a big job
   const int block = gen.resolved_threads();
-  std::unique_ptr<ThreadPool> pool;
-  if (block > 1) pool = std::make_unique<ThreadPool>(block);
 
   for (int depth = 0; depth < options.max_depth; ++depth) {
     std::vector<AbstractConfig> next_frontier;
@@ -138,16 +138,18 @@ ExhaustiveReport explore(int t, const protocols::Thresholds& th,
       const int count = std::min(block, frontier_size - base);
       std::vector<std::vector<AbstractConfig>> produced(
           static_cast<std::size_t>(count));
-      parallel_for_chunks(
-          count, gen,
-          [&](int, std::int64_t begin, std::int64_t end) {
-            for (std::int64_t fi = begin; fi < end; ++fi) {
-              produced[static_cast<std::size_t>(fi)] = expand_config(
-                  frontier[static_cast<std::size_t>(base + fi)], t, th,
-                  s_choices, r_choices);
-            }
-          },
-          pool.get());
+      const auto body = [&](int, std::int64_t begin, std::int64_t end) {
+        for (std::int64_t fi = begin; fi < end; ++fi) {
+          produced[static_cast<std::size_t>(fi)] = expand_config(
+              frontier[static_cast<std::size_t>(base + fi)], t, th,
+              s_choices, r_choices);
+        }
+      };
+      if (ctx.pool() != nullptr) {
+        parallel_for_chunks(count, gen, body, *ctx.pool());
+      } else {
+        parallel_for_chunks(count, gen, body);
+      }
       for (std::vector<AbstractConfig>& candidates : produced) {
         for (AbstractConfig& next : candidates) {
           ++report.transitions;
@@ -179,20 +181,37 @@ ExhaustiveReport explore(int t, const protocols::Thresholds& th,
 
 ExhaustiveReport exhaustive_check(int t, const protocols::Thresholds& th,
                                   const std::vector<int>& inputs,
-                                  const ExhaustiveOptions& options) {
+                                  const ExhaustiveOptions& options,
+                                  CampaignContext& ctx) {
   std::array<bool, 2> valid{false, false};
   for (int b : inputs) {
     AA_REQUIRE(b == 0 || b == 1, "exhaustive_check: inputs must be bits");
     valid[static_cast<std::size_t>(b)] = true;
   }
-  return explore(t, th, initial_config(inputs), valid, options);
+  return explore(t, th, initial_config(inputs), valid, options, ctx);
+}
+
+ExhaustiveReport exhaustive_check(int t, const protocols::Thresholds& th,
+                                  const std::vector<int>& inputs,
+                                  const ExhaustiveOptions& options) {
+  CampaignContext ctx(options.parallel);
+  return exhaustive_check(t, th, inputs, options, ctx);
+}
+
+ExhaustiveReport exhaustive_check_from(int t, const protocols::Thresholds& th,
+                                       const AbstractConfig& start,
+                                       const std::array<bool, 2>& valid_values,
+                                       const ExhaustiveOptions& options,
+                                       CampaignContext& ctx) {
+  return explore(t, th, start, valid_values, options, ctx);
 }
 
 ExhaustiveReport exhaustive_check_from(int t, const protocols::Thresholds& th,
                                        const AbstractConfig& start,
                                        const std::array<bool, 2>& valid_values,
                                        const ExhaustiveOptions& options) {
-  return explore(t, th, start, valid_values, options);
+  CampaignContext ctx(options.parallel);
+  return exhaustive_check_from(t, th, start, valid_values, options, ctx);
 }
 
 }  // namespace aa::core

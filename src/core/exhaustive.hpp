@@ -28,12 +28,15 @@
 
 namespace aa::core {
 
+class CampaignContext;  // core/experiment.hpp
+
 struct ExhaustiveOptions {
   int max_depth = 3;                  ///< windows to unroll
   std::size_t max_configs = 200000;   ///< exploration budget (dedup'd)
   /// Successor generation (the expensive part) is sharded across these
   /// workers; dedup + invariant checking stays serial in canonical order,
-  /// so the report is bit-identical at any thread count.
+  /// so the report is bit-identical at any thread count. Ignored by the
+  /// CampaignContext overloads, which shard per the context's config.
   ParallelConfig parallel = {};
 };
 
@@ -52,7 +55,13 @@ struct ExhaustiveReport {
 };
 
 /// Explore every execution from the initial configuration given by
-/// `inputs`. Validity is judged against `inputs`.
+/// `inputs`. Validity is judged against `inputs`. The CampaignContext
+/// overload shards successor generation onto the context's long-lived
+/// pool (the campaign path); the other builds a throwaway context from
+/// options.parallel per call. Reports are bit-identical either way.
+[[nodiscard]] ExhaustiveReport exhaustive_check(
+    int t, const protocols::Thresholds& th, const std::vector<int>& inputs,
+    const ExhaustiveOptions& options, CampaignContext& ctx);
 [[nodiscard]] ExhaustiveReport exhaustive_check(
     int t, const protocols::Thresholds& th, const std::vector<int>& inputs,
     const ExhaustiveOptions& options = {});
@@ -60,6 +69,10 @@ struct ExhaustiveReport {
 /// Explore from an arbitrary start configuration (reachability of `start`
 /// is the caller's claim). `valid_values[v]` marks output value v as
 /// permitted.
+[[nodiscard]] ExhaustiveReport exhaustive_check_from(
+    int t, const protocols::Thresholds& th, const AbstractConfig& start,
+    const std::array<bool, 2>& valid_values, const ExhaustiveOptions& options,
+    CampaignContext& ctx);
 [[nodiscard]] ExhaustiveReport exhaustive_check_from(
     int t, const protocols::Thresholds& th, const AbstractConfig& start,
     const std::array<bool, 2>& valid_values,

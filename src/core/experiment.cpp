@@ -25,10 +25,24 @@ bool check_validity(const sim::Execution& exec,
   return true;
 }
 
+CampaignContext::CampaignContext(const ParallelConfig& par) : par_(par) {
+  const int threads = par_.resolved_threads();
+  if (threads > 1) pool_ = std::make_unique<WorkStealingPool>(threads);
+  // One slot per pool worker plus a dedicated trailing slot for the
+  // (single) off-pool caller thread that helps execute in TaskGroup::wait.
+  scratch_.resize(static_cast<std::size_t>(threads) + 1);
+}
+
+WorkerScratch& CampaignContext::worker_scratch() noexcept {
+  const int i = pool_ ? pool_->worker_index() : -1;
+  return scratch_[i >= 0 ? static_cast<std::size_t>(i) : scratch_.size() - 1];
+}
+
 Runner::Runner(Experiment spec) : spec_(std::move(spec)) {
   AA_REQUIRE(!spec_.inputs.empty(), "Runner: experiment needs inputs");
   AA_REQUIRE(spec_.t >= 0, "Runner: t must be non-negative");
   AA_REQUIRE(spec_.budget >= 0, "Runner: budget must be non-negative");
+  AA_REQUIRE(spec_.memory_k >= 0, "Runner: memory_k must be non-negative");
   if (spec_.byzantine) {
     const int n = static_cast<int>(spec_.inputs.size());
     AA_REQUIRE(spec_.byzantine->count >= 0 && spec_.byzantine->count <= n,
@@ -36,13 +50,32 @@ Runner::Runner(Experiment spec) : spec_(std::move(spec)) {
   }
 }
 
+sim::Execution& Runner::prepare(
+    WorkerScratch& scratch, std::vector<std::unique_ptr<sim::Process>> procs,
+    std::uint64_t seed) const {
+  if (scratch.exec) {
+    scratch.exec->reset(std::move(procs), seed);
+  } else {
+    scratch.exec.emplace(std::move(procs), seed);
+  }
+  return *scratch.exec;
+}
+
 WindowRunResult Runner::run_window(sim::WindowAdversary& adversary,
                                    std::uint64_t seed) const {
+  WorkerScratch scratch;
+  return run_window(adversary, seed, scratch);
+}
+
+WindowRunResult Runner::run_window(sim::WindowAdversary& adversary,
+                                   std::uint64_t seed,
+                                   WorkerScratch& scratch) const {
   AA_REQUIRE(!spec_.byzantine,
              "Runner::run_window is the honest path — use run_byzantine");
-  sim::Execution exec(
+  sim::Execution& exec = prepare(
+      scratch,
       protocols::make_processes(spec_.kind, spec_.t, spec_.inputs,
-                                spec_.thresholds),
+                                spec_.thresholds, spec_.memory_k),
       seed);
   const std::int64_t windows =
       spec_.stop == StopCondition::kAllDecided
@@ -67,11 +100,19 @@ WindowRunResult Runner::run_window(sim::WindowAdversary& adversary,
 
 AsyncRunOutcome Runner::run_async(sim::AsyncAdversary& adversary,
                                   std::uint64_t seed) const {
+  WorkerScratch scratch;
+  return run_async(adversary, seed, scratch);
+}
+
+AsyncRunOutcome Runner::run_async(sim::AsyncAdversary& adversary,
+                                  std::uint64_t seed,
+                                  WorkerScratch& scratch) const {
   AA_REQUIRE(!spec_.byzantine,
              "Runner::run_async is the honest path — use run_byzantine");
-  sim::Execution exec(
+  sim::Execution& exec = prepare(
+      scratch,
       protocols::make_processes(spec_.kind, spec_.t, spec_.inputs,
-                                spec_.thresholds),
+                                spec_.thresholds, spec_.memory_k),
       seed);
   const sim::AsyncRunResult rr =
       sim::run_async(exec, adversary, spec_.t, spec_.budget,
@@ -94,9 +135,17 @@ AsyncRunOutcome Runner::run_async(sim::AsyncAdversary& adversary,
 
 ByzantineRunResult Runner::run_byzantine(sim::WindowAdversary& adversary,
                                          std::uint64_t seed) const {
+  WorkerScratch scratch;
+  return run_byzantine(adversary, seed, scratch);
+}
+
+ByzantineRunResult Runner::run_byzantine(sim::WindowAdversary& adversary,
+                                         std::uint64_t seed,
+                                         WorkerScratch& scratch) const {
   const ByzantineSpec byz = spec_.byzantine.value_or(ByzantineSpec{});
   const int n = static_cast<int>(spec_.inputs.size());
-  sim::Execution exec(
+  sim::Execution& exec = prepare(
+      scratch,
       protocols::make_byzantine_processes(spec_.kind, spec_.t, spec_.inputs,
                                           byz.count, byz.strategy,
                                           seed ^ 0xb52b52b52ULL,

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "protocols/thresholds.hpp"
 #include "sim/async.hpp"
 #include "sim/window.hpp"
+#include "util/thread_pool.hpp"
 
 namespace aa::core {
 
@@ -53,6 +55,9 @@ struct Experiment {
   std::optional<protocols::Thresholds> thresholds;
   StopCondition stop = StopCondition::kFirstDecision;
   std::optional<ByzantineSpec> byzantine;
+  /// Bounded-memory knob for ProtocolKind::Forgetful (tallied-round
+  /// look-ahead horizon; 0 = unbounded). Ignored by the other protocols.
+  int memory_k = 0;
 };
 
 /// Outcome of one window-model run.
@@ -97,6 +102,48 @@ struct ByzantineRunResult {
 [[nodiscard]] bool check_validity(const sim::Execution& exec,
                                   const std::vector<int>& inputs);
 
+/// Per-worker reusable run state. A Runner run method given a WorkerScratch
+/// rebuilds the scratch Execution in place (sim::Execution::reset) instead
+/// of constructing a fresh one, so a worker that keeps its scratch across
+/// trials — and across checks — reaches a steady state where a trial
+/// allocates little beyond the process objects. Not thread-safe: one
+/// scratch per worker thread (see CampaignContext).
+struct WorkerScratch {
+  std::optional<sim::Execution> exec;
+};
+
+/// Shared execution context for a campaign: the parallel configuration, a
+/// long-lived work-stealing pool (when the config wants more than one
+/// thread), and one WorkerScratch per thread that can execute work — the
+/// pool's workers plus the caller (TaskGroup::wait has the calling thread
+/// help run chunks). Build ONE context and thread it through every checker
+/// / exhaustive / campaign call; the pool spawn/join cycle per check is
+/// exactly the overhead that flattened the benches' parallel speedup.
+///
+/// Thread-safety: worker_scratch() hands out distinct slots to distinct
+/// pool workers and a dedicated slot to off-pool callers, so at most ONE
+/// off-pool thread may be executing chunks at a time (the normal case: the
+/// single campaign driver thread).
+class CampaignContext {
+ public:
+  explicit CampaignContext(const ParallelConfig& par);
+
+  [[nodiscard]] const ParallelConfig& parallel() const noexcept {
+    return par_;
+  }
+  /// The shared pool, or nullptr when the config resolves to one thread.
+  [[nodiscard]] WorkStealingPool* pool() noexcept { return pool_.get(); }
+
+  /// The calling thread's scratch slot: pool worker i gets slot i, any
+  /// other thread the extra caller slot.
+  [[nodiscard]] WorkerScratch& worker_scratch() noexcept;
+
+ private:
+  ParallelConfig par_;
+  std::unique_ptr<WorkStealingPool> pool_;  ///< null when serial
+  std::vector<WorkerScratch> scratch_;      ///< pool workers + 1 caller slot
+};
+
 /// Executes an Experiment spec. Immutable; every run method is const,
 /// deterministic in `seed`, and safe to call concurrently from multiple
 /// threads (each run builds its own Execution).
@@ -125,7 +172,30 @@ class Runner {
   [[nodiscard]] ByzantineRunResult run_byzantine(
       sim::WindowAdversary& adversary, std::uint64_t seed) const;
 
+  // ---- execution-reuse overloads (campaign hot path) ----
+  //
+  // Same results, bit for bit, as the overloads above — the run executes in
+  // `scratch.exec`, rebuilt in place via sim::Execution::reset — but a
+  // worker that passes the same scratch every trial skips the per-trial
+  // arena/map/ring growth entirely once warm.
+
+  [[nodiscard]] WindowRunResult run_window(sim::WindowAdversary& adversary,
+                                           std::uint64_t seed,
+                                           WorkerScratch& scratch) const;
+  [[nodiscard]] AsyncRunOutcome run_async(sim::AsyncAdversary& adversary,
+                                          std::uint64_t seed,
+                                          WorkerScratch& scratch) const;
+  [[nodiscard]] ByzantineRunResult run_byzantine(
+      sim::WindowAdversary& adversary, std::uint64_t seed,
+      WorkerScratch& scratch) const;
+
  private:
+  /// Rebuild (or first-build) the scratch Execution for `seed` with this
+  /// spec's processes.
+  sim::Execution& prepare(WorkerScratch& scratch,
+                          std::vector<std::unique_ptr<sim::Process>> procs,
+                          std::uint64_t seed) const;
+
   Experiment spec_;
 };
 

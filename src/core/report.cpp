@@ -1,0 +1,56 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+
+namespace aa::core {
+
+void MeasureOneAccumulator::add(std::uint64_t seed, const TrialVerdict& v) {
+  ++trials_;
+  bool bad = false;
+  if (!v.agreement) {
+    ++agreement_violations_;
+    bad = true;
+  }
+  if (!v.validity) {
+    ++validity_violations_;
+    bad = true;
+  }
+  if (bad) violating_seeds_.push_back(seed);
+  if (v.decided) {
+    ++decided_runs_;
+    metric_sum_ += v.metric;
+  }
+  if (v.all_decided) ++all_decided_runs_;
+}
+
+void MeasureOneAccumulator::merge(const MeasureOneAccumulator& other) {
+  trials_ += other.trials_;
+  agreement_violations_ += other.agreement_violations_;
+  validity_violations_ += other.validity_violations_;
+  decided_runs_ += other.decided_runs_;
+  all_decided_runs_ += other.all_decided_runs_;
+  metric_sum_ += other.metric_sum_;
+  violating_seeds_.insert(violating_seeds_.end(),
+                          other.violating_seeds_.begin(),
+                          other.violating_seeds_.end());
+}
+
+MeasureOneReport MeasureOneAccumulator::finalize(bool async_metric) const {
+  MeasureOneReport rep;
+  rep.trials = static_cast<int>(trials_);
+  rep.agreement_violations = static_cast<int>(agreement_violations_);
+  rep.validity_violations = static_cast<int>(validity_violations_);
+  rep.decided_runs = static_cast<int>(decided_runs_);
+  rep.all_decided_runs = static_cast<int>(all_decided_runs_);
+  const double mean =
+      decided_runs_ > 0
+          ? static_cast<double>(metric_sum_) / static_cast<double>(decided_runs_)
+          : 0.0;
+  rep.mean_windows_to_first = mean;
+  if (async_metric) rep.mean_chain_at_decision = mean;
+  rep.violating_seeds = violating_seeds_;
+  std::sort(rep.violating_seeds.begin(), rep.violating_seeds.end());
+  return rep;
+}
+
+}  // namespace aa::core

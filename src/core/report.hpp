@@ -1,0 +1,97 @@
+// Measure-one trial reports and their hierarchical, exactly-associative
+// aggregation.
+//
+// Two aggregation paths coexist on purpose:
+//
+//  * The legacy checker path (core/checker.cpp) folds per-chunk
+//    RunningStats partials in chunk order. Welford merging is NOT
+//    associative in floating point, so that path pins one merge order
+//    (chunk order) to stay bit-identical across thread counts — but it
+//    cannot be re-sharded hierarchically (cell → campaign) without
+//    changing bits.
+//  * The campaign path below accumulates EXACT INTEGERS only: counter
+//    tallies plus an int64 sum of the decision metric (both measured
+//    metrics — windows-to-first-decision and chain-at-decision — are
+//    integers by construction). Integer addition is associative and
+//    commutative, and violating seeds are canonicalised by sorting at
+//    finalize, so ANY merge tree over any sharding of the same trial set
+//    finalizes to the same bytes. That is the contract the campaign
+//    engine's "merged summary is byte-identical at --threads 1 and 8,
+//    shards 1/4/16" tests pin down.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace aa::core {
+
+/// Aggregate result of a batch of measure-one trials (Definitions 2 and 3).
+struct MeasureOneReport {
+  int trials = 0;
+  int agreement_violations = 0;
+  int validity_violations = 0;
+  int decided_runs = 0;        ///< trials where some processor decided
+  int all_decided_runs = 0;    ///< trials where all live processors decided
+  /// Mean windows to the first decision, over deciding runs (window model).
+  /// For compatibility the async checker also stores its mean chain length
+  /// here; prefer mean_chain_at_decision for async results.
+  double mean_windows_to_first = 0.0;
+  /// Mean message-chain length at the first decision, over deciding runs
+  /// (async model; 0 for window-model reports).
+  double mean_chain_at_decision = 0.0;
+  std::vector<std::uint64_t> violating_seeds;  ///< ascending
+
+  [[nodiscard]] bool clean() const noexcept {
+    return agreement_violations == 0 && validity_violations == 0;
+  }
+};
+
+/// Verdict of one trial, stripped to what aggregation needs. `metric` is
+/// the model's decision-cost measure — windows to the first decision
+/// (window model) or message-chain length at decision (async model) — and
+/// is only read when `decided`.
+struct TrialVerdict {
+  bool agreement = true;
+  bool validity = true;
+  bool decided = false;
+  bool all_decided = false;
+  std::int64_t metric = 0;
+};
+
+/// Exactly-associative accumulator over TrialVerdicts. add() and merge()
+/// touch integers only; finalize() sorts the violating seeds and performs
+/// the single floating-point division, so
+///
+///   finalize(add every trial serially)
+///     == finalize(merge(shard partials, in any tree shape))
+///
+/// bit for bit, for every sharding of the same trial set.
+class MeasureOneAccumulator {
+ public:
+  /// Fold in one trial (seed recorded only when the trial violated).
+  void add(std::uint64_t seed, const TrialVerdict& v);
+
+  /// Fold another accumulator's tallies into this one.
+  void merge(const MeasureOneAccumulator& other);
+
+  /// Snapshot as a report. `async_metric` mirrors the mean into
+  /// mean_chain_at_decision (the async checkers' convention). Callable any
+  /// number of times; does not mutate the accumulator.
+  [[nodiscard]] MeasureOneReport finalize(bool async_metric = false) const;
+
+  [[nodiscard]] std::int64_t trials() const noexcept { return trials_; }
+  [[nodiscard]] std::int64_t violations() const noexcept {
+    return agreement_violations_ + validity_violations_;
+  }
+
+ private:
+  std::int64_t trials_ = 0;
+  std::int64_t agreement_violations_ = 0;
+  std::int64_t validity_violations_ = 0;
+  std::int64_t decided_runs_ = 0;
+  std::int64_t all_decided_runs_ = 0;
+  std::int64_t metric_sum_ = 0;  ///< over deciding trials; exact (integers)
+  std::vector<std::uint64_t> violating_seeds_;  ///< unordered until finalize
+};
+
+}  // namespace aa::core

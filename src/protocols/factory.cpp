@@ -20,9 +20,10 @@ std::string protocol_kind_name(ProtocolKind kind) {
 
 std::vector<std::unique_ptr<sim::Process>> make_processes(
     ProtocolKind kind, int t, const std::vector<int>& inputs,
-    std::optional<Thresholds> th) {
+    std::optional<Thresholds> th, int memory_k) {
   const int n = static_cast<int>(inputs.size());
   AA_REQUIRE(n > 0, "make_processes: need at least one input");
+  AA_REQUIRE(memory_k >= 0, "make_processes: memory_k must be >= 0");
   std::vector<std::unique_ptr<sim::Process>> procs;
   procs.reserve(inputs.size());
   for (int id = 0; id < n; ++id) {
@@ -40,7 +41,7 @@ std::vector<std::unique_ptr<sim::Process>> make_processes(
         break;
       case ProtocolKind::Forgetful:
         procs.push_back(std::make_unique<ForgetfulProcess>(
-            id, n, input, th.value_or(forgetful_thresholds(n, t))));
+            id, n, input, th.value_or(forgetful_thresholds(n, t)), memory_k));
         break;
     }
   }

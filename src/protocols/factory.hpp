@@ -19,10 +19,12 @@ enum class ProtocolKind { Reset, BenOr, Bracha, Forgetful };
 
 /// Build one process per input bit. `th` is honoured by Reset/Forgetful
 /// (defaulting to canonical/forgetful thresholds when absent) and ignored by
-/// Ben-Or / Bracha, which are parameterized by (n, t) alone.
+/// Ben-Or / Bracha, which are parameterized by (n, t) alone. `memory_k`
+/// bounds Forgetful's tallied-round look-ahead (0 = unbounded; see
+/// ForgetfulProcess) and is ignored by the other protocols.
 [[nodiscard]] std::vector<std::unique_ptr<sim::Process>> make_processes(
     ProtocolKind kind, int t, const std::vector<int>& inputs,
-    std::optional<Thresholds> th = std::nullopt);
+    std::optional<Thresholds> th = std::nullopt, int memory_k = 0);
 
 /// Convenience input patterns.
 [[nodiscard]] std::vector<int> unanimous_inputs(int n, int value);

@@ -19,10 +19,12 @@ Thresholds forgetful_thresholds(int n, int t) {
   return th;
 }
 
-ForgetfulProcess::ForgetfulProcess(int id, int n, int input, Thresholds th)
-    : id_(id), n_(n), th_(th), input_(input), x_(input) {
+ForgetfulProcess::ForgetfulProcess(int id, int n, int input, Thresholds th,
+                                   int memory_k)
+    : id_(id), n_(n), th_(th), memory_k_(memory_k), input_(input), x_(input) {
   AA_REQUIRE(id >= 0 && id < n, "ForgetfulProcess: bad id");
   AA_REQUIRE(input == 0 || input == 1, "ForgetfulProcess: input must be a bit");
+  AA_REQUIRE(memory_k >= 0, "ForgetfulProcess: memory_k must be >= 0");
   AA_REQUIRE(th.t1 >= th.t2 && th.t2 >= th.t3 && th.t3 > 0,
              "ForgetfulProcess: need T1 >= T2 >= T3 > 0");
   AA_REQUIRE(2 * th.t3 > n, "ForgetfulProcess: need 2*T3 > n");
@@ -48,6 +50,9 @@ void ForgetfulProcess::handle(const sim::Envelope& env, Rng& rng,
   if (m.kind != kVoteKind) return;
   if (m.value != 0 && m.value != 1) return;
   if (m.round < round_) return;  // forgetful: stale rounds are invisible
+  // Bounded memory: no tally cell exists for rounds past the horizon, so
+  // such a vote is dropped exactly as a stale one is.
+  if (memory_k_ > 0 && m.round >= round_ + memory_k_) return;
   RoundTally& rt = votes_[m.round];
   // Only the first T1 votes of a round are ever consulted.
   if (rt.arrivals < th_.t1) ++rt.count[m.value];

@@ -32,7 +32,15 @@ namespace aa::protocols {
 
 class ForgetfulProcess final : public sim::Process {
  public:
-  ForgetfulProcess(int id, int n, int input, Thresholds th);
+  /// `memory_k` bounds how far AHEAD of the current round the processor
+  /// will tally votes: arrivals for rounds ≥ round + memory_k are
+  /// discarded on receipt (the processor has no cell to put them in), so
+  /// the tally map holds at most memory_k rounds at any time. 0 means
+  /// unbounded look-ahead (the original behaviour). This is the
+  /// bounded-memory knob the campaign engine's memory-K sweep exercises:
+  /// small K trades liveness under adversarial skew for a hard state
+  /// bound, K ≥ the adversary's round spread changes nothing.
+  ForgetfulProcess(int id, int n, int input, Thresholds th, int memory_k = 0);
 
   void on_start(sim::Outbox& out) override;
   void on_receive(const sim::Envelope& env, Rng& rng,
@@ -68,6 +76,7 @@ class ForgetfulProcess final : public sim::Process {
   int id_;
   int n_;
   Thresholds th_;
+  int memory_k_;  ///< tallied-round horizon; 0 = unbounded
   int input_;
   int output_ = sim::kBot;
   int round_ = 1;

@@ -18,6 +18,29 @@ MessageBuffer::MessageBuffer(int n)
   win_count_ = 1;
 }
 
+void MessageBuffer::reset(int n) {
+  AA_REQUIRE(n > 0, "MessageBuffer::reset: n must be positive");
+  n_ = n;
+  slots_.clear();  // capacity kept; slots re-materialize allocation-free
+  free_head_ = kNoSlot;
+  id_map_.clear();
+  next_id_ = 0;
+  rcv_head_.assign(static_cast<std::size_t>(n), kNoSlot);
+  rcv_tail_.assign(static_cast<std::size_t>(n), kNoSlot);
+  // Ring capacity (and mask) survive; only the active span is rewound.
+  if (win_ring_.empty()) {
+    win_ring_.assign(1, WinList{});
+    win_mask_ = 0;
+  }
+  win_begin_ = 0;
+  win_ring_[0] = WinList{};
+  win_count_ = 1;
+  win_base_ = 0;
+  pending_ = 0;
+  delivered_ = 0;
+  dropped_ = 0;
+}
+
 MsgId MessageBuffer::add(ProcId sender, ProcId receiver,
                          const Message& payload, std::int64_t window,
                          std::int64_t chain) {

@@ -31,6 +31,59 @@ Execution::Execution(std::vector<std::unique_ptr<Process>> procs,
   }
 }
 
+void Execution::reset(std::vector<std::unique_ptr<Process>> procs,
+                      std::uint64_t seed, ExecutionConfig cfg) {
+  const int n = static_cast<int>(procs.size());
+  AA_REQUIRE(n > 0, "Execution::reset: need at least one processor");
+  const bool same_n = n == n_;
+  n_ = n;
+  cfg_ = cfg;
+  procs_ = std::move(procs);
+  buffer_.reset(n);
+  Rng root(seed);
+  rngs_.clear();
+  rngs_.reserve(static_cast<std::size_t>(n));
+  if (!same_n) {
+    staged_.clear();
+    staged_.reserve(static_cast<std::size_t>(n));
+  }
+  for (ProcId p = 0; p < n_; ++p) {
+    AA_REQUIRE(procs_[static_cast<std::size_t>(p)] != nullptr,
+               "Execution::reset: null process");
+    rngs_.push_back(root.fork(static_cast<std::uint64_t>(p)));
+    if (same_n) {
+      staged_[static_cast<std::size_t>(p)].clear();
+    } else {
+      staged_.emplace_back(n);
+    }
+  }
+  crashed_.assign(static_cast<std::size_t>(n), false);
+  resets_.assign(static_cast<std::size_t>(n), 0);
+  chain_.assign(static_cast<std::size_t>(n), 0);
+  decisions_.clear();
+  events_.clear();
+  published_.clear();
+  run_envs_.clear();
+  // Scratch arrays keep their (epoch-stamped) contents; only the run-scoped
+  // bookkeeping must forget the previous trial. collect_window = -1 disarms
+  // batch collection (window_ restarts at 0), and clearing the planner
+  // forces run_acceptable_window to re-prepare whatever adversary shows up.
+  scratch_.collect_window = -1;
+  scratch_.planner = nullptr;
+  scratch_.planner_t = -1;
+  scratch_.plan_validated = false;
+  scratch_.plan_liveness_epoch = -1;
+  window_ = 0;
+  steps_ = 0;
+  total_resets_ = 0;
+  liveness_epoch_ = 0;
+  crashed_count_ = 0;
+  for (ProcId p = 0; p < n_; ++p) {
+    procs_[static_cast<std::size_t>(p)]->on_start(
+        staged_[static_cast<std::size_t>(p)]);
+  }
+}
+
 SentBatch Execution::sending_step(ProcId p) {
   AA_REQUIRE(p >= 0 && p < n_, "sending_step: bad proc id");
   record(StepKind::Send, p);

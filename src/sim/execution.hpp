@@ -56,6 +56,18 @@ class Execution {
   Execution(std::vector<std::unique_ptr<Process>> procs, std::uint64_t seed,
             ExecutionConfig cfg = {});
 
+  /// Rebuild this execution in place for a new trial: fresh processes,
+  /// fresh per-processor Rng streams forked from `seed`, empty buffer and
+  /// zeroed counters — observationally identical to constructing
+  /// Execution(procs, seed, cfg) from scratch, but KEEPING every grown
+  /// capacity (message-buffer arena + id map, window scratch, outboxes,
+  /// per-processor vectors). This is the campaign engine's per-worker
+  /// reuse path: one Execution per worker persists across trials and
+  /// across checks, so steady-state trials allocate almost nothing beyond
+  /// the process objects themselves.
+  void reset(std::vector<std::unique_ptr<Process>> procs, std::uint64_t seed,
+             ExecutionConfig cfg = {});
+
   Execution(const Execution&) = delete;
   Execution& operator=(const Execution&) = delete;
   Execution(Execution&&) = default;

@@ -85,6 +85,161 @@ void ThreadPool::worker_loop() {
   }
 }
 
+namespace {
+
+/// Identity of the pool-worker thread this is, if any. Keyed per pool so
+/// nested/multiple pools never alias each other's worker indices.
+thread_local const WorkStealingPool* tl_pool = nullptr;
+thread_local int tl_worker_index = -1;
+
+}  // namespace
+
+WorkStealingPool::WorkStealingPool(int threads) {
+  AA_REQUIRE(threads >= 1, "WorkStealingPool: need at least one worker");
+  deques_.resize(static_cast<std::size_t>(threads));
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+int WorkStealingPool::worker_index() const noexcept {
+  return tl_pool == this ? tl_worker_index : -1;
+}
+
+void WorkStealingPool::TaskGroup::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++outstanding_;
+  }
+  WorkStealingPool& p = pool_;
+  {
+    std::lock_guard<std::mutex> lock(p.mu_);
+    AA_REQUIRE(!p.stopping_, "WorkStealingPool: submit after shutdown");
+    p.deques_[p.next_queue_].push_back(Job{std::move(job), this});
+    p.next_queue_ = (p.next_queue_ + 1) % p.deques_.size();
+    ++p.queued_;
+  }
+  p.work_ready_.notify_one();
+}
+
+void WorkStealingPool::TaskGroup::wait() {
+  // Help execute this group's queued jobs; once none are queued the rest
+  // are in flight on workers, so block until they finish.
+  for (;;) {
+    Job job;
+    bool found = false;
+    {
+      std::lock_guard<std::mutex> lock(pool_.mu_);
+      for (std::deque<Job>& dq : pool_.deques_) {
+        for (auto it = dq.begin(); it != dq.end(); ++it) {
+          if (it->group == this) {
+            job = std::move(*it);
+            dq.erase(it);
+            --pool_.queued_;
+            found = true;
+            break;
+          }
+        }
+        if (found) break;
+      }
+    }
+    if (found) {
+      pool_.run_job(job);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [this] { return outstanding_ == 0; });
+    if (first_error_) {
+      std::exception_ptr e = first_error_;
+      first_error_ = nullptr;
+      lock.unlock();
+      std::rethrow_exception(e);
+    }
+    return;
+  }
+}
+
+WorkStealingPool::TaskGroup::~TaskGroup() {
+  // The pool holds raw pointers to this group while jobs are in flight;
+  // never let it dangle, even if the caller skipped wait().
+  std::unique_lock<std::mutex> lock(mu_);
+  done_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+void WorkStealingPool::worker_loop(int index) {
+  tl_pool = this;
+  tl_worker_index = index;
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] { return stopping_ || queued_ > 0; });
+      if (queued_ == 0) return;  // stopping_ with drained deques
+      Job* slot = &job;
+      const bool popped = try_pop(index, *slot);
+      AA_CHECK(popped, "WorkStealingPool: queued_ > 0 but no job found");
+    }
+    run_job(job);
+  }
+}
+
+bool WorkStealingPool::try_pop(int home, Job& out) {
+  // Caller holds mu_. Own deque first (front: oldest of our share), then
+  // steal from the back of the busiest sibling.
+  const std::size_t w = deques_.size();
+  auto& own = deques_[static_cast<std::size_t>(home)];
+  if (!own.empty()) {
+    out = std::move(own.front());
+    own.pop_front();
+    --queued_;
+    return true;
+  }
+  std::size_t victim = w;
+  std::size_t victim_load = 0;
+  for (std::size_t i = 0; i < w; ++i) {
+    if (deques_[i].size() > victim_load) {
+      victim = i;
+      victim_load = deques_[i].size();
+    }
+  }
+  if (victim == w) return false;
+  out = std::move(deques_[victim].back());
+  deques_[victim].pop_back();
+  --queued_;
+  return true;
+}
+
+void WorkStealingPool::run_job(Job& job) {
+  std::exception_ptr error;
+  try {
+    job.fn();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  finish_job(job.group, error);
+}
+
+void WorkStealingPool::finish_job(TaskGroup* group,
+                                  std::exception_ptr error) {
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lock(group->mu_);
+    if (error && !group->first_error_) group->first_error_ = error;
+    last = --group->outstanding_ == 0;
+  }
+  if (last) group->done_.notify_all();
+}
+
 void parallel_for_chunks(
     std::int64_t total, const ParallelConfig& cfg,
     const std::function<void(int, std::int64_t, std::int64_t)>& body,
@@ -115,6 +270,31 @@ void parallel_for_chunks(
     ThreadPool local(workers);
     dispatch(local);
   }
+}
+
+void parallel_for_chunks(
+    std::int64_t total, const ParallelConfig& cfg,
+    const std::function<void(int, std::int64_t, std::int64_t)>& body,
+    WorkStealingPool& pool) {
+  const int chunks = chunk_count(total, cfg);
+  if (chunks == 0) return;
+  const std::int64_t chunk = std::max(1, cfg.chunk_size);
+  const auto run_chunk = [&](int ci) {
+    const std::int64_t begin = static_cast<std::int64_t>(ci) * chunk;
+    const std::int64_t end = std::min(total, begin + chunk);
+    body(ci, begin, end);
+  };
+  // Serial semantics when the config asks for one thread (or there is only
+  // one chunk): run inline, no pool traffic at all.
+  if (cfg.resolved_threads() <= 1 || chunks == 1) {
+    for (int ci = 0; ci < chunks; ++ci) run_chunk(ci);
+    return;
+  }
+  WorkStealingPool::TaskGroup group(pool);
+  for (int ci = 0; ci < chunks; ++ci) {
+    group.submit([&run_chunk, ci] { run_chunk(ci); });
+  }
+  group.wait();
 }
 
 }  // namespace aa

@@ -15,6 +15,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -74,6 +75,92 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
+/// Long-lived work-stealing pool for campaign-scale workloads: one pool is
+/// created per campaign and shared across every check it runs, instead of a
+/// spawn/join cycle per check (the overhead that flattened BENCH_t1/t2's
+/// parallel speedup to ~1x).
+///
+/// Design:
+///   * One mutex-protected deque per worker. submit() distributes jobs
+///     round-robin across the deques; a worker drains its own deque first
+///     and then STEALS from the others, so uneven job costs (trials that
+///     decide in 3 windows next to trials that run 50k) never leave a
+///     worker idle while another has a backlog.
+///   * Completion is tracked per TaskGroup, not per pool: many callers can
+///     share one pool (sequentially or concurrently) and each waits only
+///     for its own jobs.
+///   * TaskGroup::wait() has the calling thread help execute jobs instead
+///     of blocking, so a campaign driver thread is a worker too.
+///   * Determinism is unaffected: scheduling only decides WHERE a chunk
+///     runs; parallel_for_chunks still merges per-chunk partials in chunk
+///     order (see the file comment's invariant 2).
+class WorkStealingPool {
+ public:
+  explicit WorkStealingPool(int threads);
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Index of the calling pool-worker thread in [0, size()), or -1 when the
+  /// caller is not one of THIS pool's workers (e.g. the submitting thread).
+  /// Per-worker scratch (core::CampaignContext) is keyed on this.
+  [[nodiscard]] int worker_index() const noexcept;
+
+  /// Tracks completion of one batch of jobs on a shared pool.
+  class TaskGroup {
+   public:
+    explicit TaskGroup(WorkStealingPool& pool) : pool_(pool) {}
+    ~TaskGroup();
+
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+
+    /// Enqueue a job onto the pool, accounted to this group.
+    void submit(std::function<void()> job);
+
+    /// Run pool jobs on the calling thread until every job submitted to
+    /// THIS group has finished, then rethrow the first exception any of
+    /// them raised.
+    void wait();
+
+   private:
+    friend class WorkStealingPool;
+
+    WorkStealingPool& pool_;
+    std::mutex mu_;
+    std::condition_variable done_;
+    std::exception_ptr first_error_;
+    std::size_t outstanding_ = 0;
+  };
+
+ private:
+  struct Job {
+    std::function<void()> fn;
+    TaskGroup* group = nullptr;
+  };
+
+  void worker_loop(int index);
+  /// Pop a job, preferring deque `home` and stealing otherwise. Returns
+  /// false when every deque is empty.
+  bool try_pop(int home, Job& out);
+  void run_job(Job& job);
+  void finish_job(TaskGroup* group, std::exception_ptr error);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;  ///< guards deques_ (cheap: jobs are coarse chunks)
+  std::condition_variable work_ready_;
+  std::vector<std::deque<Job>> deques_;
+  std::size_t next_queue_ = 0;
+  std::size_t queued_ = 0;
+  bool stopping_ = false;
+};
+
 /// Partition [0, total) into chunk_count(total, cfg) fixed chunks and call
 /// `body(chunk_index, begin, end)` once per chunk — inline and in order
 /// when cfg resolves to one thread, across a pool otherwise. Distinct
@@ -88,5 +175,14 @@ void parallel_for_chunks(
     std::int64_t total, const ParallelConfig& cfg,
     const std::function<void(int, std::int64_t, std::int64_t)>& body,
     ThreadPool* pool = nullptr);
+
+/// Same contract on a shared work-stealing pool: chunks are submitted as
+/// one TaskGroup and the caller helps execute until they are done. Safe to
+/// call from multiple threads on the same pool concurrently (each call
+/// waits only for its own chunks).
+void parallel_for_chunks(
+    std::int64_t total, const ParallelConfig& cfg,
+    const std::function<void(int, std::int64_t, std::int64_t)>& body,
+    WorkStealingPool& pool);
 
 }  // namespace aa

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "adversary/window_adversaries.hpp"
+#include "core/campaign.hpp"
+#include "core/checker.hpp"
+#include "protocols/factory.hpp"
+#include "util/rng.hpp"
+
+namespace aa::core {
+namespace {
+
+// ---- config parsing --------------------------------------------------------
+
+TEST(CampaignConfig, ParsesEveryKeyWithCommentsAndLists) {
+  const std::string text = R"(# a comment line
+name = sweep1
+model = async   # trailing comment
+
+n = 8, 12, 16
+t = 1,2
+protocols = reset, forgetful
+thresholds = default, canonical
+memory_k = 0, 4
+adversaries = random-async, fixed-crash
+
+split = 0.25
+trials = 10
+budget = 1234
+seed = 99
+
+threads = 4
+chunk_size = 8
+output_dir = out/sweep1
+)";
+  const CampaignConfig cfg = parse_campaign_config(text);
+  EXPECT_EQ(cfg.name, "sweep1");
+  EXPECT_EQ(cfg.model, CampaignModel::kAsync);
+  EXPECT_EQ(cfg.n, (std::vector<int>{8, 12, 16}));
+  EXPECT_EQ(cfg.t, (std::vector<int>{1, 2}));
+  EXPECT_EQ(cfg.protocols, (std::vector<std::string>{"reset", "forgetful"}));
+  EXPECT_EQ(cfg.thresholds,
+            (std::vector<std::string>{"default", "canonical"}));
+  EXPECT_EQ(cfg.memory_k, (std::vector<int>{0, 4}));
+  EXPECT_EQ(cfg.adversaries,
+            (std::vector<std::string>{"random-async", "fixed-crash"}));
+  EXPECT_DOUBLE_EQ(cfg.split, 0.25);
+  EXPECT_EQ(cfg.trials, 10);
+  EXPECT_EQ(cfg.budget, 1234);
+  EXPECT_EQ(cfg.seed, 99u);
+  EXPECT_EQ(cfg.threads, 4);
+  EXPECT_EQ(cfg.chunk_size, 8);
+  EXPECT_EQ(cfg.output_dir, "out/sweep1");
+}
+
+TEST(CampaignConfig, EmptyTextYieldsDefaults) {
+  const CampaignConfig cfg = parse_campaign_config("");
+  const CampaignConfig def;
+  EXPECT_EQ(cfg.name, def.name);
+  EXPECT_EQ(cfg.model, CampaignModel::kWindow);
+  EXPECT_EQ(cfg.n, def.n);
+  EXPECT_EQ(cfg.trials, def.trials);
+}
+
+TEST(CampaignConfig, RejectsMalformedInput) {
+  EXPECT_THROW(parse_campaign_config("frobnicate = 3"),
+               std::invalid_argument);  // unknown key
+  EXPECT_THROW(parse_campaign_config("model = turbo"),
+               std::invalid_argument);  // unknown model
+  EXPECT_THROW(parse_campaign_config("trials = many"),
+               std::invalid_argument);  // non-integer
+  EXPECT_THROW(parse_campaign_config("n ="), std::invalid_argument);
+  EXPECT_THROW(parse_campaign_config("just some words"),
+               std::invalid_argument);  // no '='
+}
+
+// ---- sweep structure -------------------------------------------------------
+
+CampaignConfig tiny_config() {
+  CampaignConfig cfg;
+  cfg.name = "tiny";
+  cfg.model = CampaignModel::kWindow;
+  cfg.n = {8};
+  cfg.t = {1};
+  cfg.protocols = {"reset", "forgetful"};
+  cfg.thresholds = {"default"};
+  cfg.memory_k = {0, 3};
+  cfg.adversaries = {"fair", "random"};
+  cfg.trials = 8;
+  cfg.budget = 300;
+  cfg.seed = 5000;
+  cfg.threads = 1;
+  cfg.chunk_size = 4;
+  return cfg;
+}
+
+TEST(Campaign, MemoryKAxisOnlySweepsForgetful) {
+  const CampaignConfig cfg = tiny_config();
+  const CampaignResult result = run_campaign(cfg);
+  // reset runs memory_k={0} only; forgetful sweeps {0, 3}: (1+2)*2 advs.
+  ASSERT_EQ(result.cells.size(), 6u);
+  int forgetful_cells = 0;
+  for (const CampaignCell& cell : result.cells) {
+    EXPECT_EQ(cell.seed0,
+              cfg.seed + static_cast<std::uint64_t>(cell.index) *
+                             static_cast<std::uint64_t>(cfg.trials));
+    EXPECT_EQ(cell.report.trials, cfg.trials);
+    if (cell.protocol == "forgetful") ++forgetful_cells;
+    else EXPECT_EQ(cell.memory_k, 0);
+  }
+  EXPECT_EQ(forgetful_cells, 4);
+  EXPECT_EQ(result.summary.trials,
+            cfg.trials * static_cast<int>(result.cells.size()));
+}
+
+TEST(Campaign, SummaryAndCellsByteIdenticalAcrossThreadCounts) {
+  CampaignConfig cfg = tiny_config();
+  const CampaignResult serial = run_campaign(cfg);
+  const std::string serial_summary = campaign_summary_json(serial);
+  for (const int threads : {2, 8}) {
+    cfg.threads = threads;
+    const CampaignResult par = run_campaign(cfg);
+    EXPECT_EQ(campaign_summary_json(par), serial_summary)
+        << "summary diverged at threads=" << threads;
+    ASSERT_EQ(par.cells.size(), serial.cells.size());
+    for (std::size_t i = 0; i < par.cells.size(); ++i) {
+      EXPECT_EQ(campaign_cell_json(cfg, par.cells[i]),
+                campaign_cell_json(cfg, serial.cells[i]))
+          << "cell " << i << " diverged at threads=" << threads;
+    }
+  }
+}
+
+// ---- seed-block sharding through the checker -------------------------------
+
+TEST(Campaign, SeedShardedCheckerAccumulatorsMergeToWholeRun) {
+  // Split one cell's trial block into contiguous seed shards, run each
+  // through the checker with its own accumulator, merge — the finalized
+  // summary must be bit-identical to the single whole-block run's.
+  Experiment spec;
+  spec.kind = protocols::ProtocolKind::Reset;
+  spec.inputs = protocols::split_inputs(9, 0.5);
+  spec.t = 1;
+  spec.budget = 300;
+  const WindowAdversaryFactory factory = [](std::uint64_t seed) {
+    return std::make_unique<adversary::RandomWindowAdversary>(1, 0.1,
+                                                             Rng(seed * 9 + 2));
+  };
+  const int trials = 32;
+  const std::uint64_t seed0 = 600;
+  const ParallelConfig par{.threads = 1, .chunk_size = 4};
+
+  CampaignContext whole_ctx(par);
+  MeasureOneAccumulator whole;
+  (void)check_measure_one_window(spec, factory, trials, seed0, whole_ctx,
+                                 &whole);
+  const MeasureOneReport whole_rep = whole.finalize();
+
+  for (const int shards : {4, 16}) {
+    CampaignContext ctx(par);
+    MeasureOneAccumulator merged;
+    const int per = trials / shards;
+    for (int s = 0; s < shards; ++s) {
+      MeasureOneAccumulator part;
+      (void)check_measure_one_window(
+          spec, factory, per,
+          seed0 + static_cast<std::uint64_t>(s) *
+                      static_cast<std::uint64_t>(per),
+          ctx, &part);
+      merged.merge(part);
+    }
+    const MeasureOneReport rep = merged.finalize();
+    EXPECT_EQ(rep.trials, whole_rep.trials);
+    EXPECT_EQ(rep.agreement_violations, whole_rep.agreement_violations);
+    EXPECT_EQ(rep.validity_violations, whole_rep.validity_violations);
+    EXPECT_EQ(rep.decided_runs, whole_rep.decided_runs);
+    EXPECT_EQ(rep.all_decided_runs, whole_rep.all_decided_runs);
+    EXPECT_EQ(rep.mean_windows_to_first, whole_rep.mean_windows_to_first);
+    EXPECT_EQ(rep.violating_seeds, whole_rep.violating_seeds);
+  }
+}
+
+}  // namespace
+}  // namespace aa::core

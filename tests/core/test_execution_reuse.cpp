@@ -1,0 +1,134 @@
+// Execution-reuse bit-identity: a WorkerScratch reused across trials,
+// protocols, instance sizes, and models must produce results identical to
+// a fresh Execution per run (the no-scratch Runner overloads). This is the
+// contract that lets CampaignContext keep one Execution per worker alive
+// across an entire campaign.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "adversary/async_adversaries.hpp"
+#include "adversary/window_adversaries.hpp"
+#include "core/experiment.hpp"
+#include "protocols/factory.hpp"
+#include "util/rng.hpp"
+
+namespace aa::core {
+namespace {
+
+void expect_same(const WindowRunResult& a, const WindowRunResult& b) {
+  EXPECT_EQ(a.decided, b.decided);
+  EXPECT_EQ(a.all_decided, b.all_decided);
+  EXPECT_EQ(a.decision, b.decision);
+  EXPECT_EQ(a.windows_to_first, b.windows_to_first);
+  EXPECT_EQ(a.windows_total, b.windows_total);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.total_resets, b.total_resets);
+  EXPECT_EQ(a.agreement, b.agreement);
+  EXPECT_EQ(a.validity, b.validity);
+}
+
+void expect_same(const AsyncRunOutcome& a, const AsyncRunOutcome& b) {
+  EXPECT_EQ(a.decided, b.decided);
+  EXPECT_EQ(a.all_decided, b.all_decided);
+  EXPECT_EQ(a.decision, b.decision);
+  EXPECT_EQ(a.deliveries, b.deliveries);
+  EXPECT_EQ(a.chain_at_decision, b.chain_at_decision);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.hit_limit, b.hit_limit);
+  EXPECT_EQ(a.agreement, b.agreement);
+  EXPECT_EQ(a.validity, b.validity);
+}
+
+Experiment window_spec(protocols::ProtocolKind kind, int n, int t) {
+  Experiment spec;
+  spec.kind = kind;
+  spec.inputs = protocols::split_inputs(n, 0.5);
+  spec.t = t;
+  spec.budget = 400;
+  spec.stop = StopCondition::kAllDecided;
+  return spec;
+}
+
+TEST(ExecutionReuse, WindowRunsMatchFreshAcrossProtocolsAndAdversaries) {
+  // ONE scratch survives the whole matrix — different n, protocols, and
+  // adversaries back to back, the worst case for stale-state leaks.
+  WorkerScratch scratch;
+  const protocols::ProtocolKind kinds[] = {
+      protocols::ProtocolKind::Reset, protocols::ProtocolKind::Forgetful,
+      protocols::ProtocolKind::BenOr, protocols::ProtocolKind::Bracha};
+  for (const int n : {8, 13}) {
+    for (const auto kind : kinds) {
+      const Runner runner(window_spec(kind, n, 1));
+      for (std::uint64_t trial = 0; trial < 6; ++trial) {
+        const std::uint64_t seed = 900 + trial * 37;
+        adversary::RandomWindowAdversary fresh_adv(1, 0.15, Rng(seed + 5));
+        adversary::RandomWindowAdversary reuse_adv(1, 0.15, Rng(seed + 5));
+        const WindowRunResult fresh = runner.run_window(fresh_adv, seed);
+        const WindowRunResult reused =
+            runner.run_window(reuse_adv, seed, scratch);
+        expect_same(reused, fresh);
+      }
+    }
+  }
+  // The reset storm drives the reset/rejoin paths the random adversary
+  // rarely reaches; run it through the SAME (already dirty) scratch.
+  const Runner runner(window_spec(protocols::ProtocolKind::Reset, 13, 2));
+  for (std::uint64_t seed : {11ULL, 12ULL, 13ULL}) {
+    adversary::ResetStormAdversary fresh_adv(2, Rng(seed));
+    adversary::ResetStormAdversary reuse_adv(2, Rng(seed));
+    expect_same(runner.run_window(reuse_adv, seed, scratch),
+                runner.run_window(fresh_adv, seed));
+  }
+}
+
+TEST(ExecutionReuse, AsyncRunsMatchFreshWithSharedScratch) {
+  WorkerScratch scratch;
+  for (const auto kind :
+       {protocols::ProtocolKind::Forgetful, protocols::ProtocolKind::BenOr}) {
+    Experiment spec;
+    spec.kind = kind;
+    spec.inputs = protocols::split_inputs(9, 0.5);
+    spec.t = 1;
+    spec.budget = 6000;
+    spec.stop = StopCondition::kAllDecided;
+    const Runner runner(std::move(spec));
+    for (std::uint64_t trial = 0; trial < 6; ++trial) {
+      const std::uint64_t seed = 40 + trial;
+      adversary::RandomAsyncScheduler fresh_adv(Rng(seed * 3 + 1));
+      adversary::RandomAsyncScheduler reuse_adv(Rng(seed * 3 + 1));
+      const AsyncRunOutcome fresh = runner.run_async(fresh_adv, seed);
+      const AsyncRunOutcome reused = runner.run_async(reuse_adv, seed, scratch);
+      expect_same(reused, fresh);
+    }
+  }
+}
+
+TEST(ExecutionReuse, ScratchSurvivesModelSwitches) {
+  // Window → async → window through one scratch: the reset must not
+  // leave either model's bookkeeping behind.
+  WorkerScratch scratch;
+  const Runner wrunner(window_spec(protocols::ProtocolKind::Reset, 8, 1));
+  Experiment aspec;
+  aspec.kind = protocols::ProtocolKind::BenOr;
+  aspec.inputs = protocols::split_inputs(8, 0.5);
+  aspec.t = 1;
+  aspec.budget = 5000;
+  aspec.stop = StopCondition::kAllDecided;
+  const Runner arunner(std::move(aspec));
+
+  for (std::uint64_t seed : {7ULL, 8ULL}) {
+    adversary::FairWindowAdversary wf1;
+    adversary::FairWindowAdversary wf2;
+    expect_same(wrunner.run_window(wf2, seed, scratch),
+                wrunner.run_window(wf1, seed));
+    adversary::RandomAsyncScheduler af1{Rng(seed)};
+    adversary::RandomAsyncScheduler af2{Rng(seed)};
+    expect_same(arunner.run_async(af2, seed, scratch),
+                arunner.run_async(af1, seed));
+  }
+}
+
+}  // namespace
+}  // namespace aa::core

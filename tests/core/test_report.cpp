@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/report.hpp"
+#include "util/rng.hpp"
+
+namespace aa::core {
+namespace {
+
+/// Deterministic pseudo-verdict stream: a mix of violations, undecided
+/// runs, and integer metrics, all a pure function of the trial index.
+TrialVerdict verdict_for(std::uint64_t seed) {
+  Rng rng(seed * 1315423911ULL + 13);
+  TrialVerdict v;
+  v.agreement = rng.next_double() > 0.03;
+  v.validity = rng.next_double() > 0.02;
+  v.decided = rng.next_double() > 0.2;
+  v.all_decided = v.decided && rng.next_double() > 0.3;
+  v.metric = static_cast<std::int64_t>(rng.next_u64() % 5000);
+  return v;
+}
+
+void expect_reports_identical(const MeasureOneReport& a,
+                              const MeasureOneReport& b) {
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.agreement_violations, b.agreement_violations);
+  EXPECT_EQ(a.validity_violations, b.validity_violations);
+  EXPECT_EQ(a.decided_runs, b.decided_runs);
+  EXPECT_EQ(a.all_decided_runs, b.all_decided_runs);
+  // Bitwise double equality is the point: the merge must be EXACT.
+  EXPECT_EQ(a.mean_windows_to_first, b.mean_windows_to_first);
+  EXPECT_EQ(a.mean_chain_at_decision, b.mean_chain_at_decision);
+  EXPECT_EQ(a.violating_seeds, b.violating_seeds);
+}
+
+TEST(MeasureOneAccumulator, ShardedMergeMatchesSerialBitForBit) {
+  const int trials = 960;
+  const std::uint64_t seed0 = 7000;
+
+  MeasureOneAccumulator serial;
+  for (int i = 0; i < trials; ++i) {
+    const std::uint64_t seed = seed0 + static_cast<std::uint64_t>(i);
+    serial.add(seed, verdict_for(seed));
+  }
+  const MeasureOneReport serial_rep = serial.finalize();
+  EXPECT_EQ(serial_rep.trials, trials);
+  EXPECT_GT(serial_rep.agreement_violations + serial_rep.validity_violations,
+            0)
+      << "stream should contain violations or the seed-order check is vacuous";
+
+  for (const int shards : {1, 4, 16}) {
+    std::vector<MeasureOneAccumulator> parts(
+        static_cast<std::size_t>(shards));
+    for (int i = 0; i < trials; ++i) {
+      const std::uint64_t seed = seed0 + static_cast<std::uint64_t>(i);
+      parts[static_cast<std::size_t>(i % shards)].add(seed,
+                                                      verdict_for(seed));
+    }
+    // Flat merge, in shard order.
+    MeasureOneAccumulator flat;
+    for (const auto& p : parts) flat.merge(p);
+    expect_reports_identical(flat.finalize(), serial_rep);
+
+    // Hierarchical merge (pairwise tree), and in REVERSE order: the
+    // accumulator promises any merge tree over any partition.
+    MeasureOneAccumulator tree;
+    for (int i = shards - 1; i >= 0; --i) {
+      tree.merge(parts[static_cast<std::size_t>(i)]);
+    }
+    expect_reports_identical(tree.finalize(), serial_rep);
+  }
+}
+
+TEST(MeasureOneAccumulator, ViolatingSeedsSortedAtFinalize) {
+  MeasureOneAccumulator acc;
+  TrialVerdict bad;
+  bad.agreement = false;
+  // Out-of-order adds (as shard merges produce) must still finalize sorted.
+  for (const std::uint64_t seed : {90ULL, 5ULL, 42ULL, 7ULL}) {
+    acc.add(seed, bad);
+  }
+  const MeasureOneReport rep = acc.finalize();
+  EXPECT_EQ(rep.violating_seeds,
+            (std::vector<std::uint64_t>{5, 7, 42, 90}));
+  EXPECT_EQ(rep.agreement_violations, 4);
+}
+
+TEST(MeasureOneAccumulator, FinalizeMeanIsExactIntegerDivision) {
+  MeasureOneAccumulator acc;
+  TrialVerdict v;
+  v.decided = true;
+  v.metric = 7;
+  acc.add(1, v);
+  v.metric = 10;
+  acc.add(2, v);
+  TrialVerdict undecided;
+  undecided.decided = false;
+  undecided.metric = 99999;  // must not be read
+  acc.add(3, undecided);
+  const MeasureOneReport rep = acc.finalize();
+  EXPECT_EQ(rep.decided_runs, 2);
+  EXPECT_EQ(rep.mean_windows_to_first, 17.0 / 2.0);
+  EXPECT_EQ(rep.mean_chain_at_decision, 0.0);
+  const MeasureOneReport async_rep = acc.finalize(/*async_metric=*/true);
+  EXPECT_EQ(async_rep.mean_chain_at_decision, 17.0 / 2.0);
+}
+
+TEST(MeasureOneAccumulator, FinalizeDoesNotMutate) {
+  MeasureOneAccumulator acc;
+  TrialVerdict bad;
+  bad.validity = false;
+  acc.add(11, bad);
+  const MeasureOneReport once = acc.finalize();
+  const MeasureOneReport twice = acc.finalize();
+  expect_reports_identical(once, twice);
+}
+
+}  // namespace
+}  // namespace aa::core

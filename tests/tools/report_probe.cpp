@@ -176,5 +176,35 @@ int main(int argc, char** argv) {
                 r.honest_agreement ? 1 : 0, r.honest_validity ? 1 : 0,
                 r.windows_total);
   }
+
+  // ---- campaign engine: merged summary per thread count ----
+  // The accumulator-backed summary is exactly associative, so every line
+  // in this block must be identical whatever the thread count.
+  {
+    core::CampaignConfig cfg;
+    cfg.name = "probe";
+    cfg.n = {8, 12};
+    cfg.t = {1};
+    cfg.protocols = {"reset", "forgetful"};
+    cfg.memory_k = {0, 3};
+    cfg.adversaries = {"fair", "random"};
+    cfg.trials = 10;
+    cfg.budget = 400;
+    cfg.seed = 2000;
+    cfg.chunk_size = 4;
+    for (const int threads : thread_counts) {
+      cfg.threads = threads;
+      const auto result = core::run_campaign(cfg);
+      std::printf("campaign summary cells=%d ",
+                  static_cast<int>(result.cells.size()));
+      print_measure_one("", threads, result.summary);
+      for (const auto& cell : result.cells) {
+        std::printf("campaign cell %d %s n=%d k=%d %s seed0=%" PRIu64 " ",
+                    cell.index, cell.protocol.c_str(), cell.n, cell.memory_k,
+                    cell.adversary.c_str(), cell.seed0);
+        print_measure_one("", threads, cell.report);
+      }
+    }
+  }
   return 0;
 }

@@ -98,5 +98,115 @@ TEST(ParallelForChunks, PropagatesBodyException) {
       std::runtime_error);
 }
 
+// ---- WorkStealingPool ------------------------------------------------------
+
+TEST(WorkStealingPool, RunsEverySubmittedJob) {
+  WorkStealingPool pool(4);
+  WorkStealingPool::TaskGroup group(pool);
+  std::atomic<int> hits{0};
+  for (int i = 0; i < 200; ++i) {
+    group.submit([&hits] { hits.fetch_add(1, std::memory_order_relaxed); });
+  }
+  group.wait();
+  EXPECT_EQ(hits.load(), 200);
+}
+
+TEST(WorkStealingPool, GroupsTrackCompletionIndependently) {
+  // Two groups sharing one pool: each wait() sees only its own jobs done.
+  WorkStealingPool pool(3);
+  std::atomic<int> a{0};
+  std::atomic<int> b{0};
+  WorkStealingPool::TaskGroup ga(pool);
+  WorkStealingPool::TaskGroup gb(pool);
+  for (int i = 0; i < 50; ++i) {
+    ga.submit([&a] { a.fetch_add(1, std::memory_order_relaxed); });
+    gb.submit([&b] { b.fetch_add(1, std::memory_order_relaxed); });
+  }
+  ga.wait();
+  EXPECT_EQ(a.load(), 50);
+  gb.wait();
+  EXPECT_EQ(b.load(), 50);
+}
+
+TEST(WorkStealingPool, ReusableAcrossManyBatches) {
+  // The campaign pattern: one long-lived pool, a fresh group per check.
+  WorkStealingPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    WorkStealingPool::TaskGroup group(pool);
+    std::atomic<int> hits{0};
+    for (int i = 0; i < 16; ++i) {
+      group.submit([&hits] { hits.fetch_add(1, std::memory_order_relaxed); });
+    }
+    group.wait();
+    EXPECT_EQ(hits.load(), 16);
+  }
+}
+
+TEST(WorkStealingPool, WorkerIndexIdentifiesPoolThreads) {
+  WorkStealingPool pool(4);
+  EXPECT_EQ(pool.worker_index(), -1);  // the submitting thread is off-pool
+  // Every observed worker index is a valid scratch slot. The caller (which
+  // helps execute in wait()) reports -1; pool workers report [0, size()).
+  std::mutex mu;
+  std::vector<int> seen;
+  WorkStealingPool::TaskGroup group(pool);
+  for (int i = 0; i < 64; ++i) {
+    group.submit([&] {
+      const int idx = pool.worker_index();
+      std::lock_guard<std::mutex> lock(mu);
+      seen.push_back(idx);
+    });
+  }
+  group.wait();
+  ASSERT_EQ(seen.size(), 64u);
+  for (const int idx : seen) {
+    EXPECT_GE(idx, -1);
+    EXPECT_LT(idx, pool.size());
+  }
+}
+
+TEST(WorkStealingPool, WaitRethrowsFirstError) {
+  WorkStealingPool pool(2);
+  WorkStealingPool::TaskGroup group(pool);
+  for (int i = 0; i < 8; ++i) {
+    group.submit([i] {
+      if (i == 3) throw std::runtime_error("job 3");
+    });
+  }
+  EXPECT_THROW(group.wait(), std::runtime_error);
+}
+
+TEST(ParallelForChunks, WorkStealingOverloadVisitsEveryIndexOnce) {
+  WorkStealingPool pool(4);
+  for (const ParallelConfig cfg :
+       {ParallelConfig{.threads = 4, .chunk_size = 7},
+        ParallelConfig{.threads = 4, .chunk_size = 1},
+        ParallelConfig{.threads = 1, .chunk_size = 5}}) {
+    const std::int64_t total = 95;
+    std::vector<std::atomic<int>> visits(static_cast<std::size_t>(total));
+    parallel_for_chunks(
+        total, cfg,
+        [&](int, std::int64_t begin, std::int64_t end) {
+          for (std::int64_t i = begin; i < end; ++i) {
+            ++visits[static_cast<std::size_t>(i)];
+          }
+        },
+        pool);
+    for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+  }
+}
+
+TEST(ParallelForChunks, WorkStealingOverloadPropagatesException) {
+  WorkStealingPool pool(4);
+  const ParallelConfig cfg{.threads = 4, .chunk_size = 1};
+  EXPECT_THROW(parallel_for_chunks(
+                   16, cfg,
+                   [](int ci, std::int64_t, std::int64_t) {
+                     if (ci == 7) throw std::runtime_error("chunk 7");
+                   },
+                   pool),
+               std::runtime_error);
+}
+
 }  // namespace
 }  // namespace aa

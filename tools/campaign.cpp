@@ -1,0 +1,116 @@
+// campaign: config-file-driven campaign runner.
+//
+//   ./build/tools/campaign <config-file> [overrides]
+//
+//   --threads N       override the config's pool width (0 = hardware)
+//   --trials N        override trials per cell
+//   --seed S          override the base seed
+//   --output-dir DIR  override (or enable) JSON output
+//   --print-summary   print the merged-summary JSON to stdout
+//   --print-cells     print one line per finished cell
+//
+// The config file is flat `key = value` text (lists comma-separated, `#`
+// comments); see src/core/campaign.hpp for every key and
+// examples/campaign_smoke.cfg for a worked example. One CampaignContext —
+// work-stealing pool plus per-worker Execution scratch — is shared across
+// every cell, and the merged summary is byte-identical at any --threads
+// value (the determinism contract core/report.hpp documents).
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "core/campaign.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <config-file> [--threads N] [--trials N] "
+               "[--seed S] [--output-dir DIR] [--print-summary] "
+               "[--print-cells]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace aa;
+
+  if (argc < 2) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  bool print_summary = false;
+  bool print_cells = false;
+  try {
+    core::CampaignConfig cfg = core::load_campaign_config(argv[1]);
+
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto next = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          usage(argv[0]);
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (arg == "--threads") cfg.threads = std::atoi(next());
+      else if (arg == "--trials") cfg.trials = std::atoi(next());
+      else if (arg == "--seed")
+        cfg.seed = static_cast<std::uint64_t>(std::atoll(next()));
+      else if (arg == "--output-dir") cfg.output_dir = next();
+      else if (arg == "--print-summary") print_summary = true;
+      else if (arg == "--print-cells") print_cells = true;
+      else {
+        usage(argv[0]);
+        return 2;
+      }
+    }
+
+    const core::CampaignResult result = core::run_campaign(cfg);
+
+    if (print_cells) {
+      for (const core::CampaignCell& c : result.cells) {
+        std::printf("cell %d n=%d t=%d proto=%s th=%s k=%d adv=%s "
+                    "seed0=%" PRIu64 " trials=%d viol=%d decided=%d "
+                    "all=%d mean=%.17g\n",
+                    c.index, c.n, c.t, c.protocol.c_str(),
+                    c.thresholds.c_str(), c.memory_k, c.adversary.c_str(),
+                    c.seed0, c.report.trials,
+                    c.report.agreement_violations +
+                        c.report.validity_violations,
+                    c.report.decided_runs, c.report.all_decided_runs,
+                    c.report.mean_windows_to_first);
+      }
+    }
+
+    if (!cfg.output_dir.empty()) {
+      core::write_campaign_json(result, cfg.output_dir);
+      std::fprintf(stderr, "campaign '%s': wrote %zu cell files + summary to %s\n",
+                   cfg.name.c_str(), result.cells.size(),
+                   cfg.output_dir.c_str());
+    }
+
+    if (print_summary) {
+      std::fputs(core::campaign_summary_json(result).c_str(), stdout);
+    } else {
+      const core::MeasureOneReport& s = result.summary;
+      std::fprintf(stderr,
+                   "campaign '%s': %zu cells, %d trials, %d violations "
+                   "(%d agreement, %d validity), %d decided, mean metric "
+                   "%.6g\n",
+                   cfg.name.c_str(), result.cells.size(), s.trials,
+                   s.agreement_violations + s.validity_violations,
+                   s.agreement_violations, s.validity_violations,
+                   s.decided_runs, s.mean_windows_to_first);
+    }
+    return (result.summary.clean()) ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign: %s\n", e.what());
+    return 2;
+  }
+}
