@@ -59,16 +59,23 @@ class BenchJson {
     return out;
   }
 
-  /// Write BENCH_<name>.json into the current directory (or `dir`).
+  /// Write BENCH_<name>.json into the current directory (or `dir`),
+  /// atomically: the full document goes to BENCH_<name>.json.tmp first and
+  /// is renamed into place only after a clean flush, so a bench killed
+  /// mid-write never leaves a truncated artifact at the final path.
   /// Returns the path written, or empty on I/O failure (benches should not
   /// fail because a filesystem is read-only).
   std::string write(const std::string& dir = ".") const {
     const std::string path = dir + "/BENCH_" + name_ + ".json";
-    std::FILE* f = std::fopen(path.c_str(), "w");
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
     if (f == nullptr) return {};
     const std::string text = dump();
-    const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
-    std::fclose(f);
+    bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    ok = std::fflush(f) == 0 && ok;
+    ok = std::fclose(f) == 0 && ok;
+    if (ok) ok = std::rename(tmp.c_str(), path.c_str()) == 0;
+    if (!ok) std::remove(tmp.c_str());
     return ok ? path : std::string{};
   }
 

@@ -20,11 +20,21 @@ TRACKED_METRICS = ["parallel_speedup"]
 
 
 def load_metrics(path: pathlib.Path):
+    """Tracked metrics from one artifact, or {} for anything unusable.
+
+    Truncated, unparsable, or structurally wrong artifacts (a SIGKILLed
+    bench, a partial upload) must warn and be skipped, never crash the
+    diff: losing one comparison beats failing the whole CI job on a file
+    this script didn't write.
+    """
     try:
         with path.open() as fh:
             doc = json.load(fh)
-    except (OSError, json.JSONDecodeError) as exc:
-        print(f"  ! unreadable {path}: {exc}")
+    except (OSError, ValueError) as exc:  # ValueError covers JSONDecodeError
+        print(f"  ! skipping unreadable {path}: {exc}")
+        return {}
+    if not isinstance(doc, dict):
+        print(f"  ! skipping {path}: top-level JSON is not an object")
         return {}
     return {m: doc[m] for m in TRACKED_METRICS if isinstance(doc.get(m), (int, float))}
 

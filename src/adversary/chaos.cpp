@@ -1,0 +1,168 @@
+#include "adversary/chaos.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace aa::adversary {
+
+Rng chaos_rng(std::uint64_t seed, std::uint64_t chaos_seed) {
+  // One SplitMix64 step over the mixed pair keeps the chaos stream
+  // independent of the per-processor streams forked from the same seed.
+  SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ULL * (chaos_seed + 1)));
+  return Rng(sm.next());
+}
+
+// ---- ChaosWindowAdversary --------------------------------------------------
+
+ChaosWindowAdversary::ChaosWindowAdversary(
+    std::unique_ptr<sim::WindowAdversary> inner, const sim::FaultPlan& fault,
+    std::uint64_t seed)
+    : inner_(std::move(inner)),
+      fp_(fault),
+      rng_(chaos_rng(seed, fault.chaos_seed)),
+      seed_(seed) {
+  AA_REQUIRE(inner_ != nullptr, "ChaosWindowAdversary: null inner adversary");
+  sim::validate_fault_plan(fp_);
+}
+
+void ChaosWindowAdversary::prepare(int n, int t) {
+  inner_->prepare(n, t);
+  n_ = n;
+  t_ = t;
+  crashes_injected_ = 0;
+  crashes_.clear();
+  rng_ = chaos_rng(seed_, fp_.chaos_seed);
+  inner_plan_.reset(n);
+  reset_mark_.assign(static_cast<std::size_t>(n), 0);
+}
+
+sim::PlanDecision ChaosWindowAdversary::plan_window_into(
+    const sim::Execution& exec, const sim::WindowBatch& batch,
+    sim::WindowPlan& plan) {
+  const int n = n_;
+  crashes_.clear();
+
+  // The inner adversary plans into OUR stable plan object: its
+  // kReusePrevious cache (keyed on the plan pointer) keeps working, and the
+  // perturbations below never feed back into what it sees next window.
+  inner_->plan_window_into(exec, batch, inner_plan_);
+  plan.reset(n);
+  for (int i = 0; i < n; ++i) {
+    plan.delivery_order[static_cast<std::size_t>(i)] =
+        inner_plan_.delivery_order[static_cast<std::size_t>(i)];
+  }
+  plan.resets = inner_plan_.resets;
+
+  // 1. Degenerate window: collapse every row to the minimal Definition-1
+  // cover [0, n − t) and clear the resets — the most censored acceptable
+  // window that exists.
+  if (fp_.degenerate_prob > 0.0 && rng_.bernoulli(fp_.degenerate_prob)) {
+    for (int i = 0; i < n; ++i) {
+      auto& row = plan.delivery_order[static_cast<std::size_t>(i)];
+      row.clear();
+      for (sim::ProcId s = 0; s < n - t_; ++s) row.push_back(s);
+    }
+    plan.resets.clear();
+  }
+
+  // 2. Duplicate one receiver's row over another's (any acceptable row is
+  // acceptable for any receiver).
+  if (fp_.duplicate_row_prob > 0.0 && n >= 2 &&
+      rng_.bernoulli(fp_.duplicate_row_prob)) {
+    const auto i = rng_.uniform_index(static_cast<std::size_t>(n));
+    const auto j = rng_.uniform_index(static_cast<std::size_t>(n));
+    plan.delivery_order[i] = plan.delivery_order[j];
+  }
+
+  // 3. Censorship: remove the target sender from rows that have slack
+  // (|S_i| > n − t keeps the row acceptable after the erase).
+  if (fp_.censor_prob > 0.0 && fp_.censor_target < n) {
+    for (int i = 0; i < n; ++i) {
+      auto& row = plan.delivery_order[static_cast<std::size_t>(i)];
+      if (static_cast<int>(row.size()) <= n - t_) continue;
+      if (!rng_.bernoulli(fp_.censor_prob)) continue;
+      const auto it = std::find(row.begin(), row.end(), fp_.censor_target);
+      if (it != row.end()) row.erase(it);
+    }
+  }
+
+  // 4. Reset top-up: exercise the full ≤ t reset budget with fresh random
+  // live targets (distinct from the inner plan's, so the plan stays valid).
+  if (fp_.reset_prob > 0.0 && t_ > 0 && rng_.bernoulli(fp_.reset_prob)) {
+    std::fill(reset_mark_.begin(), reset_mark_.end(), std::uint8_t{0});
+    for (const sim::ProcId p : plan.resets) {
+      reset_mark_[static_cast<std::size_t>(p)] = 1;
+    }
+    int attempts = 0;
+    while (static_cast<int>(plan.resets.size()) < t_ && attempts < 4 * n) {
+      ++attempts;
+      const auto p = static_cast<sim::ProcId>(
+          rng_.uniform_index(static_cast<std::size_t>(n)));
+      if (reset_mark_[static_cast<std::size_t>(p)] || exec.crashed(p)) continue;
+      reset_mark_[static_cast<std::size_t>(p)] = 1;
+      plan.resets.push_back(p);
+    }
+  }
+
+  // 5. Crash request (applied by the driver after the resets, via
+  // window_crashes): at most one per window, up to crash_budget per run,
+  // always leaving at least one processor live.
+  if (fp_.crash_prob > 0.0 && crashes_injected_ < fp_.crash_budget &&
+      exec.crashed_count() < n - 1 && rng_.bernoulli(fp_.crash_prob)) {
+    int attempts = 0;
+    while (attempts < 4 * n) {
+      ++attempts;
+      const auto p = static_cast<sim::ProcId>(
+          rng_.uniform_index(static_cast<std::size_t>(n)));
+      if (exec.crashed(p)) continue;
+      crashes_.push_back(p);
+      ++crashes_injected_;
+      break;
+    }
+  }
+
+  return sim::PlanDecision::kUpdated;
+}
+
+// ---- ChaosAsyncScheduler ---------------------------------------------------
+
+ChaosAsyncScheduler::ChaosAsyncScheduler(
+    std::unique_ptr<sim::AsyncAdversary> inner, const sim::FaultPlan& fault,
+    std::uint64_t seed)
+    : inner_(std::move(inner)),
+      fp_(fault),
+      rng_(chaos_rng(seed, fault.chaos_seed)),
+      seed_(seed) {
+  AA_REQUIRE(inner_ != nullptr, "ChaosAsyncScheduler: null inner scheduler");
+  sim::validate_fault_plan(fp_);
+}
+
+void ChaosAsyncScheduler::prepare(int n, int t) {
+  inner_->prepare(n, t);
+  n_ = n;
+  t_ = t;
+  crashes_injected_ = 0;
+  rng_ = chaos_rng(seed_, fp_.chaos_seed);
+}
+
+sim::AsyncAction ChaosAsyncScheduler::next(const sim::Execution& exec) {
+  // Injected crashes honour both the FaultPlan budget and the model budget
+  // t that run_async enforces on every CrashAction.
+  if (fp_.crash_prob > 0.0 && crashes_injected_ < fp_.crash_budget &&
+      exec.crashed_count() < t_ && rng_.bernoulli(fp_.crash_prob)) {
+    int attempts = 0;
+    while (attempts < 4 * n_) {
+      ++attempts;
+      const auto p = static_cast<sim::ProcId>(
+          rng_.uniform_index(static_cast<std::size_t>(n_)));
+      if (exec.crashed(p)) continue;
+      ++crashes_injected_;
+      return sim::CrashAction{p};
+    }
+  }
+  return inner_->next(exec);
+}
+
+}  // namespace aa::adversary

@@ -141,6 +141,9 @@ class ReplanEveryWindow final : public sim::WindowAdversary {
   sim::PlanDecision plan_window_into(const sim::Execution& exec,
                                      const sim::WindowBatch& batch,
                                      sim::WindowPlan& plan) override;
+  [[nodiscard]] std::span<const sim::ProcId> window_crashes() const override {
+    return inner_->window_crashes();
+  }
   [[nodiscard]] std::string name() const override {
     return "replan-every-window(" + inner_->name() + ")";
   }

@@ -1,14 +1,20 @@
 #include "core/campaign.hpp"
 
 #include <cctype>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
+#include <system_error>
 #include <utility>
 
 #include "adversary/async_adversaries.hpp"
+#include "adversary/chaos.hpp"
 #include "adversary/window_adversaries.hpp"
 #include "core/checker.hpp"
 #include "util/check.hpp"
@@ -51,6 +57,29 @@ long long parse_int(const std::string& value, int line) {
              "campaign config line " + std::to_string(line) +
                  ": expected an integer, got '" + value + "'");
   return v;
+}
+
+double parse_double(const std::string& value, int line) {
+  std::size_t pos = 0;
+  double v = 0.0;
+  bool ok = true;
+  try {
+    v = std::stod(value, &pos);
+  } catch (...) {
+    ok = false;
+  }
+  AA_REQUIRE(ok && pos == value.size(),
+             "campaign config line " + std::to_string(line) +
+                 ": expected a number, got '" + value + "'");
+  return v;
+}
+
+bool parse_bool(const std::string& value, int line) {
+  if (value == "true" || value == "1") return true;
+  if (value == "false" || value == "0") return false;
+  AA_REQUIRE(false, "campaign config line " + std::to_string(line) +
+                        ": expected true or false, got '" + value + "'");
+  return false;
 }
 
 std::vector<int> parse_int_list(const std::string& value, int line) {
@@ -136,6 +165,33 @@ AsyncAdversaryFactory async_factory(const std::string& name, int t) {
   };
 }
 
+/// Cell factories with the chaos layer applied. A disabled plan returns the
+/// plain factory object itself — the zero-drift guarantee is structural,
+/// not behavioral.
+WindowAdversaryFactory chaos_window_factory(const CampaignConfig& config,
+                                            const std::string& name, int t) {
+  WindowAdversaryFactory inner = window_factory(name, t);
+  if (!config.chaos.enabled()) return inner;
+  const sim::FaultPlan fp = config.chaos;
+  return [inner = std::move(inner),
+          fp](std::uint64_t seed) -> std::unique_ptr<sim::WindowAdversary> {
+    return std::make_unique<adversary::ChaosWindowAdversary>(inner(seed), fp,
+                                                             seed);
+  };
+}
+
+AsyncAdversaryFactory chaos_async_factory(const CampaignConfig& config,
+                                          const std::string& name, int t) {
+  AsyncAdversaryFactory inner = async_factory(name, t);
+  if (!config.chaos.enabled()) return inner;
+  const sim::FaultPlan fp = config.chaos;
+  return [inner = std::move(inner),
+          fp](std::uint64_t seed) -> std::unique_ptr<sim::AsyncAdversary> {
+    return std::make_unique<adversary::ChaosAsyncScheduler>(inner(seed), fp,
+                                                            seed);
+  };
+}
+
 // ------------------------------------------------------------- JSON bits
 
 void json_kv(std::string& out, const char* key, const std::string& value,
@@ -187,6 +243,98 @@ void json_report_fields(std::string& out, const MeasureOneReport& rep) {
   out += "]\n";
 }
 
+// ---------------------------------------------------------------- resume
+
+/// Locate `"key":` in a JSON artifact and parse the integer after it.
+/// Returns false on a missing key or malformed number — the caller treats
+/// the artifact as invalid and recomputes the cell.
+bool json_find_int(const std::string& text, const char* key, long long& out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  const char* begin = text.c_str() + pos + needle.size();
+  char* end = nullptr;
+  const long long v = std::strtoll(begin, &end, 10);
+  if (end == begin) return false;
+  out = v;
+  return true;
+}
+
+/// Parse the `violating_seeds` array. Returns false if the array is absent
+/// or the file is truncated before the closing bracket.
+bool json_find_seeds(const std::string& text, std::vector<std::uint64_t>& out) {
+  static constexpr const char kNeedle[] = "\"violating_seeds\": [";
+  const std::size_t pos = text.find(kNeedle);
+  if (pos == std::string::npos) return false;
+  const char* p = text.c_str() + pos + (sizeof kNeedle - 1);
+  out.clear();
+  while (*p != ']') {
+    if (*p == '\0') return false;  // truncated artifact
+    if (*p == ',') ++p;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(p, &end, 10);
+    if (end == p) return false;
+    out.push_back(static_cast<std::uint64_t>(v));
+    p = end;
+  }
+  return true;
+}
+
+/// Restore `cell` from an existing artifact at `path`. The artifact is
+/// accepted iff it parses, claims exactly config.trials trials, and — after
+/// rebuilding the accumulator from its exact integer tallies — the cell
+/// re-serializes to the SAME bytes (this cross-checks every identity field
+/// against the current config, so stale or foreign artifacts are rejected
+/// and recomputed). On success the tallies merge into `summary`, making the
+/// resumed summary byte-identical to an uninterrupted run's.
+bool try_resume_cell(const CampaignConfig& config, CampaignCell& cell,
+                     const std::string& path, MeasureOneAccumulator& summary) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+
+  long long trials = 0;
+  long long agreement = 0;
+  long long validity = 0;
+  long long decided = 0;
+  long long all_decided = 0;
+  long long metric_sum = 0;
+  std::vector<std::uint64_t> seeds;
+  if (!json_find_int(text, "trials", trials) ||
+      !json_find_int(text, "agreement_violations", agreement) ||
+      !json_find_int(text, "validity_violations", validity) ||
+      !json_find_int(text, "decided_runs", decided) ||
+      !json_find_int(text, "all_decided_runs", all_decided) ||
+      !json_find_int(text, "metric_sum", metric_sum) ||
+      !json_find_seeds(text, seeds)) {
+    return false;
+  }
+  if (trials != static_cast<long long>(config.trials)) return false;
+
+  MeasureOneAccumulator acc;
+  acc.restore(trials, agreement, validity, decided, all_decided, metric_sum,
+              seeds);
+  cell.metric_sum = metric_sum;
+  cell.report = acc.finalize(config.model == CampaignModel::kAsync);
+  if (campaign_cell_json(config, cell) != text) {
+    cell.report = MeasureOneReport{};
+    cell.metric_sum = 0;
+    return false;
+  }
+  summary.merge(acc);
+  cell.resumed = true;
+  return true;
+}
+
+std::string cell_file_path(const CampaignConfig& config, int index) {
+  namespace fs = std::filesystem;
+  return (fs::path(config.output_dir) /
+          (config.name + "_cell_" + std::to_string(index) + ".json"))
+      .string();
+}
+
 }  // namespace
 
 CampaignConfig parse_campaign_config(const std::string& text) {
@@ -194,6 +342,7 @@ CampaignConfig parse_campaign_config(const std::string& text) {
   std::stringstream ss(text);
   std::string raw;
   int line = 0;
+  std::map<std::string, int> seen;  // key -> first line, for duplicate errors
   while (std::getline(ss, raw)) {
     ++line;
     const std::size_t hash = raw.find('#');
@@ -209,6 +358,10 @@ CampaignConfig parse_campaign_config(const std::string& text) {
     AA_REQUIRE(!key.empty() && !value.empty(),
                "campaign config line " + std::to_string(line) +
                    ": empty key or value");
+    const auto [it, inserted] = seen.emplace(key, line);
+    AA_REQUIRE(inserted, "campaign config line " + std::to_string(line) +
+                             ": duplicate key '" + key + "' (first set on line " +
+                             std::to_string(it->second) + ")");
 
     if (key == "name") {
       cfg.name = value;
@@ -231,12 +384,7 @@ CampaignConfig parse_campaign_config(const std::string& text) {
     } else if (key == "adversaries") {
       cfg.adversaries = split_list(value);
     } else if (key == "split") {
-      try {
-        cfg.split = std::stod(value);
-      } catch (...) {
-        AA_REQUIRE(false, "campaign config line " + std::to_string(line) +
-                              ": split must be a number");
-      }
+      cfg.split = parse_double(value, line);
     } else if (key == "trials") {
       cfg.trials = static_cast<int>(parse_int(value, line));
     } else if (key == "budget") {
@@ -249,6 +397,29 @@ CampaignConfig parse_campaign_config(const std::string& text) {
       cfg.chunk_size = static_cast<int>(parse_int(value, line));
     } else if (key == "output_dir") {
       cfg.output_dir = value;
+    } else if (key == "audit") {
+      cfg.audit = parse_bool(value, line);
+    } else if (key == "resume") {
+      cfg.resume = parse_bool(value, line);
+    } else if (key == "cell_timeout_ms") {
+      cfg.cell_timeout_ms = parse_int(value, line);
+    } else if (key == "chaos_crash_prob") {
+      cfg.chaos.crash_prob = parse_double(value, line);
+    } else if (key == "chaos_crash_budget") {
+      cfg.chaos.crash_budget = static_cast<int>(parse_int(value, line));
+    } else if (key == "chaos_reset_prob") {
+      cfg.chaos.reset_prob = parse_double(value, line);
+    } else if (key == "chaos_censor_prob") {
+      cfg.chaos.censor_prob = parse_double(value, line);
+    } else if (key == "chaos_censor_target") {
+      cfg.chaos.censor_target =
+          static_cast<sim::ProcId>(parse_int(value, line));
+    } else if (key == "chaos_duplicate_prob") {
+      cfg.chaos.duplicate_row_prob = parse_double(value, line);
+    } else if (key == "chaos_degenerate_prob") {
+      cfg.chaos.degenerate_prob = parse_double(value, line);
+    } else if (key == "chaos_seed") {
+      cfg.chaos.chaos_seed = static_cast<std::uint64_t>(parse_int(value, line));
     } else {
       AA_REQUIRE(false, "campaign config line " + std::to_string(line) +
                             ": unknown key '" + key + "'");
@@ -256,10 +427,13 @@ CampaignConfig parse_campaign_config(const std::string& text) {
   }
   AA_REQUIRE(cfg.trials > 0, "campaign config: trials must be positive");
   AA_REQUIRE(cfg.budget > 0, "campaign config: budget must be positive");
+  AA_REQUIRE(cfg.cell_timeout_ms >= 0,
+             "campaign config: cell_timeout_ms must be non-negative");
   AA_REQUIRE(!cfg.n.empty() && !cfg.t.empty() && !cfg.protocols.empty() &&
                  !cfg.adversaries.empty() && !cfg.thresholds.empty() &&
                  !cfg.memory_k.empty(),
              "campaign config: every sweep axis needs at least one value");
+  sim::validate_fault_plan(cfg.chaos);
   return cfg;
 }
 
@@ -273,10 +447,16 @@ CampaignConfig load_campaign_config(const std::string& path) {
 
 CampaignResult run_campaign(const CampaignConfig& config,
                             CampaignContext& ctx) {
+  namespace fs = std::filesystem;
   CampaignResult result;
   result.config = config;
 
+  const bool writing = !config.output_dir.empty();
+  if (writing) fs::create_directories(config.output_dir);
+
   MeasureOneAccumulator summary;
+  Watchdog watchdog;
+  CancelToken& cancel = ctx.cancel_token();
   int index = 0;
   // Canonical sweep order: outermost n, innermost adversary. The per-cell
   // seed block [seed + index*trials, ...) depends only on the config, so
@@ -313,16 +493,52 @@ CampaignResult run_campaign(const CampaignConfig& config,
               spec.budget = config.budget;
               spec.thresholds = threshold_preset(th_name, n, t);
               spec.memory_k = memory_k;
+              spec.audit = config.audit;
 
-              if (config.model == CampaignModel::kWindow) {
-                cell.report = check_measure_one_window(
-                    spec, window_factory(adv, t), config.trials, cell.seed0,
-                    ctx, &summary);
-              } else {
-                cell.report = check_measure_one_async(
-                    spec, async_factory(adv, t), config.trials, cell.seed0,
-                    ctx, &summary);
+              const std::string cell_path =
+                  writing ? cell_file_path(config, index) : std::string();
+
+              bool done = config.resume && writing &&
+                          try_resume_cell(config, cell, cell_path, summary);
+              // Fresh compute: up to two attempts — the retry doubles the
+              // watchdog deadline, so a cell that merely straddled the
+              // timeout still lands (the recompute is deterministic, only
+              // the wall clock differs).
+              for (int attempt = 0; attempt < 2 && !done; ++attempt) {
+                cancel.reset();
+                if (config.cell_timeout_ms > 0) {
+                  watchdog.arm(cancel,
+                               std::chrono::milliseconds(config.cell_timeout_ms
+                                                         << attempt));
+                }
+                MeasureOneAccumulator acc;
+                MeasureOneReport rep;
+                if (config.model == CampaignModel::kWindow) {
+                  rep = check_measure_one_window(
+                      spec, chaos_window_factory(config, adv, t),
+                      config.trials, cell.seed0, ctx, &acc);
+                } else {
+                  rep = check_measure_one_async(
+                      spec, chaos_async_factory(config, adv, t),
+                      config.trials, cell.seed0, ctx, &acc);
+                }
+                if (config.cell_timeout_ms > 0) watchdog.disarm();
+                if (rep.trials != config.trials) continue;  // timed out
+                // Report the accumulator's exact-division mean (identical
+                // fresh vs resumed), and persist the integer metric sum so
+                // --resume can rebuild it.
+                cell.metric_sum = acc.metric_sum();
+                cell.report =
+                    acc.finalize(config.model == CampaignModel::kAsync);
+                summary.merge(acc);
+                if (writing) {
+                  write_file_atomic(cell_path,
+                                    campaign_cell_json(config, cell));
+                }
+                done = true;
               }
+              cancel.reset();
+              cell.failed = !done;
               result.cells.push_back(std::move(cell));
               ++index;
             }
@@ -333,6 +549,12 @@ CampaignResult run_campaign(const CampaignConfig& config,
   }
   result.summary =
       summary.finalize(config.model == CampaignModel::kAsync);
+  if (writing) {
+    write_file_atomic((fs::path(config.output_dir) /
+                       (config.name + "_summary.json"))
+                          .string(),
+                      campaign_summary_json(result));
+  }
   return result;
 }
 
@@ -359,6 +581,7 @@ std::string campaign_cell_json(const CampaignConfig& config,
   json_kv(out, "adversary", cell.adversary);
   json_kv_int(out, "seed0", static_cast<long long>(cell.seed0));
   json_kv_int(out, "budget", config.budget);
+  json_kv_int(out, "metric_sum", cell.metric_sum);
   json_report_fields(out, cell.report);
   out += "}\n";
   return out;
@@ -374,6 +597,15 @@ std::string campaign_summary_json(const CampaignResult& result) {
   json_kv_int(out, "trials_per_cell", config.trials);
   json_kv_int(out, "budget", config.budget);
   json_kv_int(out, "seed", static_cast<long long>(config.seed));
+  out += "  \"cells_failed\": [";
+  bool first = true;
+  for (const CampaignCell& cell : result.cells) {
+    if (!cell.failed) continue;
+    if (!first) out += ",";
+    out += std::to_string(cell.index);
+    first = false;
+  }
+  out += "],\n";
   json_report_fields(out, result.summary);
   out += "}\n";
   return out;
@@ -384,19 +616,40 @@ void write_campaign_json(const CampaignResult& result,
   namespace fs = std::filesystem;
   AA_REQUIRE(!dir.empty(), "write_campaign_json: empty output directory");
   fs::create_directories(dir);
-  const auto write_file = [](const fs::path& path, const std::string& body) {
-    std::ofstream out(path, std::ios::binary);
-    AA_REQUIRE(out.good(),
-               "write_campaign_json: cannot write " + path.string());
-    out << body;
-  };
   for (const CampaignCell& cell : result.cells) {
-    write_file(fs::path(dir) / (result.config.name + "_cell_" +
-                                std::to_string(cell.index) + ".json"),
-               campaign_cell_json(result.config, cell));
+    if (cell.failed) continue;  // no artifact may masquerade as a result
+    write_file_atomic((fs::path(dir) / (result.config.name + "_cell_" +
+                                        std::to_string(cell.index) + ".json"))
+                          .string(),
+                      campaign_cell_json(result.config, cell));
   }
-  write_file(fs::path(dir) / (result.config.name + "_summary.json"),
-             campaign_summary_json(result));
+  write_file_atomic(
+      (fs::path(dir) / (result.config.name + "_summary.json")).string(),
+      campaign_summary_json(result));
+}
+
+void write_file_atomic(const std::string& path, const std::string& body) {
+  namespace fs = std::filesystem;
+  const std::string tmp = path + ".tmp";
+  bool ok = false;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (out.good()) {
+      out << body;
+      out.flush();
+      ok = out.good();
+    }
+  }
+  if (ok) {
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    ok = !ec;
+  }
+  if (!ok) {
+    std::error_code ignored;
+    fs::remove(tmp, ignored);
+    AA_REQUIRE(false, "write_file_atomic: cannot write " + path);
+  }
 }
 
 }  // namespace aa::core

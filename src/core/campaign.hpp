@@ -22,6 +22,7 @@
 
 #include "core/experiment.hpp"
 #include "core/report.hpp"
+#include "sim/fault.hpp"
 
 namespace aa::core {
 
@@ -64,6 +65,28 @@ struct CampaignConfig {
   int threads = 1;        ///< pool width (0 = hardware concurrency)
   int chunk_size = 16;    ///< trials per work chunk (fixed merge grain)
   std::string output_dir; ///< JSON output directory ("" = don't write)
+
+  // ---- robustness (chaos harness) ----
+  /// Run the engine invariant auditor at every window boundary of every
+  /// trial (`audit = true`). Opt-in: O(arena) per window.
+  bool audit = false;
+  /// Fault-injection knobs (`chaos_crash_prob`, `chaos_crash_budget`,
+  /// `chaos_reset_prob`, `chaos_censor_prob`, `chaos_censor_target`,
+  /// `chaos_duplicate_prob`, `chaos_degenerate_prob`, `chaos_seed`). When
+  /// enabled() the cell adversaries are wrapped in the chaos layer; when
+  /// disabled (the default) the factories are untouched — zero drift.
+  sim::FaultPlan chaos;
+  /// Per-cell wall-clock timeout in milliseconds (0 = none). A watchdog
+  /// cancels the cell's remaining chunks once it elapses; the cell is
+  /// retried once with a doubled timeout and marked failed if the retry
+  /// also times out. Failed cells are skipped by the summary merge and
+  /// listed in its `cells_failed` array.
+  std::int64_t cell_timeout_ms = 0;
+  /// Resume a killed sweep (`resume = true` or --resume): a cell whose
+  /// output JSON exists and byte-matches its canonical re-serialization is
+  /// restored (exact tallies) instead of recomputed, so the resumed
+  /// summary is byte-identical to an uninterrupted run's.
+  bool resume = false;
 };
 
 /// Parse config text (`key = value` lines, `#` comments). Unknown keys and
@@ -84,6 +107,11 @@ struct CampaignCell {
   std::string adversary;
   std::uint64_t seed0 = 0;  ///< first trial seed of this cell's block
   MeasureOneReport report;
+  /// Exact integer decision-metric sum (MeasureOneAccumulator::metric_sum)
+  /// — serialized so --resume restores the summary to identical bytes.
+  std::int64_t metric_sum = 0;
+  bool failed = false;   ///< timed out twice; excluded from the summary
+  bool resumed = false;  ///< restored from an existing artifact
 };
 
 struct CampaignResult {
@@ -97,6 +125,11 @@ struct CampaignResult {
 /// Run every cell of `config`'s sweep on the shared context. Cells run in
 /// canonical order (n, t, protocol, thresholds, memory_k, adversary
 /// nesting, outermost first); each cell's trials shard onto ctx's pool.
+/// With config.output_dir set, every completed cell's JSON is written
+/// ATOMICALLY (temp + rename) as soon as it finishes and the summary at
+/// the end — a SIGKILL mid-sweep leaves only whole-cell artifacts, which
+/// config.resume restores on the next run. config.cell_timeout_ms bounds
+/// each cell's wall clock via a watchdog on ctx.cancel_token().
 [[nodiscard]] CampaignResult run_campaign(const CampaignConfig& config,
                                           CampaignContext& ctx);
 
@@ -113,6 +146,14 @@ struct CampaignResult {
 
 /// Write one JSON file per cell plus the merged summary under `dir`
 /// (created if missing): <name>_cell_<index>.json, <name>_summary.json.
+/// Every file is written atomically (write_file_atomic). Failed cells get
+/// no artifact (a stale valid artifact must not mask a failed recompute).
 void write_campaign_json(const CampaignResult& result, const std::string& dir);
+
+/// Crash-safe text-file write: stream `body` to `<path>.tmp`, flush, then
+/// rename over `path`. Readers never observe a torn file — they see the
+/// old content or the new content, nothing in between. Throws on I/O
+/// errors (the temp file is removed on failure).
+void write_file_atomic(const std::string& path, const std::string& body);
 
 }  // namespace aa::core

@@ -30,7 +30,14 @@ MeasureOneReport run_measure_one(int trials, std::uint64_t seed0,
   std::vector<Partial> parts(
       static_cast<std::size_t>(chunk_count(trials, par)));
 
+  // Cooperative cancellation (campaign cell timeouts): once the context's
+  // token is cancelled, remaining chunks are skipped entirely. Finished
+  // chunks keep their tallies, so the merged (partial) report is still a
+  // deterministic function of which chunks completed — and completeness is
+  // detectable as rep.trials < trials.
+  CancelToken& cancel = ctx.cancel_token();
   const auto body = [&](int ci, std::int64_t begin, std::int64_t end) {
+    if (cancel.cancelled()) return;
     Partial& p = parts[static_cast<std::size_t>(ci)];
     WorkerScratch& scratch = ctx.worker_scratch();
     for (std::int64_t i = begin; i < end; ++i) {

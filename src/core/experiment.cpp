@@ -53,10 +53,12 @@ Runner::Runner(Experiment spec) : spec_(std::move(spec)) {
 sim::Execution& Runner::prepare(
     WorkerScratch& scratch, std::vector<std::unique_ptr<sim::Process>> procs,
     std::uint64_t seed) const {
+  sim::ExecutionConfig cfg;
+  cfg.audit = spec_.audit;
   if (scratch.exec) {
-    scratch.exec->reset(std::move(procs), seed);
+    scratch.exec->reset(std::move(procs), seed, cfg);
   } else {
-    scratch.exec.emplace(std::move(procs), seed);
+    scratch.exec.emplace(std::move(procs), seed, cfg);
   }
   return *scratch.exec;
 }

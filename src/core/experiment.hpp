@@ -58,6 +58,9 @@ struct Experiment {
   /// Bounded-memory knob for ProtocolKind::Forgetful (tallied-round
   /// look-ahead horizon; 0 = unbounded). Ignored by the other protocols.
   int memory_k = 0;
+  /// Run the engine invariant auditor (sim::Execution::audit) at every
+  /// window boundary. Opt-in: O(arena slots) per window.
+  bool audit = false;
 };
 
 /// Outcome of one window-model run.
@@ -138,10 +141,18 @@ class CampaignContext {
   /// other thread the extra caller slot.
   [[nodiscard]] WorkerScratch& worker_scratch() noexcept;
 
+  /// Cooperative cancellation flag polled by the checkers at chunk
+  /// boundaries (see run_measure_one): once cancelled, remaining chunks
+  /// are skipped and the check returns a partial report (trials < asked).
+  /// The campaign runner arms a Watchdog against this token to bound each
+  /// cell's wall-clock time; reset() it before reusing the context.
+  [[nodiscard]] CancelToken& cancel_token() noexcept { return cancel_; }
+
  private:
   ParallelConfig par_;
   std::unique_ptr<WorkStealingPool> pool_;  ///< null when serial
   std::vector<WorkerScratch> scratch_;      ///< pool workers + 1 caller slot
+  CancelToken cancel_;
 };
 
 /// Executes an Experiment spec. Immutable; every run method is const,

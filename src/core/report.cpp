@@ -35,6 +35,20 @@ void MeasureOneAccumulator::merge(const MeasureOneAccumulator& other) {
                           other.violating_seeds_.end());
 }
 
+void MeasureOneAccumulator::restore(
+    std::int64_t trials, std::int64_t agreement_violations,
+    std::int64_t validity_violations, std::int64_t decided_runs,
+    std::int64_t all_decided_runs, std::int64_t metric_sum,
+    std::span<const std::uint64_t> violating_seeds) {
+  trials_ = trials;
+  agreement_violations_ = agreement_violations;
+  validity_violations_ = validity_violations;
+  decided_runs_ = decided_runs;
+  all_decided_runs_ = all_decided_runs;
+  metric_sum_ = metric_sum;
+  violating_seeds_.assign(violating_seeds.begin(), violating_seeds.end());
+}
+
 MeasureOneReport MeasureOneAccumulator::finalize(bool async_metric) const {
   MeasureOneReport rep;
   rep.trials = static_cast<int>(trials_);

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace aa::core {
@@ -83,6 +84,20 @@ class MeasureOneAccumulator {
   [[nodiscard]] std::int64_t violations() const noexcept {
     return agreement_violations_ + validity_violations_;
   }
+  /// Exact integer metric sum over deciding trials — serialized into
+  /// campaign cell artifacts so a resumed cell restores to the same bits.
+  [[nodiscard]] std::int64_t metric_sum() const noexcept {
+    return metric_sum_;
+  }
+
+  /// Rebuild an accumulator from serialized exact tallies (the campaign
+  /// --resume path). Equivalent to an accumulator that add()ed exactly the
+  /// original trials: merging a restored cell into a summary yields the
+  /// same bytes as merging the freshly computed cell.
+  void restore(std::int64_t trials, std::int64_t agreement_violations,
+               std::int64_t validity_violations, std::int64_t decided_runs,
+               std::int64_t all_decided_runs, std::int64_t metric_sum,
+               std::span<const std::uint64_t> violating_seeds);
 
  private:
   std::int64_t trials_ = 0;

@@ -303,6 +303,146 @@ std::size_t MessageBuffer::drop_pending_in_window(std::int64_t w) {
   return dropped;
 }
 
+// ---- invariant auditor -----------------------------------------------------
+
+void MessageBuffer::audit() const {
+  // Per-slot lifecycle classification discovered by walking the structures:
+  // 0 = unseen, 1 = on a receiver list (pending, window membership not yet
+  // confirmed), 2 = parked (lazy) on a window list, 3 = pending confirmed on
+  // both lists, 4 = on the free list. Every slot must end in {2, 3, 4}.
+  std::vector<std::uint8_t> state(slots_.size(), 0);
+  const std::size_t cap = slots_.size();
+
+  // Receiver lists: doubly-linked, acyclic, ascending-id, field-consistent,
+  // and every member resolves through the id map back to its own slot.
+  std::size_t on_rcv_lists = 0;
+  for (ProcId r = 0; r < n_; ++r) {
+    std::int32_t s = rcv_head_[static_cast<std::size_t>(r)];
+    std::int32_t prev = kNoSlot;
+    MsgId last_id = kNoMsg;
+    std::size_t steps = 0;
+    while (s != kNoSlot) {
+      AA_CHECK(s >= 0 && static_cast<std::size_t>(s) < cap,
+               "audit: receiver list points outside the slot arena");
+      AA_CHECK(++steps <= cap, "audit: receiver list has a cycle");
+      const Slot& slot = slots_[static_cast<std::size_t>(s)];
+      AA_CHECK(slot.prev_rcv == prev,
+               "audit: receiver list prev link disagrees with walk");
+      AA_CHECK(!slot.lazy, "audit: parked (lazy) slot on a receiver list");
+      AA_CHECK(slot.env.id != kNoMsg, "audit: retired slot on a receiver list");
+      AA_CHECK(slot.env.id < next_id_,
+               "audit: slot id beyond the issued-id watermark");
+      AA_CHECK(slot.env.receiver == r,
+               "audit: slot on the wrong receiver list");
+      AA_CHECK(slot.env.id > last_id,
+               "audit: receiver list ids not strictly ascending");
+      AA_CHECK(slot.env.window >= win_base_ &&
+                   slot.env.window <
+                       win_base_ + static_cast<std::int64_t>(win_count_),
+               "audit: pending slot's window outside the live ring");
+      AA_CHECK(id_map_.find(slot.env.id) == static_cast<std::uint32_t>(s),
+               "audit: id map does not resolve a pending id to its slot");
+      AA_CHECK(state[static_cast<std::size_t>(s)] == 0,
+               "audit: slot reachable from two receiver lists");
+      state[static_cast<std::size_t>(s)] = 1;
+      last_id = slot.env.id;
+      prev = s;
+      s = slot.next_rcv;
+    }
+    AA_CHECK(rcv_tail_[static_cast<std::size_t>(r)] == prev,
+             "audit: receiver tail does not match the last list element");
+    on_rcv_lists += steps;
+  }
+  AA_CHECK(on_rcv_lists == pending_,
+           "audit: pending_ counter disagrees with receiver-list population");
+
+  // Id map ↔ arena agreement in the other direction: every table entry
+  // points at a slot we just confirmed pending, under the matching id.
+  AA_CHECK(id_map_.size() == pending_,
+           "audit: id map size disagrees with pending_ counter");
+  id_map_.for_each([&](MsgId key, std::uint32_t value) {
+    AA_CHECK(static_cast<std::size_t>(value) < cap,
+             "audit: id map entry points outside the slot arena");
+    AA_CHECK(state[value] == 1,
+             "audit: id map entry points at a slot not on a receiver list");
+    AA_CHECK(slots_[value].env.id == key,
+             "audit: id map key disagrees with the slot's envelope id");
+  });
+
+  // Window lists: doubly-linked, acyclic, ascending-id, window-consistent.
+  // Non-lazy members must be exactly the receiver-list population; lazy
+  // (parked) members must already be out of the id map.
+  std::size_t non_lazy_on_win_lists = 0;
+  for (std::int64_t w = win_base_;
+       w < win_base_ + static_cast<std::int64_t>(win_count_); ++w) {
+    std::int32_t s = win_list(w).head;
+    std::int32_t prev = kNoSlot;
+    MsgId last_id = kNoMsg;
+    std::size_t steps = 0;
+    while (s != kNoSlot) {
+      AA_CHECK(s >= 0 && static_cast<std::size_t>(s) < cap,
+               "audit: window list points outside the slot arena");
+      AA_CHECK(++steps <= cap, "audit: window list has a cycle");
+      const Slot& slot = slots_[static_cast<std::size_t>(s)];
+      AA_CHECK(slot.prev_win == prev,
+               "audit: window list prev link disagrees with walk");
+      AA_CHECK(slot.env.id != kNoMsg, "audit: retired slot on a window list");
+      AA_CHECK(slot.env.window == w, "audit: slot on the wrong window list");
+      AA_CHECK(slot.env.id > last_id,
+               "audit: window list ids not strictly ascending");
+      if (slot.lazy) {
+        AA_CHECK(state[static_cast<std::size_t>(s)] == 0,
+                 "audit: parked slot also reachable from a receiver list");
+        AA_CHECK(id_map_.find(slot.env.id) == detail::MsgIdMap::kAbsent,
+                 "audit: parked slot's id still resolves in the id map");
+        state[static_cast<std::size_t>(s)] = 2;
+      } else {
+        AA_CHECK(state[static_cast<std::size_t>(s)] == 1,
+                 "audit: window-list slot missing from its receiver list");
+        state[static_cast<std::size_t>(s)] = 3;
+        ++non_lazy_on_win_lists;
+      }
+      last_id = slot.env.id;
+      prev = s;
+      s = slot.next_win;
+    }
+    AA_CHECK(win_list(w).tail == prev,
+             "audit: window tail does not match the last list element");
+  }
+  AA_CHECK(non_lazy_on_win_lists == pending_,
+           "audit: window lists do not cover the pending population");
+
+  // Free list (linked through next_rcv): acyclic, all members retired.
+  {
+    std::int32_t s = free_head_;
+    std::size_t steps = 0;
+    while (s != kNoSlot) {
+      AA_CHECK(s >= 0 && static_cast<std::size_t>(s) < cap,
+               "audit: free list points outside the slot arena");
+      AA_CHECK(++steps <= cap, "audit: free list has a cycle");
+      const Slot& slot = slots_[static_cast<std::size_t>(s)];
+      AA_CHECK(state[static_cast<std::size_t>(s)] == 0,
+               "audit: free-list slot also reachable from a live list");
+      AA_CHECK(slot.env.id == kNoMsg,
+               "audit: free-list slot still carries a live id");
+      state[static_cast<std::size_t>(s)] = 4;
+      s = slot.next_rcv;
+    }
+  }
+
+  // Exactly-one-home: no slot may be leaked (unreachable) or stranded on a
+  // receiver list without window membership.
+  for (std::size_t i = 0; i < cap; ++i) {
+    AA_CHECK(state[i] == 2 || state[i] == 3 || state[i] == 4,
+             "audit: slot not in exactly one of pending/parked/free");
+  }
+
+  // Lifecycle counters partition the full send history.
+  AA_CHECK(pending_ + delivered_ + dropped_ ==
+               static_cast<std::size_t>(next_id_),
+           "audit: lifecycle counters do not sum to total_sent");
+}
+
 // ---- iteration ------------------------------------------------------------
 
 const Envelope& MessageBuffer::PendingIterator::operator*() const {

@@ -95,6 +95,15 @@ class MsgIdMap {
     ++size_;
   }
 
+  /// Visit every (key, slot) entry, in table order. Audit-only: the table
+  /// has no other iteration surface, and table order is not meaningful.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (const Cell& c : cells_) {
+      if (c.key != kNoMsg) f(c.key, c.value);
+    }
+  }
+
   /// Precondition: key present.
   void erase(MsgId key) noexcept {
     std::size_t i = home(key);
@@ -153,6 +162,10 @@ class MsgIdMap {
 };
 
 }  // namespace detail
+
+/// Test-only backdoor used by the auditor self-test to plant corruptions
+/// (defined in tests/sim/test_audit.cpp; never part of the library).
+struct AuditTestAccess;
 
 class MessageBuffer {
  public:
@@ -347,10 +360,28 @@ class MessageBuffer {
   [[nodiscard]] std::size_t slot_capacity() const noexcept {
     return slots_.size();
   }
+  /// Allocated arena slots — unlike slot_capacity(), this survives reset():
+  /// the trial-reuse path rewinds the materialized span but keeps the
+  /// allocation, so steady-state trials re-materialize allocation-free.
+  [[nodiscard]] std::size_t slot_reserve() const noexcept {
+    return slots_.capacity();
+  }
+
+  /// Opt-in invariant auditor: verify the full arena state — receiver and
+  /// window lists (doubly-linked, acyclic, ascending-id, field-consistent),
+  /// id-map ↔ arena agreement (every pending id resolves to its slot and
+  /// vice versa), lazy-parked slot accounting, free-list integrity, and
+  /// that every slot is in exactly one of {pending, parked, free} with the
+  /// lifecycle counters summing to total_sent(). Throws std::logic_error
+  /// on the first violation. O(slots) with scratch allocation — meant for
+  /// window boundaries under ExecutionConfig::audit, self-tests, and
+  /// post-reset validation, not the hot path.
+  void audit() const;
 
  private:
   friend class PendingIterator;
   friend class WindowIterator;
+  friend struct AuditTestAccess;
 
   struct Slot {
     Envelope env;

@@ -300,11 +300,89 @@ void Execution::crash(ProcId p) {
 }
 
 void Execution::end_window() {
+  if (cfg_.audit) audit();
   buffer_.drop_pending_in_window(window_);
   ++window_;
 }
 
-void Execution::advance_window_keep_pending() { ++window_; }
+void Execution::advance_window_keep_pending() {
+  if (cfg_.audit) audit();
+  ++window_;
+}
+
+void Execution::audit() const {
+  buffer_.audit();
+
+  // Liveness bookkeeping: the counters are denormalized views of the
+  // per-processor arrays, and every crash/reset bumped the epoch exactly
+  // once.
+  int crashed = 0;
+  std::int64_t resets = 0;
+  for (ProcId p = 0; p < n_; ++p) {
+    if (crashed_[static_cast<std::size_t>(p)]) ++crashed;
+    const int r = resets_[static_cast<std::size_t>(p)];
+    AA_CHECK(r >= 0, "audit: negative per-processor reset count");
+    resets += r;
+    AA_CHECK(chain_[static_cast<std::size_t>(p)] >= 0,
+             "audit: negative chain depth");
+    if (crashed_[static_cast<std::size_t>(p)]) {
+      AA_CHECK(staged_[static_cast<std::size_t>(p)].empty(),
+               "audit: crashed processor holds staged messages");
+    }
+  }
+  AA_CHECK(crashed == crashed_count_,
+           "audit: crashed_count disagrees with the crashed array");
+  AA_CHECK(resets == total_resets_,
+           "audit: total_resets disagrees with the per-processor counts");
+  AA_CHECK(liveness_epoch_ == total_resets_ + crashed_count_,
+           "audit: liveness epoch is not resets + crashes");
+
+  // Write-once outputs: at most one decision per processor, each agreeing
+  // with the live output bit and stamped inside the run so far; and every
+  // written output has its decision record.
+  std::vector<std::uint8_t> decided(static_cast<std::size_t>(n_), 0);
+  for (const Decision& d : decisions_) {
+    AA_CHECK(d.proc >= 0 && d.proc < n_, "audit: decision for a bad proc id");
+    AA_CHECK(!decided[static_cast<std::size_t>(d.proc)],
+             "audit: two decision records for one processor");
+    decided[static_cast<std::size_t>(d.proc)] = 1;
+    AA_CHECK(d.value == 0 || d.value == 1,
+             "audit: decision value is not a bit");
+    AA_CHECK(output(d.proc) == d.value,
+             "audit: decision record disagrees with the output bit");
+    AA_CHECK(d.window >= 0 && d.window <= window_,
+             "audit: decision window outside the run");
+    AA_CHECK(d.step >= 0 && d.step <= steps_,
+             "audit: decision step outside the run");
+  }
+  for (ProcId p = 0; p < n_; ++p) {
+    const int o = output(p);
+    AA_CHECK(o == kBot || o == 0 || o == 1, "audit: output is not kBot/0/1");
+    if (o != kBot) {
+      AA_CHECK(decided[static_cast<std::size_t>(p)],
+               "audit: written output without a decision record");
+    }
+  }
+
+  // Epoch-stamp freshness: no scratch stamp may come from the future —
+  // that is exactly the corruption the stamped-counter design would
+  // silently misread as "valid this window".
+  for (const std::uint64_t s : scratch_.row_stamp) {
+    AA_CHECK(s <= scratch_.batch_epoch, "audit: row_stamp from the future");
+  }
+  for (const std::uint64_t s : scratch_.rcv_stamp) {
+    AA_CHECK(s <= scratch_.batch_epoch, "audit: rcv_stamp from the future");
+  }
+  for (const std::uint64_t s : scratch_.member_stamp) {
+    AA_CHECK(s <= scratch_.member_epoch,
+             "audit: member_stamp from the future");
+  }
+  for (const std::uint64_t s : scratch_.stamp) {
+    AA_CHECK(s <= scratch_.epoch, "audit: plan-validation stamp from the future");
+  }
+  AA_CHECK(scratch_.collect_window <= window_,
+           "audit: batch collection armed for a future window");
+}
 
 const Process& Execution::process(ProcId p) const {
   AA_REQUIRE(p >= 0 && p < n_, "process: bad proc id");

@@ -47,6 +47,10 @@ struct Decision {
 
 struct ExecutionConfig {
   bool record_events = false;  ///< keep the full step log (memory-heavy)
+  /// Run the invariant auditor (Execution::audit) at every window boundary
+  /// (end_window / advance_window_keep_pending). Opt-in: O(slots) per
+  /// window, meant for chaos runs, CI sanitizer jobs and debugging.
+  bool audit = false;
 };
 
 class Execution {
@@ -201,7 +205,19 @@ class Execution {
   /// run_acceptable_window so a steady-state window allocates nothing).
   [[nodiscard]] WindowScratch& window_scratch() noexcept { return scratch_; }
 
+  /// Opt-in invariant auditor: MessageBuffer::audit() plus the
+  /// execution-level consistency pass — liveness bookkeeping
+  /// (crashed/reset counters vs. their per-processor arrays, the
+  /// liveness-epoch identity), write-once decision records (one per
+  /// processor, value ∈ {0,1}, agreeing with the live output bit, sane
+  /// window/step stamps), crashed processors hold no staged messages, and
+  /// scratch epoch-stamp freshness (no stamp from the future). Throws
+  /// std::logic_error on the first violation. Runs automatically at window
+  /// boundaries when ExecutionConfig::audit is set.
+  void audit() const;
+
  private:
+  friend struct AuditTestAccess;
   void record(StepKind k, ProcId p, MsgId m = kNoMsg);
   void check_output_write_once(ProcId p, int before);
 

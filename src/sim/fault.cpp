@@ -1,0 +1,23 @@
+#include "sim/fault.hpp"
+
+#include "util/check.hpp"
+
+namespace aa::sim {
+
+void validate_fault_plan(const FaultPlan& plan) {
+  const auto prob_ok = [](double p) { return p >= 0.0 && p <= 1.0; };
+  AA_REQUIRE(prob_ok(plan.crash_prob), "FaultPlan: crash_prob not in [0, 1]");
+  AA_REQUIRE(prob_ok(plan.reset_prob), "FaultPlan: reset_prob not in [0, 1]");
+  AA_REQUIRE(prob_ok(plan.censor_prob),
+             "FaultPlan: censor_prob not in [0, 1]");
+  AA_REQUIRE(prob_ok(plan.duplicate_row_prob),
+             "FaultPlan: duplicate_row_prob not in [0, 1]");
+  AA_REQUIRE(prob_ok(plan.degenerate_prob),
+             "FaultPlan: degenerate_prob not in [0, 1]");
+  AA_REQUIRE(plan.crash_budget >= 0,
+             "FaultPlan: crash_budget must be non-negative");
+  AA_REQUIRE(plan.censor_target >= 0,
+             "FaultPlan: censor_target must be non-negative");
+}
+
+}  // namespace aa::sim

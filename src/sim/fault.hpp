@@ -1,0 +1,67 @@
+// FaultPlan — the chaos-harness knob set for seed-deterministic engine
+// fault injection.
+//
+// A FaultPlan does not act on its own: the adversary wrappers in
+// adversary/chaos.hpp compose it with any existing WindowAdversary /
+// AsyncAdversary, perturbing the inner adversary's choices while staying
+// inside the model contracts (Definition 1 for windows, the crash budget t
+// for the async model), so every checker verdict remains well defined under
+// chaos. All perturbations draw from an Rng derived from (trial seed,
+// chaos_seed) — the same trial replays bit-identically.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace aa::sim {
+
+/// Per-run fault-injection knobs. All probabilities are per decision point
+/// (window-model: per window or per plan row; async: per action). A
+/// default-constructed plan injects nothing (enabled() == false), and the
+/// chaos wrappers are only installed when a plan is enabled — a disabled
+/// plan therefore causes ZERO report drift.
+struct FaultPlan {
+  /// Per-window probability of crashing one uniformly random live
+  /// processor (applied by the driver at the window's end), up to
+  /// crash_budget crashes per run. The async wrapper additionally honours
+  /// the model budget t (run_async enforces crashed < t).
+  double crash_prob = 0.0;
+  int crash_budget = 0;
+
+  /// Per-window probability of topping the plan's resets up to the full
+  /// Definition-1 budget of t distinct targets.
+  double reset_prob = 0.0;
+
+  /// Per-row probability of censoring `censor_target`: the target sender is
+  /// removed from a receiver's delivery set whenever the set has slack
+  /// (|S_i| > n − t), so the plan stays acceptable.
+  double censor_prob = 0.0;
+  ProcId censor_target = 0;
+
+  /// Per-window probability of copying one receiver's delivery row over
+  /// another's (any acceptable row is acceptable for any receiver).
+  double duplicate_row_prob = 0.0;
+
+  /// Per-window probability of replacing the whole plan with the minimal
+  /// degenerate window: every receiver hears exactly senders [0, n − t),
+  /// no resets — maximal censorship Definition 1 permits.
+  double degenerate_prob = 0.0;
+
+  /// Mixed with the trial seed to derive the chaos Rng stream, so the same
+  /// trial can be replayed under different chaos streams (and vice versa).
+  std::uint64_t chaos_seed = 0;
+
+  /// True iff any perturbation can fire.
+  [[nodiscard]] bool enabled() const noexcept {
+    return (crash_prob > 0.0 && crash_budget > 0) || reset_prob > 0.0 ||
+           censor_prob > 0.0 || duplicate_row_prob > 0.0 ||
+           degenerate_prob > 0.0;
+  }
+};
+
+/// Throws std::invalid_argument unless every probability is in [0, 1] and
+/// the crash budget and censor target are non-negative.
+void validate_fault_plan(const FaultPlan& plan);
+
+}  // namespace aa::sim

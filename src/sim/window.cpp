@@ -93,8 +93,16 @@ int run_acceptable_window(Execution& exec, WindowAdversary& adv, int t) {
         i, sc.plan.delivery_order[static_cast<std::size_t>(i)]);
   }
 
-  // Phase 3: at most t resetting steps.
-  for (ProcId p : sc.plan.resets) exec.resetting_step(p);
+  // Phase 3: at most t resetting steps. A reset of a crashed processor is
+  // a no-op (crashed processors take no further steps), so plans written
+  // before a chaos crash landed stay runnable.
+  for (ProcId p : sc.plan.resets) {
+    if (!exec.crashed(p)) exec.resetting_step(p);
+  }
+
+  // Chaos hook: the adversary (normally a ChaosWindowAdversary wrapper) may
+  // request crashes at the window boundary; crash() is idempotent.
+  for (const ProcId p : adv.window_crashes()) exec.crash(p);
 
   // Window boundary: undelivered batch messages are dropped.
   exec.end_window();

@@ -39,6 +39,7 @@
 //     rows fall back to the per-id gather + deliver_run path.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -93,6 +94,15 @@ class WindowAdversary {
   virtual PlanDecision plan_window_into(const Execution& exec,
                                         const WindowBatch& batch,
                                         WindowPlan& plan) = 0;
+
+  /// Processors to crash after this window's resets (chaos/fault layer;
+  /// Definition 1 has no crashes, so the default is none). Read by
+  /// run_acceptable_window AFTER plan_window_into, before end_window; the
+  /// view must stay valid until then. Crashing an already-crashed
+  /// processor is a no-op.
+  [[nodiscard]] virtual std::span<const ProcId> window_crashes() const {
+    return {};
+  }
 
   [[nodiscard]] virtual std::string name() const = 0;
 };

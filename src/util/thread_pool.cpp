@@ -240,6 +240,57 @@ void WorkStealingPool::finish_job(TaskGroup* group,
   if (last) group->done_.notify_all();
 }
 
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    token_ = nullptr;
+    ++generation_;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Watchdog::arm(CancelToken& token, std::chrono::milliseconds timeout) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    token_ = &token;
+    deadline_ = std::chrono::steady_clock::now() + timeout;
+    ++generation_;
+    if (!thread_.joinable()) thread_ = std::thread([this] { loop(); });
+  }
+  cv_.notify_all();
+}
+
+void Watchdog::disarm() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    token_ = nullptr;
+    ++generation_;
+  }
+  cv_.notify_all();
+}
+
+void Watchdog::loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stopping_ || token_ != nullptr; });
+    if (stopping_) return;
+    const std::uint64_t gen = generation_;
+    const auto deadline = deadline_;
+    // Wake on re-arm/disarm/shutdown (generation changed) or the deadline.
+    cv_.wait_until(lock, deadline,
+                   [this, gen] { return generation_ != gen || stopping_; });
+    if (stopping_) return;
+    if (generation_ != gen) continue;  // superseded — nothing fired
+    if (std::chrono::steady_clock::now() >= deadline && token_ != nullptr) {
+      token_->cancel();
+      token_ = nullptr;  // one shot per arm
+      ++generation_;
+    }
+  }
+}
+
 void parallel_for_chunks(
     std::int64_t total, const ParallelConfig& cfg,
     const std::function<void(int, std::int64_t, std::int64_t)>& body,

@@ -13,6 +13,8 @@
 //     any thread count.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -158,6 +160,61 @@ class WorkStealingPool {
   std::vector<std::deque<Job>> deques_;
   std::size_t next_queue_ = 0;
   std::size_t queued_ = 0;
+  bool stopping_ = false;
+};
+
+/// Cooperative cancellation flag shared between a watchdog (or any
+/// controller thread) and workers. Workers poll cancelled() at safe points
+/// (chunk boundaries) and skip remaining work; nothing is interrupted
+/// mid-trial, so results produced before the flag rose stay deterministic.
+/// Relaxed atomics suffice: the flag carries no data dependency — it only
+/// makes workers stop early, and the controller detects the effect through
+/// its own synchronization (TaskGroup::wait).
+class CancelToken {
+ public:
+  void cancel() noexcept { flag_.store(true, std::memory_order_relaxed); }
+  void reset() noexcept { flag_.store(false, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return flag_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Wall-clock watchdog: arm(token, timeout) cancels the token if disarm()
+/// is not called within the timeout. One lazily started background thread
+/// serves successive arms (a generation counter makes a stale deadline
+/// harmless: it only ever cancels the token it was armed with, and only
+/// while still the current generation). Used by the campaign runner's
+/// per-cell timeout; a fire that races a cell's completion at worst cancels
+/// an already-finished check, which the runner treats as a no-op because
+/// the report is complete.
+class Watchdog {
+ public:
+  Watchdog() = default;
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Start (or re-target) the countdown: `token` is cancelled once
+  /// `timeout` elapses unless disarm() intervenes. Re-arming supersedes
+  /// any previous arm.
+  void arm(CancelToken& token, std::chrono::milliseconds timeout);
+
+  /// Stop the countdown. Idempotent; safe when never armed.
+  void disarm();
+
+ private:
+  void loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;                ///< started by the first arm()
+  CancelToken* token_ = nullptr;      ///< armed target (null = disarmed)
+  std::chrono::steady_clock::time_point deadline_{};
+  std::uint64_t generation_ = 0;      ///< bumped by every arm/disarm
   bool stopping_ = false;
 };
 

@@ -67,6 +67,55 @@ TEST(CampaignConfig, EmptyTextYieldsDefaults) {
   EXPECT_EQ(cfg.trials, def.trials);
 }
 
+TEST(CampaignConfig, ParsesRobustnessKeys) {
+  const std::string text = R"(audit = true
+resume = true
+cell_timeout_ms = 250
+chaos_crash_prob = 0.5
+chaos_crash_budget = 2
+chaos_reset_prob = 0.25
+chaos_censor_prob = 1
+chaos_censor_target = 3
+chaos_duplicate_prob = 0.125
+chaos_degenerate_prob = 0.0625
+chaos_seed = 77
+)";
+  const CampaignConfig cfg = parse_campaign_config(text);
+  EXPECT_TRUE(cfg.audit);
+  EXPECT_TRUE(cfg.resume);
+  EXPECT_EQ(cfg.cell_timeout_ms, 250);
+  EXPECT_DOUBLE_EQ(cfg.chaos.crash_prob, 0.5);
+  EXPECT_EQ(cfg.chaos.crash_budget, 2);
+  EXPECT_DOUBLE_EQ(cfg.chaos.reset_prob, 0.25);
+  EXPECT_DOUBLE_EQ(cfg.chaos.censor_prob, 1.0);
+  EXPECT_EQ(cfg.chaos.censor_target, 3);
+  EXPECT_DOUBLE_EQ(cfg.chaos.duplicate_row_prob, 0.125);
+  EXPECT_DOUBLE_EQ(cfg.chaos.degenerate_prob, 0.0625);
+  EXPECT_EQ(cfg.chaos.chaos_seed, 77u);
+  EXPECT_TRUE(cfg.chaos.enabled());
+  // Robustness knobs are all off by default — chaos never rides along
+  // uninvited.
+  const CampaignConfig def = parse_campaign_config("");
+  EXPECT_FALSE(def.audit);
+  EXPECT_FALSE(def.resume);
+  EXPECT_EQ(def.cell_timeout_ms, 0);
+  EXPECT_FALSE(def.chaos.enabled());
+}
+
+TEST(CampaignConfig, RejectsDuplicateKeysWithLineNumbers) {
+  try {
+    (void)parse_campaign_config("trials = 4\ntrials = 8\n");
+    FAIL() << "duplicate key accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("duplicate"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("trials"), std::string::npos) << msg;
+  }
+  // Comments and blank lines don't count as key occurrences.
+  EXPECT_NO_THROW((void)parse_campaign_config("# trials = 4\n\ntrials = 8\n"));
+}
+
 TEST(CampaignConfig, RejectsMalformedInput) {
   EXPECT_THROW(parse_campaign_config("frobnicate = 3"),
                std::invalid_argument);  // unknown key
@@ -77,6 +126,12 @@ TEST(CampaignConfig, RejectsMalformedInput) {
   EXPECT_THROW(parse_campaign_config("n ="), std::invalid_argument);
   EXPECT_THROW(parse_campaign_config("just some words"),
                std::invalid_argument);  // no '='
+  EXPECT_THROW(parse_campaign_config("chaos_crash_prob = 1.5"),
+               std::invalid_argument);  // probability out of [0, 1]
+  EXPECT_THROW(parse_campaign_config("audit = maybe"),
+               std::invalid_argument);  // non-boolean
+  EXPECT_THROW(parse_campaign_config("cell_timeout_ms = -5"),
+               std::invalid_argument);  // negative timeout
 }
 
 // ---- sweep structure -------------------------------------------------------

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+
+namespace aa::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<std::string> tmp_leftovers(const fs::path& dir) {
+  std::vector<std::string> out;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".tmp") out.push_back(entry.path().string());
+  }
+  return out;
+}
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("aa_campaign_" + name);
+  fs::remove_all(dir);
+  return dir;
+}
+
+CampaignConfig two_cell_config(const std::string& out_dir) {
+  CampaignConfig cfg;
+  cfg.name = "resume";
+  cfg.model = CampaignModel::kWindow;
+  cfg.n = {8};
+  cfg.t = {1};
+  cfg.protocols = {"reset"};
+  cfg.thresholds = {"default"};
+  cfg.memory_k = {0};
+  cfg.adversaries = {"fair", "random"};
+  cfg.trials = 6;
+  cfg.budget = 300;
+  cfg.seed = 4242;
+  cfg.threads = 1;
+  cfg.chunk_size = 2;
+  cfg.output_dir = out_dir;
+  return cfg;
+}
+
+TEST(CampaignResume, WritesArtifactsAtomicallyWithNoTmpLeftovers) {
+  const fs::path dir = fresh_dir("atomic");
+  const CampaignConfig cfg = two_cell_config(dir.string());
+  const CampaignResult result = run_campaign(cfg);
+  ASSERT_EQ(result.cells.size(), 2u);
+  for (const CampaignCell& cell : result.cells) {
+    const fs::path p =
+        dir / ("resume_cell_" + std::to_string(cell.index) + ".json");
+    ASSERT_TRUE(fs::is_regular_file(p)) << p;
+    EXPECT_EQ(read_file(p), campaign_cell_json(cfg, cell));
+  }
+  EXPECT_EQ(read_file(dir / "resume_summary.json"),
+            campaign_summary_json(result));
+  EXPECT_TRUE(tmp_leftovers(dir).empty());
+  fs::remove_all(dir);
+}
+
+TEST(CampaignResume, ResumedSummaryByteIdenticalAfterPartialKill) {
+  // Simulate a SIGKILL mid-sweep: keep cell 0's artifact, lose cell 1's and
+  // the summary. The resumed run must restore cell 0 (no recompute) and
+  // produce byte-identical cells and summary — at 1 and 8 threads.
+  const fs::path dir = fresh_dir("kill");
+  CampaignConfig cfg = two_cell_config(dir.string());
+  const CampaignResult full = run_campaign(cfg);
+  const std::string want_summary = read_file(dir / "resume_summary.json");
+  const std::string want_cell0 = read_file(dir / "resume_cell_0.json");
+  const std::string want_cell1 = read_file(dir / "resume_cell_1.json");
+
+  for (const int threads : {1, 8}) {
+    fs::remove(dir / "resume_cell_1.json");
+    fs::remove(dir / "resume_summary.json");
+    cfg.threads = threads;
+    cfg.resume = true;
+    const CampaignResult resumed = run_campaign(cfg);
+    EXPECT_TRUE(resumed.cells[0].resumed) << "threads " << threads;
+    EXPECT_FALSE(resumed.cells[1].resumed) << "threads " << threads;
+    EXPECT_EQ(read_file(dir / "resume_summary.json"), want_summary)
+        << "threads " << threads;
+    EXPECT_EQ(read_file(dir / "resume_cell_0.json"), want_cell0);
+    EXPECT_EQ(read_file(dir / "resume_cell_1.json"), want_cell1);
+    EXPECT_EQ(campaign_summary_json(resumed), want_summary);
+  }
+  EXPECT_TRUE(tmp_leftovers(dir).empty());
+  fs::remove_all(dir);
+}
+
+TEST(CampaignResume, CorruptOrTruncatedArtifactIsRecomputed) {
+  const fs::path dir = fresh_dir("corrupt");
+  CampaignConfig cfg = two_cell_config(dir.string());
+  (void)run_campaign(cfg);
+  const std::string want_summary = read_file(dir / "resume_summary.json");
+  const std::string want_cell0 = read_file(dir / "resume_cell_0.json");
+
+  // Truncate cell 0 mid-array and scribble over cell 1 entirely.
+  {
+    std::ofstream out(dir / "resume_cell_0.json", std::ios::binary);
+    out << want_cell0.substr(0, want_cell0.find("\"decided_runs\""));
+  }
+  {
+    std::ofstream out(dir / "resume_cell_1.json", std::ios::binary);
+    out << "not json at all";
+  }
+  fs::remove(dir / "resume_summary.json");
+
+  cfg.resume = true;
+  const CampaignResult resumed = run_campaign(cfg);
+  EXPECT_FALSE(resumed.cells[0].resumed);
+  EXPECT_FALSE(resumed.cells[1].resumed);
+  EXPECT_EQ(read_file(dir / "resume_summary.json"), want_summary);
+  EXPECT_EQ(read_file(dir / "resume_cell_0.json"), want_cell0);
+  fs::remove_all(dir);
+}
+
+TEST(CampaignResume, StaleArtifactFromOtherConfigIsRejected) {
+  // A valid artifact computed under a DIFFERENT seed must not be resumed:
+  // its identity fields no longer re-serialize to the same bytes.
+  const fs::path dir = fresh_dir("stale");
+  CampaignConfig cfg = two_cell_config(dir.string());
+  (void)run_campaign(cfg);
+  const std::string fresh_summary = read_file(dir / "resume_summary.json");
+
+  cfg.seed = 777;  // artifacts on disk are for seed 4242
+  cfg.resume = true;
+  const CampaignResult resumed = run_campaign(cfg);
+  EXPECT_FALSE(resumed.cells[0].resumed);
+  EXPECT_FALSE(resumed.cells[1].resumed);
+  EXPECT_NE(read_file(dir / "resume_summary.json"), fresh_summary);
+  fs::remove_all(dir);
+}
+
+TEST(CampaignResume, CellTimeoutMarksFailedAndSummarySkipsIt) {
+  // One cell whose trials cannot finish inside the watchdog deadline:
+  // split-keeper against split inputs keeps the run undecided, so every
+  // trial burns the whole 5000-window budget — far beyond 1 ms.
+  const fs::path dir = fresh_dir("timeout");
+  CampaignConfig cfg;
+  cfg.name = "slow";
+  cfg.model = CampaignModel::kWindow;
+  cfg.n = {16};
+  cfg.t = {2};
+  cfg.protocols = {"reset"};
+  cfg.thresholds = {"default"};
+  cfg.memory_k = {0};
+  cfg.adversaries = {"split-keeper"};
+  cfg.trials = 8;
+  cfg.budget = 5000;
+  cfg.seed = 1;
+  cfg.threads = 1;
+  cfg.chunk_size = 1;
+  cfg.output_dir = dir.string();
+  cfg.cell_timeout_ms = 1;
+
+  const CampaignResult result = run_campaign(cfg);
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_TRUE(result.cells[0].failed);
+  EXPECT_EQ(result.summary.trials, 0);  // failed cell excluded from merge
+  // No artifact for the failed cell; the summary lists it.
+  EXPECT_FALSE(fs::exists(dir / "slow_cell_0.json"));
+  const std::string summary = read_file(dir / "slow_summary.json");
+  EXPECT_NE(summary.find("\"cells_failed\": [0]"), std::string::npos)
+      << summary;
+  EXPECT_TRUE(tmp_leftovers(dir).empty());
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace aa::core

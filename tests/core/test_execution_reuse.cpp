@@ -7,11 +7,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "adversary/async_adversaries.hpp"
 #include "adversary/window_adversaries.hpp"
 #include "core/experiment.hpp"
 #include "protocols/factory.hpp"
+#include "sim/execution.hpp"
+#include "sim/window.hpp"
 #include "util/rng.hpp"
 
 namespace aa::core {
@@ -128,6 +131,56 @@ TEST(ExecutionReuse, ScratchSurvivesModelSwitches) {
     expect_same(arunner.run_async(af2, seed, scratch),
                 arunner.run_async(af1, seed));
   }
+}
+
+TEST(ExecutionReuse, ResetClearsHostileMidWindowStateAndKeepsCapacity) {
+  // Abandon an Execution at the nastiest possible point — mid-window, with
+  // pending messages to several receivers, lazy-parked slots from a bulk
+  // delivery run, a partially-consumed receiver list, a crashed processor
+  // and a reset one — then reset() for a new trial. The auditor must pass
+  // on the rebuilt state, grown capacities must survive, and the rebuilt
+  // execution must replay a trial bit-identically to a fresh one.
+  const int n = 8;
+  const int t = 1;
+  auto procs = [&] {
+    return protocols::make_processes(protocols::ProtocolKind::Reset, t,
+                                     protocols::split_inputs(n, 0.5));
+  };
+  sim::Execution exec(procs(), 321);
+  exec.begin_window_batch();
+  for (sim::ProcId p = 0; p < n; ++p) (void)exec.sending_step(p);
+  std::vector<sim::ProcId> row;
+  for (sim::ProcId p = 0; p < n; ++p) row.push_back(p);
+  ASSERT_GT(exec.deliver_plan_row(0, row), 0);  // parks lazy slots
+  const auto to1 = exec.buffer().pending_to_ids(1);
+  ASSERT_GE(to1.size(), 2u);
+  exec.receiving_step(to1[0]);  // receiver 1's list partially consumed
+  exec.crash(2);
+  exec.resetting_step(3);
+  ASSERT_GT(exec.buffer().pending_count(), 0u);  // and NO end_window sweep
+
+  const std::size_t reserve = exec.buffer().slot_reserve();
+  ASSERT_GT(reserve, 0u);
+  exec.reset(procs(), 654);
+  EXPECT_NO_THROW(exec.audit());
+  EXPECT_EQ(exec.buffer().slot_reserve(), reserve);  // allocation retained
+  EXPECT_EQ(exec.buffer().slot_capacity(), 0u);      // materialized span rewound
+  EXPECT_EQ(exec.buffer().pending_count(), 0u);
+  EXPECT_EQ(exec.window(), 0);
+  EXPECT_EQ(exec.crashed_count(), 0);
+  EXPECT_EQ(exec.total_resets(), 0);
+
+  sim::Execution fresh(procs(), 654);
+  adversary::RandomWindowAdversary reuse_adv(t, 0.15, Rng(9));
+  adversary::RandomWindowAdversary fresh_adv(t, 0.15, Rng(9));
+  EXPECT_EQ(sim::run_until_all_decided(exec, reuse_adv, t, 200),
+            sim::run_until_all_decided(fresh, fresh_adv, t, 200));
+  EXPECT_EQ(exec.step_count(), fresh.step_count());
+  EXPECT_EQ(exec.total_resets(), fresh.total_resets());
+  for (sim::ProcId p = 0; p < n; ++p) {
+    EXPECT_EQ(exec.output(p), fresh.output(p)) << "proc " << p;
+  }
+  EXPECT_NO_THROW(exec.audit());
 }
 
 }  // namespace

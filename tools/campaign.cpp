@@ -2,12 +2,15 @@
 //
 //   ./build/tools/campaign <config-file> [overrides]
 //
-//   --threads N       override the config's pool width (0 = hardware)
-//   --trials N        override trials per cell
-//   --seed S          override the base seed
-//   --output-dir DIR  override (or enable) JSON output
-//   --print-summary   print the merged-summary JSON to stdout
-//   --print-cells     print one line per finished cell
+//   --threads N          override the config's pool width (0 = hardware)
+//   --trials N           override trials per cell
+//   --seed S             override the base seed
+//   --output-dir DIR     override (or enable) JSON output
+//   --resume             skip cells whose output JSON exists and validates
+//   --cell-timeout-ms N  per-cell wall-clock watchdog (retries once at 2N)
+//   --audit              run the engine invariant auditor every window
+//   --print-summary      print the merged-summary JSON to stdout
+//   --print-cells        print one line per finished cell
 //
 // The config file is flat `key = value` text (lists comma-separated, `#`
 // comments); see src/core/campaign.hpp for every key and
@@ -15,6 +18,12 @@
 // work-stealing pool plus per-worker Execution scratch — is shared across
 // every cell, and the merged summary is byte-identical at any --threads
 // value (the determinism contract core/report.hpp documents).
+//
+// Crash safety: with an output dir set, each finished cell's JSON is
+// written atomically the moment it completes, so a SIGKILL mid-sweep loses
+// at most the in-flight cell. Re-running with --resume restores the
+// completed cells from their artifacts and produces a summary byte-
+// identical to an uninterrupted run's.
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -29,7 +38,8 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <config-file> [--threads N] [--trials N] "
-               "[--seed S] [--output-dir DIR] [--print-summary] "
+               "[--seed S] [--output-dir DIR] [--resume] "
+               "[--cell-timeout-ms N] [--audit] [--print-summary] "
                "[--print-cells]\n",
                argv0);
 }
@@ -63,6 +73,9 @@ int main(int argc, char** argv) {
       else if (arg == "--seed")
         cfg.seed = static_cast<std::uint64_t>(std::atoll(next()));
       else if (arg == "--output-dir") cfg.output_dir = next();
+      else if (arg == "--resume") cfg.resume = true;
+      else if (arg == "--cell-timeout-ms") cfg.cell_timeout_ms = std::atoll(next());
+      else if (arg == "--audit") cfg.audit = true;
       else if (arg == "--print-summary") print_summary = true;
       else if (arg == "--print-cells") print_cells = true;
       else {
@@ -71,28 +84,39 @@ int main(int argc, char** argv) {
       }
     }
 
+    // run_campaign writes per-cell artifacts (atomically, as cells finish)
+    // and the summary itself when cfg.output_dir is set.
     const core::CampaignResult result = core::run_campaign(cfg);
 
     if (print_cells) {
       for (const core::CampaignCell& c : result.cells) {
         std::printf("cell %d n=%d t=%d proto=%s th=%s k=%d adv=%s "
                     "seed0=%" PRIu64 " trials=%d viol=%d decided=%d "
-                    "all=%d mean=%.17g\n",
+                    "all=%d mean=%.17g%s%s\n",
                     c.index, c.n, c.t, c.protocol.c_str(),
                     c.thresholds.c_str(), c.memory_k, c.adversary.c_str(),
                     c.seed0, c.report.trials,
                     c.report.agreement_violations +
                         c.report.validity_violations,
                     c.report.decided_runs, c.report.all_decided_runs,
-                    c.report.mean_windows_to_first);
+                    c.report.mean_windows_to_first,
+                    c.resumed ? " [resumed]" : "",
+                    c.failed ? " [FAILED: timeout]" : "");
       }
     }
 
+    std::size_t resumed = 0;
+    std::size_t failed = 0;
+    for (const core::CampaignCell& c : result.cells) {
+      if (c.resumed) ++resumed;
+      if (c.failed) ++failed;
+    }
     if (!cfg.output_dir.empty()) {
-      core::write_campaign_json(result, cfg.output_dir);
-      std::fprintf(stderr, "campaign '%s': wrote %zu cell files + summary to %s\n",
-                   cfg.name.c_str(), result.cells.size(),
-                   cfg.output_dir.c_str());
+      std::fprintf(stderr,
+                   "campaign '%s': wrote %zu cell files + summary to %s"
+                   " (%zu resumed, %zu failed)\n",
+                   cfg.name.c_str(), result.cells.size() - failed,
+                   cfg.output_dir.c_str(), resumed, failed);
     }
 
     if (print_summary) {
@@ -108,7 +132,7 @@ int main(int argc, char** argv) {
                    s.agreement_violations, s.validity_violations,
                    s.decided_runs, s.mean_windows_to_first);
     }
-    return (result.summary.clean()) ? 0 : 1;
+    return (result.summary.clean() && failed == 0) ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "campaign: %s\n", e.what());
     return 2;
