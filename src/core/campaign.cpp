@@ -399,6 +399,8 @@ CampaignConfig parse_campaign_config(const std::string& text) {
       cfg.output_dir = value;
     } else if (key == "audit") {
       cfg.audit = parse_bool(value, line);
+    } else if (key == "audit_every") {
+      cfg.audit_every = static_cast<int>(parse_int(value, line));
     } else if (key == "resume") {
       cfg.resume = parse_bool(value, line);
     } else if (key == "cell_timeout_ms") {
@@ -429,6 +431,8 @@ CampaignConfig parse_campaign_config(const std::string& text) {
   AA_REQUIRE(cfg.budget > 0, "campaign config: budget must be positive");
   AA_REQUIRE(cfg.cell_timeout_ms >= 0,
              "campaign config: cell_timeout_ms must be non-negative");
+  AA_REQUIRE(cfg.audit_every >= 0,
+             "campaign config: audit_every must be non-negative");
   AA_REQUIRE(!cfg.n.empty() && !cfg.t.empty() && !cfg.protocols.empty() &&
                  !cfg.adversaries.empty() && !cfg.thresholds.empty() &&
                  !cfg.memory_k.empty(),
@@ -494,9 +498,16 @@ CampaignResult run_campaign(const CampaignConfig& config,
               spec.thresholds = threshold_preset(th_name, n, t);
               spec.memory_k = memory_k;
               spec.audit = config.audit;
+              spec.audit_every = config.audit_every;
 
               const std::string cell_path =
                   writing ? cell_file_path(config, index) : std::string();
+
+              // Per-cell wall clock. Timing never enters the cell/summary
+              // artifacts — only the <name>_timing.json sidecar — so the
+              // byte-identity surface stays deterministic.
+              // aa-lint: clock-ok(throughput metric, sidecar-only output)
+              const auto cell_start = std::chrono::steady_clock::now();
 
               bool done = config.resume && writing &&
                           try_resume_cell(config, cell, cell_path, summary);
@@ -539,6 +550,16 @@ CampaignResult run_campaign(const CampaignConfig& config,
               }
               cancel.reset();
               cell.failed = !done;
+              // aa-lint: clock-ok(throughput metric, sidecar-only output)
+              const auto cell_end = std::chrono::steady_clock::now();
+              cell.wall_ms =
+                  std::chrono::duration<double, std::milli>(cell_end -
+                                                            cell_start)
+                      .count();
+              if (done && cell.wall_ms > 0.0) {
+                cell.trials_per_s =
+                    static_cast<double>(config.trials) * 1000.0 / cell.wall_ms;
+              }
               result.cells.push_back(std::move(cell));
               ++index;
             }
@@ -554,6 +575,10 @@ CampaignResult run_campaign(const CampaignConfig& config,
                        (config.name + "_summary.json"))
                           .string(),
                       campaign_summary_json(result));
+    write_file_atomic((fs::path(config.output_dir) /
+                       (config.name + "_timing.json"))
+                          .string(),
+                      campaign_timing_json(result));
   }
   return result;
 }
@@ -611,6 +636,36 @@ std::string campaign_summary_json(const CampaignResult& result) {
   return out;
 }
 
+std::string campaign_timing_json(const CampaignResult& result) {
+  // Deliberately a SEPARATE document from the summary/cell artifacts:
+  // wall-clock differs run to run and thread count to thread count, and
+  // folding it into the identity surface would break the byte-identical
+  // contract (threads 1 vs N diffs, resume's canonical re-serialization
+  // check). CI diffs exclude *_timing.json for the same reason.
+  const CampaignConfig& config = result.config;
+  std::string out = "{\n";
+  json_kv(out, "campaign", config.name);
+  json_kv_int(out, "trials_per_cell", config.trials);
+  double total_ms = 0.0;
+  for (const CampaignCell& cell : result.cells) total_ms += cell.wall_ms;
+  json_kv_double(out, "wall_ms_total", total_ms);
+  out += "  \"cells\": [";
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const CampaignCell& cell = result.cells[i];
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "%s\n    {\"cell\": %d, \"wall_ms\": %.3f, "
+                  "\"trials_per_s\": %.1f, \"resumed\": %s, \"failed\": %s}",
+                  i ? "," : "", cell.index, cell.wall_ms, cell.trials_per_s,
+                  cell.resumed ? "true" : "false",
+                  cell.failed ? "true" : "false");
+    out += buf;
+  }
+  out += result.cells.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
 void write_campaign_json(const CampaignResult& result,
                          const std::string& dir) {
   namespace fs = std::filesystem;
@@ -626,6 +681,9 @@ void write_campaign_json(const CampaignResult& result,
   write_file_atomic(
       (fs::path(dir) / (result.config.name + "_summary.json")).string(),
       campaign_summary_json(result));
+  write_file_atomic(
+      (fs::path(dir) / (result.config.name + "_timing.json")).string(),
+      campaign_timing_json(result));
 }
 
 void write_file_atomic(const std::string& path, const std::string& body) {
@@ -633,6 +691,7 @@ void write_file_atomic(const std::string& path, const std::string& body) {
   const std::string tmp = path + ".tmp";
   bool ok = false;
   {
+    // aa-lint: write-ok(the atomic-write primitive itself)
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (out.good()) {
       out << body;

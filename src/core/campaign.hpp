@@ -70,6 +70,12 @@ struct CampaignConfig {
   /// Run the engine invariant auditor at every window boundary of every
   /// trial (`audit = true`). Opt-in: O(arena) per window.
   bool audit = false;
+  /// Sampled auditing (`audit_every = N`): audit every Nth window boundary
+  /// (0 = off). The cheap always-on variant for Release campaigns — the
+  /// auditor only throws on corruption, never changes a report, and the
+  /// sampled boundaries are a function of the window index alone (so the
+  /// determinism contract is untouched). `audit = true` overrides.
+  int audit_every = 0;
   /// Fault-injection knobs (`chaos_crash_prob`, `chaos_crash_budget`,
   /// `chaos_reset_prob`, `chaos_censor_prob`, `chaos_censor_target`,
   /// `chaos_duplicate_prob`, `chaos_degenerate_prob`, `chaos_seed`). When
@@ -112,6 +118,14 @@ struct CampaignCell {
   std::int64_t metric_sum = 0;
   bool failed = false;   ///< timed out twice; excluded from the summary
   bool resumed = false;  ///< restored from an existing artifact
+  /// Wall-clock spent computing (or restoring) this cell, and the derived
+  /// trials/second throughput. Timing is intrinsically nondeterministic,
+  /// so it is NEVER part of the cell/summary JSON (the byte-identity
+  /// surface) — it is reported in the separate <name>_timing.json sidecar
+  /// (campaign_timing_json), which resume and the cross-thread-count
+  /// diffs deliberately ignore.
+  double wall_ms = 0.0;
+  double trials_per_s = 0.0;
 };
 
 struct CampaignResult {
@@ -143,6 +157,12 @@ struct CampaignResult {
 /// One cell's JSON document (same conventions).
 [[nodiscard]] std::string campaign_cell_json(const CampaignConfig& config,
                                              const CampaignCell& cell);
+
+/// The timing sidecar document (<output_dir>/<name>_timing.json): one row
+/// per cell with wall_ms and trials_per_s, plus the sweep's total
+/// wall-clock. Kept OUT of the cell/summary artifacts so the byte-identity
+/// surface (threads 1 vs N, fresh vs resumed) stays timing-free.
+[[nodiscard]] std::string campaign_timing_json(const CampaignResult& result);
 
 /// Write one JSON file per cell plus the merged summary under `dir`
 /// (created if missing): <name>_cell_<index>.json, <name>_summary.json.

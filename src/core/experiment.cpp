@@ -43,6 +43,8 @@ Runner::Runner(Experiment spec) : spec_(std::move(spec)) {
   AA_REQUIRE(spec_.t >= 0, "Runner: t must be non-negative");
   AA_REQUIRE(spec_.budget >= 0, "Runner: budget must be non-negative");
   AA_REQUIRE(spec_.memory_k >= 0, "Runner: memory_k must be non-negative");
+  AA_REQUIRE(spec_.audit_every >= 0,
+             "Runner: audit_every must be non-negative");
   if (spec_.byzantine) {
     const int n = static_cast<int>(spec_.inputs.size());
     AA_REQUIRE(spec_.byzantine->count >= 0 && spec_.byzantine->count <= n,
@@ -55,6 +57,7 @@ sim::Execution& Runner::prepare(
     std::uint64_t seed) const {
   sim::ExecutionConfig cfg;
   cfg.audit = spec_.audit;
+  cfg.audit_every = spec_.audit_every;
   if (scratch.exec) {
     scratch.exec->reset(std::move(procs), seed, cfg);
   } else {

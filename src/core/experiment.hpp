@@ -61,6 +61,11 @@ struct Experiment {
   /// Run the engine invariant auditor (sim::Execution::audit) at every
   /// window boundary. Opt-in: O(arena slots) per window.
   bool audit = false;
+  /// Sampled auditing: audit every Nth window boundary (0 = off). Cheap
+  /// enough for always-on invariant checking in Release campaigns; `audit`
+  /// overrides it to every-window. Never affects a report — the auditor
+  /// only throws on corruption.
+  int audit_every = 0;
 };
 
 /// Outcome of one window-model run.

@@ -300,14 +300,22 @@ void Execution::crash(ProcId p) {
 }
 
 void Execution::end_window() {
-  if (cfg_.audit) audit();
+  if (audit_due()) audit();
   buffer_.drop_pending_in_window(window_);
   ++window_;
 }
 
 void Execution::advance_window_keep_pending() {
-  if (cfg_.audit) audit();
+  if (audit_due()) audit();
   ++window_;
+}
+
+bool Execution::audit_due() const {
+  // Every-window auditing wins; otherwise sample the boundary of every
+  // audit_every'th window. The predicate depends only on the config and
+  // the window index, so sampled audits are deterministic per trial.
+  if (cfg_.audit) return true;
+  return cfg_.audit_every > 0 && window_ % cfg_.audit_every == 0;
 }
 
 void Execution::audit() const {

@@ -51,6 +51,12 @@ struct ExecutionConfig {
   /// (end_window / advance_window_keep_pending). Opt-in: O(slots) per
   /// window, meant for chaos runs, CI sanitizer jobs and debugging.
   bool audit = false;
+  /// Sampled auditing: audit at every Nth window boundary (those where
+  /// window_index % N == 0; 0 = off). Cheap enough to leave on in Release
+  /// campaigns — the per-window cost amortizes to O(slots)/N. `audit`
+  /// overrides this to every-window when both are set. Auditing only ever
+  /// throws on corruption; it never changes a report.
+  int audit_every = 0;
 };
 
 class Execution {
@@ -220,6 +226,9 @@ class Execution {
   friend struct AuditTestAccess;
   void record(StepKind k, ProcId p, MsgId m = kNoMsg);
   void check_output_write_once(ProcId p, int before);
+  /// Whether this window boundary audits (cfg_.audit every window, or the
+  /// cfg_.audit_every sampling period divides the window index).
+  [[nodiscard]] bool audit_due() const;
 
   int n_;
   ExecutionConfig cfg_;
@@ -233,7 +242,10 @@ class Execution {
   std::vector<Decision> decisions_;
   std::vector<Event> events_;
   std::vector<MsgId> published_;            ///< reused by sending_step
-  std::vector<const Envelope*> run_envs_;   ///< reused by deliver_run
+  /// Reused by deliver_run; filled and consumed inside ONE run, never
+  /// held across publication or a window sweep (buffer.hpp contract).
+  // aa-lint: envelope-ok(transient deliver_run scratch, cleared per run)
+  std::vector<const Envelope*> run_envs_;
   WindowScratch scratch_;
   std::int64_t window_ = 0;
   std::int64_t steps_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "util/check.hpp"
 
@@ -34,7 +35,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
   work_ready_.notify_all();
@@ -43,19 +44,20 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> job) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     AA_REQUIRE(!stopping_, "ThreadPool: submit after shutdown");
-    jobs_.push(std::move(job));
+    jobs_.push_back(std::move(job));
   }
   work_ready_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_idle_.wait(lock, [this] { return jobs_.empty() && in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (!jobs_.empty() || in_flight_ != 0) all_idle_.wait(lock);
   if (first_error_) {
     std::exception_ptr e = first_error_;
     first_error_ = nullptr;
+    lock.unlock();
     std::rethrow_exception(e);
   }
 }
@@ -64,21 +66,21 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && jobs_.empty()) work_ready_.wait(lock);
       if (jobs_.empty()) return;  // stopping_ with a drained queue
       job = std::move(jobs_.front());
-      jobs_.pop();
+      jobs_.pop_front();
       ++in_flight_;
     }
     try {
       job();
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (!first_error_) first_error_ = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
       if (jobs_.empty() && in_flight_ == 0) all_idle_.notify_all();
     }
@@ -96,7 +98,12 @@ thread_local int tl_worker_index = -1;
 
 WorkStealingPool::WorkStealingPool(int threads) {
   AA_REQUIRE(threads >= 1, "WorkStealingPool: need at least one worker");
-  deques_.resize(static_cast<std::size_t>(threads));
+  {
+    // Workers start immediately; size the deques under the lock so the
+    // analysis (and TSan) see the handoff explicitly.
+    MutexLock lock(mu_);
+    deques_.resize(static_cast<std::size_t>(threads));
+  }
   workers_.reserve(static_cast<std::size_t>(threads));
   for (int i = 0; i < threads; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -105,7 +112,7 @@ WorkStealingPool::WorkStealingPool(int threads) {
 
 WorkStealingPool::~WorkStealingPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
   work_ready_.notify_all();
@@ -118,12 +125,12 @@ int WorkStealingPool::worker_index() const noexcept {
 
 void WorkStealingPool::TaskGroup::submit(std::function<void()> job) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++outstanding_;
   }
   WorkStealingPool& p = pool_;
   {
-    std::lock_guard<std::mutex> lock(p.mu_);
+    MutexLock lock(p.mu_);
     AA_REQUIRE(!p.stopping_, "WorkStealingPool: submit after shutdown");
     p.deques_[p.next_queue_].push_back(Job{std::move(job), this});
     p.next_queue_ = (p.next_queue_ + 1) % p.deques_.size();
@@ -139,7 +146,7 @@ void WorkStealingPool::TaskGroup::wait() {
     Job job;
     bool found = false;
     {
-      std::lock_guard<std::mutex> lock(pool_.mu_);
+      MutexLock lock(pool_.mu_);
       for (std::deque<Job>& dq : pool_.deques_) {
         for (auto it = dq.begin(); it != dq.end(); ++it) {
           if (it->group == this) {
@@ -157,8 +164,8 @@ void WorkStealingPool::TaskGroup::wait() {
       pool_.run_job(job);
       continue;
     }
-    std::unique_lock<std::mutex> lock(mu_);
-    done_.wait(lock, [this] { return outstanding_ == 0; });
+    MutexLock lock(mu_);
+    while (outstanding_ != 0) done_.wait(lock);
     if (first_error_) {
       std::exception_ptr e = first_error_;
       first_error_ = nullptr;
@@ -172,8 +179,8 @@ void WorkStealingPool::TaskGroup::wait() {
 WorkStealingPool::TaskGroup::~TaskGroup() {
   // The pool holds raw pointers to this group while jobs are in flight;
   // never let it dangle, even if the caller skipped wait().
-  std::unique_lock<std::mutex> lock(mu_);
-  done_.wait(lock, [this] { return outstanding_ == 0; });
+  MutexLock lock(mu_);
+  while (outstanding_ != 0) done_.wait(lock);
 }
 
 void WorkStealingPool::worker_loop(int index) {
@@ -182,11 +189,10 @@ void WorkStealingPool::worker_loop(int index) {
   for (;;) {
     Job job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [this] { return stopping_ || queued_ > 0; });
+      MutexLock lock(mu_);
+      while (!stopping_ && queued_ == 0) work_ready_.wait(lock);
       if (queued_ == 0) return;  // stopping_ with drained deques
-      Job* slot = &job;
-      const bool popped = try_pop(index, *slot);
+      const bool popped = try_pop(index, job);
       AA_CHECK(popped, "WorkStealingPool: queued_ > 0 but no job found");
     }
     run_job(job);
@@ -194,8 +200,8 @@ void WorkStealingPool::worker_loop(int index) {
 }
 
 bool WorkStealingPool::try_pop(int home, Job& out) {
-  // Caller holds mu_. Own deque first (front: oldest of our share), then
-  // steal from the back of the busiest sibling.
+  // Caller holds mu_ (enforced: AA_REQUIRES). Own deque first (front:
+  // oldest of our share), then steal from the back of the busiest sibling.
   const std::size_t w = deques_.size();
   auto& own = deques_[static_cast<std::size_t>(home)];
   if (!own.empty()) {
@@ -226,15 +232,15 @@ void WorkStealingPool::run_job(Job& job) {
   } catch (...) {
     error = std::current_exception();
   }
-  finish_job(job.group, error);
+  finish_job(job.group, std::move(error));
 }
 
 void WorkStealingPool::finish_job(TaskGroup* group,
                                   std::exception_ptr error) {
   bool last = false;
   {
-    std::lock_guard<std::mutex> lock(group->mu_);
-    if (error && !group->first_error_) group->first_error_ = error;
+    MutexLock lock(group->mu_);
+    if (error && !group->first_error_) group->first_error_ = std::move(error);
     last = --group->outstanding_ == 0;
   }
   if (last) group->done_.notify_all();
@@ -242,7 +248,7 @@ void WorkStealingPool::finish_job(TaskGroup* group,
 
 Watchdog::~Watchdog() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
     token_ = nullptr;
     ++generation_;
@@ -253,8 +259,10 @@ Watchdog::~Watchdog() {
 
 void Watchdog::arm(CancelToken& token, std::chrono::milliseconds timeout) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     token_ = &token;
+    // aa-lint: clock-ok(watchdog deadline — wall-clock by design; never
+    // feeds a report)
     deadline_ = std::chrono::steady_clock::now() + timeout;
     ++generation_;
     if (!thread_.joinable()) thread_ = std::thread([this] { loop(); });
@@ -264,7 +272,7 @@ void Watchdog::arm(CancelToken& token, std::chrono::milliseconds timeout) {
 
 void Watchdog::disarm() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     token_ = nullptr;
     ++generation_;
   }
@@ -272,17 +280,20 @@ void Watchdog::disarm() {
 }
 
 void Watchdog::loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
-    cv_.wait(lock, [this] { return stopping_ || token_ != nullptr; });
+    while (!stopping_ && token_ == nullptr) cv_.wait(lock);
     if (stopping_) return;
     const std::uint64_t gen = generation_;
     const auto deadline = deadline_;
-    // Wake on re-arm/disarm/shutdown (generation changed) or the deadline.
-    cv_.wait_until(lock, deadline,
-                   [this, gen] { return generation_ != gen || stopping_; });
+    // Sleep to the deadline; wake early on re-arm/disarm/shutdown (all
+    // bump generation_ or raise stopping_).
+    while (generation_ == gen && !stopping_) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+    }
     if (stopping_) return;
     if (generation_ != gen) continue;  // superseded — nothing fired
+    // aa-lint: clock-ok(watchdog expiry check — wall-clock by design)
     if (std::chrono::steady_clock::now() >= deadline && token_ != nullptr) {
       token_->cancel();
       token_ = nullptr;  // one shot per arm

@@ -11,18 +11,24 @@
 //     in chunk order. The floating-point reduction tree is therefore
 //     identical for 1, 2, or 64 threads, making reports bit-identical at
 //     any thread count.
+//
+// Lock discipline is statically checked: every mutex-guarded member below
+// carries AA_GUARDED_BY and internal helpers declare AA_REQUIRES
+// (util/annotations.hpp), so a clang build with -Wthread-safety — the CI
+// Werror job — proves at compile time that no access slips outside its
+// lock. A TSan CI job (cmake -DAA_SANITIZE=thread) checks the same claims
+// dynamically on the concurrency-heavy tests.
 #pragma once
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.hpp"
 
 namespace aa {
 
@@ -67,14 +73,14 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::mutex mu_;
-  std::condition_variable work_ready_;
-  std::condition_variable all_idle_;
-  std::queue<std::function<void()>> jobs_;
-  std::vector<std::thread> workers_;
-  std::exception_ptr first_error_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar work_ready_;
+  CondVar all_idle_;
+  std::deque<std::function<void()>> jobs_ AA_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_;  ///< written in the ctor only
+  std::exception_ptr first_error_ AA_GUARDED_BY(mu_);
+  std::size_t in_flight_ AA_GUARDED_BY(mu_) = 0;
+  bool stopping_ AA_GUARDED_BY(mu_) = false;
 };
 
 /// Long-lived work-stealing pool for campaign-scale workloads: one pool is
@@ -134,10 +140,10 @@ class WorkStealingPool {
     friend class WorkStealingPool;
 
     WorkStealingPool& pool_;
-    std::mutex mu_;
-    std::condition_variable done_;
-    std::exception_ptr first_error_;
-    std::size_t outstanding_ = 0;
+    Mutex mu_;
+    CondVar done_;
+    std::exception_ptr first_error_ AA_GUARDED_BY(mu_);
+    std::size_t outstanding_ AA_GUARDED_BY(mu_) = 0;
   };
 
  private:
@@ -149,18 +155,18 @@ class WorkStealingPool {
   void worker_loop(int index);
   /// Pop a job, preferring deque `home` and stealing otherwise. Returns
   /// false when every deque is empty.
-  bool try_pop(int home, Job& out);
+  bool try_pop(int home, Job& out) AA_REQUIRES(mu_);
   void run_job(Job& job);
-  void finish_job(TaskGroup* group, std::exception_ptr error);
+  static void finish_job(TaskGroup* group, std::exception_ptr error);
 
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_;  ///< written in the ctor only
 
-  std::mutex mu_;  ///< guards deques_ (cheap: jobs are coarse chunks)
-  std::condition_variable work_ready_;
-  std::vector<std::deque<Job>> deques_;
-  std::size_t next_queue_ = 0;
-  std::size_t queued_ = 0;
-  bool stopping_ = false;
+  Mutex mu_;  ///< guards the deques (cheap: jobs are coarse chunks)
+  CondVar work_ready_;
+  std::vector<std::deque<Job>> deques_ AA_GUARDED_BY(mu_);
+  std::size_t next_queue_ AA_GUARDED_BY(mu_) = 0;
+  std::size_t queued_ AA_GUARDED_BY(mu_) = 0;
+  bool stopping_ AA_GUARDED_BY(mu_) = false;
 };
 
 /// Cooperative cancellation flag shared between a watchdog (or any
@@ -209,13 +215,18 @@ class Watchdog {
  private:
   void loop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::thread thread_;                ///< started by the first arm()
-  CancelToken* token_ = nullptr;      ///< armed target (null = disarmed)
-  std::chrono::steady_clock::time_point deadline_{};
-  std::uint64_t generation_ = 0;      ///< bumped by every arm/disarm
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  /// Started by the first arm() (under mu_), joined by the destructor
+  /// after the loop observed stopping_. Not AA_GUARDED_BY(mu_): the
+  /// destructor must read it outside the lock to join, which is safe —
+  /// any arm() happens-before the destructor by the caller's contract
+  /// (no concurrent arm/destroy on one Watchdog).
+  std::thread thread_;
+  CancelToken* token_ AA_GUARDED_BY(mu_) = nullptr;  ///< null = disarmed
+  std::chrono::steady_clock::time_point deadline_ AA_GUARDED_BY(mu_){};
+  std::uint64_t generation_ AA_GUARDED_BY(mu_) = 0;  ///< bumped per arm/disarm
+  bool stopping_ AA_GUARDED_BY(mu_) = false;
 };
 
 /// Partition [0, total) into chunk_count(total, cfg) fixed chunks and call

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -69,6 +72,7 @@ TEST(CampaignConfig, EmptyTextYieldsDefaults) {
 
 TEST(CampaignConfig, ParsesRobustnessKeys) {
   const std::string text = R"(audit = true
+audit_every = 16
 resume = true
 cell_timeout_ms = 250
 chaos_crash_prob = 0.5
@@ -82,6 +86,7 @@ chaos_seed = 77
 )";
   const CampaignConfig cfg = parse_campaign_config(text);
   EXPECT_TRUE(cfg.audit);
+  EXPECT_EQ(cfg.audit_every, 16);
   EXPECT_TRUE(cfg.resume);
   EXPECT_EQ(cfg.cell_timeout_ms, 250);
   EXPECT_DOUBLE_EQ(cfg.chaos.crash_prob, 0.5);
@@ -97,6 +102,7 @@ chaos_seed = 77
   // uninvited.
   const CampaignConfig def = parse_campaign_config("");
   EXPECT_FALSE(def.audit);
+  EXPECT_EQ(def.audit_every, 0);
   EXPECT_FALSE(def.resume);
   EXPECT_EQ(def.cell_timeout_ms, 0);
   EXPECT_FALSE(def.chaos.enabled());
@@ -132,6 +138,8 @@ TEST(CampaignConfig, RejectsMalformedInput) {
                std::invalid_argument);  // non-boolean
   EXPECT_THROW(parse_campaign_config("cell_timeout_ms = -5"),
                std::invalid_argument);  // negative timeout
+  EXPECT_THROW(parse_campaign_config("audit_every = -3"),
+               std::invalid_argument);  // negative sampling period
 }
 
 // ---- sweep structure -------------------------------------------------------
@@ -189,6 +197,78 @@ TEST(Campaign, SummaryAndCellsByteIdenticalAcrossThreadCounts) {
           << "cell " << i << " diverged at threads=" << threads;
     }
   }
+}
+
+// ---- sampled auditing ------------------------------------------------------
+
+TEST(Campaign, AuditEveryNeverChangesReports) {
+  // The sampled auditor (audit_every = N) only THROWS on corruption; the
+  // sampled boundaries are a function of the window index alone. Summary
+  // and every cell must therefore stay byte-identical with it on.
+  CampaignConfig cfg = tiny_config();
+  const CampaignResult plain = run_campaign(cfg);
+  cfg.audit_every = 3;
+  const CampaignResult audited = run_campaign(cfg);
+  // The config echoes differ (audit_every), so compare via the plain
+  // config's serialization on both runs' cells.
+  cfg.audit_every = 0;
+  EXPECT_EQ(campaign_summary_json({cfg, audited.cells, audited.summary}),
+            campaign_summary_json({cfg, plain.cells, plain.summary}));
+  ASSERT_EQ(audited.cells.size(), plain.cells.size());
+  for (std::size_t i = 0; i < plain.cells.size(); ++i) {
+    EXPECT_EQ(campaign_cell_json(cfg, audited.cells[i]),
+              campaign_cell_json(cfg, plain.cells[i]))
+        << "cell " << i;
+  }
+}
+
+// ---- per-cell timing (sidecar-only) ----------------------------------------
+
+TEST(Campaign, TimingSidecarCoversEveryCellAndStaysOutOfReports) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "aa_campaign_timing";
+  fs::remove_all(dir);
+
+  CampaignConfig cfg = tiny_config();
+  cfg.name = "timing";
+  cfg.output_dir = dir.string();
+  const CampaignResult result = run_campaign(cfg);
+
+  // In-memory: every computed cell carries a positive wall clock and the
+  // derived throughput.
+  for (const CampaignCell& cell : result.cells) {
+    EXPECT_GT(cell.wall_ms, 0.0) << "cell " << cell.index;
+    EXPECT_GT(cell.trials_per_s, 0.0) << "cell " << cell.index;
+  }
+
+  // Sidecar document: one row per cell plus the total.
+  const std::string timing = campaign_timing_json(result);
+  for (const CampaignCell& cell : result.cells) {
+    EXPECT_NE(timing.find("\"cell\": " + std::to_string(cell.index)),
+              std::string::npos)
+        << timing;
+  }
+  EXPECT_NE(timing.find("\"wall_ms_total\""), std::string::npos);
+  EXPECT_NE(timing.find("\"trials_per_s\""), std::string::npos);
+
+  // On disk: the sidecar exists; the byte-identity surface (summary +
+  // cells) must NOT mention timing — it is nondeterministic and would
+  // break the threads-1-vs-N and fresh-vs-resumed byte diffs.
+  const auto slurp = [](const fs::path& p) {
+    std::ifstream in(p);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  };
+  EXPECT_TRUE(fs::exists(dir / "timing_timing.json"));
+  EXPECT_EQ(slurp(dir / "timing_timing.json"), timing);
+  const std::string summary = slurp(dir / "timing_summary.json");
+  EXPECT_FALSE(summary.empty());
+  EXPECT_EQ(summary.find("wall_ms"), std::string::npos);
+  EXPECT_EQ(summary.find("trials_per_s"), std::string::npos);
+  const std::string cell0 = slurp(dir / "timing_cell_0.json");
+  EXPECT_FALSE(cell0.empty());
+  EXPECT_EQ(cell0.find("wall_ms"), std::string::npos);
+
+  fs::remove_all(dir);
 }
 
 // ---- seed-block sharding through the checker -------------------------------

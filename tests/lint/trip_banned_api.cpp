@@ -1,0 +1,12 @@
+// aa_lint self-test fixture: must trip EXACTLY the `banned-api` rule.
+// plan_window( was superseded by plan_window_into( (scratch-reusing
+// planning); a reintroduction must be caught.
+
+namespace fixture {
+
+struct Plan {};
+struct Planner {
+  Plan plan_window(int horizon);  // the finding: removed API resurfacing
+};
+
+}  // namespace fixture

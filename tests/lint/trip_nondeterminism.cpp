@@ -1,0 +1,13 @@
+// aa_lint self-test fixture: must trip EXACTLY the `nondeterminism` rule.
+// Stands in for a src/ file that reaches for ambient randomness instead of
+// the seeded util/rng streams.
+#include <random>
+
+namespace fixture {
+
+unsigned ambient_seed() {
+  std::random_device rd;  // the finding: nondeterministic seed source
+  return rd();
+}
+
+}  // namespace fixture

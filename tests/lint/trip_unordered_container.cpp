@@ -1,0 +1,13 @@
+// aa_lint self-test fixture: must trip EXACTLY the `unordered-container`
+// rule. Stands in for a src/core file whose hash-order iteration would
+// leak into a report.
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Tally {
+  std::unordered_map<int, std::int64_t> counts;  // the finding
+};
+
+}  // namespace fixture

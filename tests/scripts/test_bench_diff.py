@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/bench_diff.py — the CI perf-regression gate.
+
+The gate's failure modes matter as much as its happy path: a missing
+previous run, an artifact a SIGKILLed bench truncated, or a bench that
+predates a tracked metric must all pass (warn-and-skip), while a genuine
+regression beyond tolerance must fail. Run directly or via CTest
+(scripts_test_bench_diff); stdlib unittest only.
+"""
+
+import contextlib
+import io
+import json
+import pathlib
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+
+import bench_diff  # noqa: E402
+
+
+def run_diff(argv):
+    """bench_diff.main() under argv, returning (exit_code, stdout+stderr)."""
+    out = io.StringIO()
+    old_argv = sys.argv
+    sys.argv = ["bench_diff.py"] + argv
+    try:
+        with contextlib.redirect_stdout(out), contextlib.redirect_stderr(out):
+            code = bench_diff.main()
+    finally:
+        sys.argv = old_argv
+    return code, out.getvalue()
+
+
+class BenchDiffTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self._tmp.cleanup)
+        self.root = pathlib.Path(self._tmp.name)
+        self.current = self.root / "current"
+        self.previous = self.root / "previous"
+        self.current.mkdir()
+        self.previous.mkdir()
+
+    def write_artifact(self, directory, name, speedup):
+        path = directory / f"BENCH_{name}.json"
+        path.write_text(json.dumps({"parallel_speedup": speedup}) + "\n")
+        return path
+
+    def diff(self, tolerance=0.15, previous=True):
+        argv = ["--current", str(self.current), "--tolerance", str(tolerance)]
+        if previous:
+            argv += ["--previous", str(self.previous)]
+        return run_diff(argv)
+
+    # ---- regression detection ----
+
+    def test_regression_beyond_tolerance_fails(self):
+        self.write_artifact(self.previous, "pool", 4.0)
+        self.write_artifact(self.current, "pool", 3.0)  # -25% at 15% tolerance
+        code, out = self.diff()
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSION", out)
+
+    def test_within_tolerance_passes(self):
+        self.write_artifact(self.previous, "pool", 4.0)
+        self.write_artifact(self.current, "pool", 3.6)  # -10%
+        code, out = self.diff()
+        self.assertEqual(code, 0)
+        self.assertIn("within tolerance", out)
+
+    def test_improvement_passes(self):
+        self.write_artifact(self.previous, "pool", 4.0)
+        self.write_artifact(self.current, "pool", 5.0)
+        code, _ = self.diff()
+        self.assertEqual(code, 0)
+
+    def test_tolerance_is_configurable(self):
+        self.write_artifact(self.previous, "pool", 4.0)
+        self.write_artifact(self.current, "pool", 3.6)  # -10%
+        code, _ = self.diff(tolerance=0.05)
+        self.assertEqual(code, 1)
+
+    # ---- missing-artifact tolerance ----
+
+    def test_no_previous_dir_passes(self):
+        self.write_artifact(self.current, "pool", 4.0)
+        code, out = self.diff(previous=False)
+        self.assertEqual(code, 0)
+        self.assertIn("nothing to compare", out)
+
+    def test_previous_dir_path_missing_passes(self):
+        self.write_artifact(self.current, "pool", 4.0)
+        code, _ = run_diff(["--current", str(self.current),
+                            "--previous", str(self.root / "nonexistent")])
+        self.assertEqual(code, 0)
+
+    def test_missing_previous_artifact_skipped(self):
+        self.write_artifact(self.previous, "pool", 4.0)
+        self.write_artifact(self.current, "pool", 3.0)  # would regress...
+        self.write_artifact(self.current, "fresh_bench", 1.0)  # ...new bench ok
+        code, out = self.diff()
+        self.assertEqual(code, 1)  # pool still gates
+        self.assertIn("BENCH_fresh_bench.json: no previous artifact", out)
+
+    def test_empty_current_dir_fails(self):
+        # No artifacts at all means the bench step itself broke — that must
+        # NOT silently pass.
+        code, _ = self.diff()
+        self.assertEqual(code, 1)
+
+    def test_metric_absent_previously_skipped(self):
+        (self.previous / "BENCH_pool.json").write_text('{"other": 1}\n')
+        self.write_artifact(self.current, "pool", 3.0)
+        code, out = self.diff()
+        self.assertEqual(code, 0)
+        self.assertIn("absent previously", out)
+
+    # ---- corrupt-JSON handling ----
+
+    def test_truncated_previous_json_warns_and_passes(self):
+        (self.previous / "BENCH_pool.json").write_text('{"parallel_spee')
+        self.write_artifact(self.current, "pool", 3.0)
+        code, out = self.diff()
+        self.assertEqual(code, 0)
+        self.assertIn("skipping unreadable", out)
+
+    def test_truncated_current_json_warns_and_passes(self):
+        self.write_artifact(self.previous, "pool", 4.0)
+        (self.current / "BENCH_pool.json").write_text("")
+        code, out = self.diff()
+        self.assertEqual(code, 0)
+        self.assertIn("skipping unreadable", out)
+
+    def test_non_object_json_warns_and_passes(self):
+        (self.previous / "BENCH_pool.json").write_text("[1, 2, 3]\n")
+        self.write_artifact(self.current, "pool", 3.0)
+        code, out = self.diff()
+        self.assertEqual(code, 0)
+        self.assertIn("not an object", out)
+
+    def test_non_numeric_metric_skipped(self):
+        (self.current / "BENCH_pool.json").write_text(
+            '{"parallel_speedup": "fast"}\n')
+        self.write_artifact(self.previous, "pool", 4.0)
+        code, out = self.diff()
+        self.assertEqual(code, 0)
+        self.assertIn("no tracked metrics", out)
+
+    def test_zero_previous_value_unusable(self):
+        self.write_artifact(self.previous, "pool", 0.0)
+        self.write_artifact(self.current, "pool", 3.0)
+        code, out = self.diff()
+        self.assertEqual(code, 0)
+        self.assertIn("unusable", out)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -9,6 +9,7 @@
 //   --resume             skip cells whose output JSON exists and validates
 //   --cell-timeout-ms N  per-cell wall-clock watchdog (retries once at 2N)
 //   --audit              run the engine invariant auditor every window
+//   --audit-every N      sampled auditor: every Nth window boundary
 //   --print-summary      print the merged-summary JSON to stdout
 //   --print-cells        print one line per finished cell
 //
@@ -39,8 +40,8 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <config-file> [--threads N] [--trials N] "
                "[--seed S] [--output-dir DIR] [--resume] "
-               "[--cell-timeout-ms N] [--audit] [--print-summary] "
-               "[--print-cells]\n",
+               "[--cell-timeout-ms N] [--audit] [--audit-every N] "
+               "[--print-summary] [--print-cells]\n",
                argv0);
 }
 
@@ -76,6 +77,7 @@ int main(int argc, char** argv) {
       else if (arg == "--resume") cfg.resume = true;
       else if (arg == "--cell-timeout-ms") cfg.cell_timeout_ms = std::atoll(next());
       else if (arg == "--audit") cfg.audit = true;
+      else if (arg == "--audit-every") cfg.audit_every = std::atoi(next());
       else if (arg == "--print-summary") print_summary = true;
       else if (arg == "--print-cells") print_cells = true;
       else {
