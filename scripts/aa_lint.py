@@ -92,7 +92,7 @@ RULES = [
         name="unordered-container",
         waiver="ordered-ok",
         pattern=re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b"),
-        dirs=("src/core/", "src/sim/", "src/adversary/"),
+        dirs=("src/core/", "src/sim/", "src/adversary/", "src/lens/"),
         allow=(),
         why="hash-order iteration can leak into reports — use an ordered "
             "container or the arena lists",
@@ -351,7 +351,10 @@ def self_test(root):
 
     trip_<rule>.<ext>   — at least one finding, ALL of rule <rule>, and no
                           finding from any other rule (a fixture that trips
-                          two rules is a bad fixture).
+                          two rules is a bad fixture). A '__<variant>'
+                          suffix after the rule name adds extra fixtures
+                          for the same rule (trip_unordered_container__lens
+                          still tests unordered-container).
     clean_*.<ext>       — zero findings under EVERY rule.
     """
     fixture_dir = root / "tests" / "lint"
@@ -372,7 +375,8 @@ def self_test(root):
                              RULES, errors)
         tripped = {f.rule for f in findings}
         if path.stem.startswith("trip_"):
-            expected = path.stem[len("trip_"):].replace("_", "-")
+            expected = (
+                path.stem[len("trip_"):].split("__")[0].replace("_", "-"))
             if expected not in known:
                 failures.append(f"{path.name}: names unknown rule "
                                 f"'{expected}'")

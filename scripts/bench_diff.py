@@ -5,8 +5,9 @@ Usage:
     bench_diff.py --current DIR [--previous DIR] [--tolerance 0.15]
 
 For every BENCH_<name>.json present in BOTH directories, compares the
-tracked metrics (currently `parallel_speedup`) and exits 1 if any metric
-regressed by more than --tolerance (relative). A missing previous
+tracked metrics (`parallel_speedup`, and `lens_off_windows_per_sec` — the
+"disabled lens is free" throughput gate from bench_l1_latency_lens) and
+exits 1 if any metric regressed by more than --tolerance (relative). A missing previous
 directory / file / metric is reported and tolerated — the first run on a
 branch, or a bench that predates the metric, must not fail CI.
 """
@@ -16,7 +17,7 @@ import json
 import pathlib
 import sys
 
-TRACKED_METRICS = ["parallel_speedup"]
+TRACKED_METRICS = ["parallel_speedup", "lens_off_windows_per_sec"]
 
 
 def load_metrics(path: pathlib.Path):

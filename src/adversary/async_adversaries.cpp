@@ -12,8 +12,13 @@ namespace detail {
 void DeliverableSet::sync(const sim::Execution& exec) {
   const sim::MessageBuffer& buf = exec.buffer();
   const std::size_t retired = buf.delivered_count() + buf.dropped_count();
-  const std::size_t expected =
-      retired_seen_ + (last_taken_ != sim::kNoMsg ? 1u : 0u);
+  // A wrapper (e.g. StarvingAsyncScheduler) may substitute a DIFFERENT
+  // delivery for our pick: the retire count still advances by one, so the
+  // count alone cannot distinguish "my pick applied" from "something else
+  // was retired instead". Check the pick itself.
+  const bool pick_applied =
+      last_taken_ != sim::kNoMsg && !buf.is_pending(last_taken_);
+  const std::size_t expected = retired_seen_ + (pick_applied ? 1u : 0u);
   if (retired != expected) {
     // Out-of-band driver retired messages behind our back: rebuild from a
     // full scan (same list, the slow way).
@@ -28,11 +33,11 @@ void DeliverableSet::sync(const sim::Execution& exec) {
     return;
   }
   // 1. Retire the delivery we issued last call (run_async applied it).
-  if (last_taken_ != sim::kNoMsg) {
+  if (pick_applied) {
     const auto it = std::lower_bound(ids_.begin(), ids_.end(), last_taken_);
     if (it != ids_.end() && *it == last_taken_) ids_.erase(it);
-    last_taken_ = sim::kNoMsg;
   }
+  last_taken_ = sim::kNoMsg;
   // 2. A crash since the last sync makes some queued entries
   //    undeliverable; purge them (rare — at most t times per run).
   if (exec.crashed_count() != crash_count_seen_) {

@@ -14,9 +14,11 @@
 #include <utility>
 
 #include "adversary/async_adversaries.hpp"
+#include "adversary/censor.hpp"
 #include "adversary/chaos.hpp"
 #include "adversary/window_adversaries.hpp"
 #include "core/checker.hpp"
+#include "lens/accountability.hpp"
 #include "util/check.hpp"
 
 namespace aa::core {
@@ -165,31 +167,86 @@ AsyncAdversaryFactory async_factory(const std::string& name, int t) {
   };
 }
 
-/// Cell factories with the chaos layer applied. A disabled plan returns the
-/// plain factory object itself — the zero-drift guarantee is structural,
-/// not behavioral.
-WindowAdversaryFactory chaos_window_factory(const CampaignConfig& config,
-                                            const std::string& name, int t) {
-  WindowAdversaryFactory inner = window_factory(name, t);
-  if (!config.chaos.enabled()) return inner;
-  const sim::FaultPlan fp = config.chaos;
-  return [inner = std::move(inner),
-          fp](std::uint64_t seed) -> std::unique_ptr<sim::WindowAdversary> {
-    return std::make_unique<adversary::ChaosWindowAdversary>(inner(seed), fp,
-                                                             seed);
-  };
+/// Chaos presets for the `chaos_plan` sweep axis. "none" resolves to the
+/// config's own chaos knobs — the default axis value is exactly the
+/// pre-axis behavior — and the named presets inherit the config's censor
+/// target and chaos seed so `chaos_censor_target` / `chaos_seed` still
+/// steer them.
+sim::FaultPlan chaos_plan_preset(const CampaignConfig& config,
+                                 const std::string& name) {
+  if (name == "none") return config.chaos;
+  sim::FaultPlan fp;
+  fp.censor_target = config.chaos.censor_target;
+  fp.chaos_seed = config.chaos.chaos_seed;
+  if (name == "censor-light") {
+    fp.censor_prob = 0.25;
+  } else if (name == "censor-heavy") {
+    fp.censor_prob = 0.9;
+  } else if (name == "resets") {
+    fp.reset_prob = 0.5;
+  } else if (name == "crashy") {
+    fp.crash_prob = 0.2;
+    fp.crash_budget = 1;
+  } else {
+    AA_REQUIRE(false,
+               "campaign: unknown chaos_plan preset '" + name +
+                   "' (want none|censor-light|censor-heavy|resets|crashy)");
+  }
+  return fp;
 }
 
-AsyncAdversaryFactory chaos_async_factory(const CampaignConfig& config,
-                                          const std::string& name, int t) {
-  AsyncAdversaryFactory inner = async_factory(name, t);
-  if (!config.chaos.enabled()) return inner;
-  const sim::FaultPlan fp = config.chaos;
-  return [inner = std::move(inner),
-          fp](std::uint64_t seed) -> std::unique_ptr<sim::AsyncAdversary> {
-    return std::make_unique<adversary::ChaosAsyncScheduler>(inner(seed), fp,
-                                                            seed);
-  };
+/// The async censor's fairness bound: how many consecutive times the
+/// starving scheduler may defer the target before it must let the inner
+/// adversary's choice stand. Small enough that censored campaigns still
+/// terminate, large enough that the target is demonstrably starved.
+constexpr int kCampaignStarveBound = 8;
+
+/// Cell factories with the chaos layer and (outermost) the targeted
+/// censor applied. A disabled plan and no censor target return the plain
+/// factory object itself — the zero-drift guarantee is structural, not
+/// behavioral.
+WindowAdversaryFactory cell_window_factory(const CampaignConfig& config,
+                                           const sim::FaultPlan& fp,
+                                           const std::string& name, int t) {
+  WindowAdversaryFactory f = window_factory(name, t);
+  if (fp.enabled()) {
+    f = [inner = std::move(f),
+         fp](std::uint64_t seed) -> std::unique_ptr<sim::WindowAdversary> {
+      return std::make_unique<adversary::ChaosWindowAdversary>(inner(seed),
+                                                               fp, seed);
+    };
+  }
+  if (config.censor_target >= 0) {
+    const sim::ProcId target = config.censor_target;
+    f = [inner = std::move(f),
+         target](std::uint64_t seed) -> std::unique_ptr<sim::WindowAdversary> {
+      return std::make_unique<adversary::TargetedCensorAdversary>(inner(seed),
+                                                                  target);
+    };
+  }
+  return f;
+}
+
+AsyncAdversaryFactory cell_async_factory(const CampaignConfig& config,
+                                         const sim::FaultPlan& fp,
+                                         const std::string& name, int t) {
+  AsyncAdversaryFactory f = async_factory(name, t);
+  if (fp.enabled()) {
+    f = [inner = std::move(f),
+         fp](std::uint64_t seed) -> std::unique_ptr<sim::AsyncAdversary> {
+      return std::make_unique<adversary::ChaosAsyncScheduler>(inner(seed), fp,
+                                                              seed);
+    };
+  }
+  if (config.censor_target >= 0) {
+    const sim::ProcId target = config.censor_target;
+    f = [inner = std::move(f),
+         target](std::uint64_t seed) -> std::unique_ptr<sim::AsyncAdversary> {
+      return std::make_unique<adversary::StarvingAsyncScheduler>(
+          inner(seed), target, kCampaignStarveBound);
+    };
+  }
+  return f;
 }
 
 // ------------------------------------------------------------- JSON bits
@@ -285,10 +342,11 @@ bool json_find_seeds(const std::string& text, std::vector<std::uint64_t>& out) {
 /// rebuilding the accumulator from its exact integer tallies — the cell
 /// re-serializes to the SAME bytes (this cross-checks every identity field
 /// against the current config, so stale or foreign artifacts are rejected
-/// and recomputed). On success the tallies merge into `summary`, making the
-/// resumed summary byte-identical to an uninterrupted run's.
+/// and recomputed). On success the tallies land in `acc_out` (the cell's
+/// slot in the end-of-sweep index-order summary merge), making the resumed
+/// summary byte-identical to an uninterrupted run's.
 bool try_resume_cell(const CampaignConfig& config, CampaignCell& cell,
-                     const std::string& path, MeasureOneAccumulator& summary) {
+                     const std::string& path, MeasureOneAccumulator& acc_out) {
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) return false;
   std::stringstream ss;
@@ -323,7 +381,7 @@ bool try_resume_cell(const CampaignConfig& config, CampaignCell& cell,
     cell.metric_sum = 0;
     return false;
   }
-  summary.merge(acc);
+  acc_out = std::move(acc);
   cell.resumed = true;
   return true;
 }
@@ -332,6 +390,13 @@ std::string cell_file_path(const CampaignConfig& config, int index) {
   namespace fs = std::filesystem;
   return (fs::path(config.output_dir) /
           (config.name + "_cell_" + std::to_string(index) + ".json"))
+      .string();
+}
+
+std::string lens_file_path(const CampaignConfig& config, int index) {
+  namespace fs = std::filesystem;
+  return (fs::path(config.output_dir) /
+          (config.name + "_cell_" + std::to_string(index) + "_lens.json"))
       .string();
 }
 
@@ -383,6 +448,14 @@ CampaignConfig parse_campaign_config(const std::string& text) {
       cfg.memory_k = parse_int_list(value, line);
     } else if (key == "adversaries") {
       cfg.adversaries = split_list(value);
+    } else if (key == "chaos_plan") {
+      cfg.chaos_plan = split_list(value);
+    } else if (key == "lens") {
+      cfg.lens = parse_bool(value, line);
+    } else if (key == "censor_target") {
+      cfg.censor_target = static_cast<int>(parse_int(value, line));
+    } else if (key == "parallel_cells") {
+      cfg.parallel_cells = parse_bool(value, line);
     } else if (key == "split") {
       cfg.split = parse_double(value, line);
     } else if (key == "trials") {
@@ -435,9 +508,29 @@ CampaignConfig parse_campaign_config(const std::string& text) {
              "campaign config: audit_every must be non-negative");
   AA_REQUIRE(!cfg.n.empty() && !cfg.t.empty() && !cfg.protocols.empty() &&
                  !cfg.adversaries.empty() && !cfg.thresholds.empty() &&
-                 !cfg.memory_k.empty(),
+                 !cfg.memory_k.empty() && !cfg.chaos_plan.empty(),
              "campaign config: every sweep axis needs at least one value");
   sim::validate_fault_plan(cfg.chaos);
+  const bool default_plan =
+      cfg.chaos_plan.size() == 1 && cfg.chaos_plan[0] == "none";
+  AA_REQUIRE(default_plan || !cfg.chaos.enabled(),
+             "campaign config: a chaos_plan axis and enabled chaos_* knobs "
+             "are mutually exclusive (the presets would silently override "
+             "the knobs)");
+  for (const std::string& plan : cfg.chaos_plan) {
+    // Rejects unknown preset names and validates each resolved plan.
+    sim::validate_fault_plan(chaos_plan_preset(cfg, plan));
+  }
+  AA_REQUIRE(!cfg.parallel_cells || cfg.cell_timeout_ms == 0,
+             "campaign config: parallel_cells and cell_timeout_ms are "
+             "mutually exclusive (one watchdog token cannot bound "
+             "concurrent cells)");
+  if (cfg.censor_target >= 0) {
+    for (const int n : cfg.n) {
+      AA_REQUIRE(cfg.censor_target < n,
+                 "campaign config: censor_target must be < every swept n");
+    }
+  }
   return cfg;
 }
 
@@ -449,22 +542,90 @@ CampaignConfig load_campaign_config(const std::string& path) {
   return parse_campaign_config(ss.str());
 }
 
+namespace {
+
+/// One enumerated sweep cell awaiting compute (or restored by resume):
+/// the cell's coordinates and spec, its resolved chaos preset, its output
+/// paths, and its private accumulator slot for the index-order summary
+/// merge. Slots make the merge order a function of the config alone, so
+/// the sequential and parallel-cells schedules produce the same summary
+/// bytes.
+struct CellWork {
+  CampaignCell cell;
+  Experiment spec;
+  sim::FaultPlan chaos;
+  std::string path;       ///< cell artifact ("" = not writing)
+  std::string lens_path;  ///< lens artifact ("" = not writing or no lens)
+  MeasureOneAccumulator acc;
+  bool done = false;
+};
+
+/// Run one cell's trials on the calling thread's chunk engine and fill its
+/// slot. `inline_trials` is set on the parallel-cells path, where the cell
+/// IS the pool job and must not re-shard onto the pool it occupies — chunk
+/// boundaries depend only on (trials, chunk_size), so the report bytes are
+/// unchanged. Returns false iff the check came back partial (cancelled).
+bool compute_cell(const CampaignConfig& config, CampaignContext& ctx,
+                  CellWork& w, bool inline_trials) {
+  MeasureOneAccumulator acc;
+  lens::LatencyAccumulator lat;
+  lens::LatencyAccumulator* lat_ptr = config.lens ? &lat : nullptr;
+  MeasureOneReport rep;
+  if (config.model == CampaignModel::kWindow) {
+    rep = check_measure_one_window(
+        w.spec,
+        cell_window_factory(config, w.chaos, w.cell.adversary, w.cell.t),
+        config.trials, w.cell.seed0, ctx, &acc, lat_ptr, inline_trials);
+  } else {
+    rep = check_measure_one_async(
+        w.spec,
+        cell_async_factory(config, w.chaos, w.cell.adversary, w.cell.t),
+        config.trials, w.cell.seed0, ctx, &acc, lat_ptr, inline_trials);
+  }
+  if (rep.trials != config.trials) return false;  // cancelled mid-cell
+  // Report the accumulator's exact-division mean (identical fresh vs
+  // resumed), and persist the integer metric sum so --resume can rebuild
+  // it.
+  w.acc = std::move(acc);
+  w.cell.metric_sum = w.acc.metric_sum();
+  w.cell.report = w.acc.finalize(config.model == CampaignModel::kAsync);
+  if (config.lens) {
+    w.cell.lens_report = lat.finalize(w.cell.t);
+    // Lens artifact FIRST: resume keys on the cell artifact, so a cell
+    // artifact on disk implies its lens sidecar landed too.
+    if (!w.lens_path.empty()) {
+      write_file_atomic(w.lens_path,
+                        latency_report_json(w.cell.lens_report));
+    }
+  }
+  if (!w.path.empty()) {
+    write_file_atomic(w.path, campaign_cell_json(config, w.cell));
+  }
+  return true;
+}
+
+}  // namespace
+
 CampaignResult run_campaign(const CampaignConfig& config,
                             CampaignContext& ctx) {
   namespace fs = std::filesystem;
+  // Re-checked here (not just in the parser) because CLI overrides and
+  // programmatic configs can combine the two after parsing.
+  AA_REQUIRE(!config.parallel_cells || config.cell_timeout_ms == 0,
+             "run_campaign: parallel_cells and cell_timeout_ms are "
+             "mutually exclusive");
   CampaignResult result;
   result.config = config;
 
   const bool writing = !config.output_dir.empty();
   if (writing) fs::create_directories(config.output_dir);
 
-  MeasureOneAccumulator summary;
-  Watchdog watchdog;
-  CancelToken& cancel = ctx.cancel_token();
+  // Phase 1 — enumerate the sweep serially into canonical-order slots:
+  // outermost n, innermost chaos_plan. The per-cell seed block
+  // [seed + index*trials, ...) depends only on the config, so cell
+  // identities — and every report — are thread-count-independent.
+  std::vector<CellWork> work;
   int index = 0;
-  // Canonical sweep order: outermost n, innermost adversary. The per-cell
-  // seed block [seed + index*trials, ...) depends only on the config, so
-  // cell identities — and every report — are thread-count-independent.
   for (const int n : config.n) {
     for (const int t : config.t) {
       for (const std::string& proto : config.protocols) {
@@ -478,95 +639,130 @@ CampaignResult run_campaign(const CampaignConfig& config,
           for (std::size_t ki = 0; ki < k_count; ++ki) {
             const int memory_k = config.memory_k[ki];
             for (const std::string& adv : config.adversaries) {
-              CampaignCell cell;
-              cell.index = index;
-              cell.n = n;
-              cell.t = t;
-              cell.protocol = proto;
-              cell.thresholds = th_name;
-              cell.memory_k = memory_k;
-              cell.adversary = adv;
-              cell.seed0 = config.seed + static_cast<std::uint64_t>(index) *
-                                             static_cast<std::uint64_t>(
-                                                 config.trials);
+              for (const std::string& plan_name : config.chaos_plan) {
+                CellWork w;
+                w.cell.index = index;
+                w.cell.n = n;
+                w.cell.t = t;
+                w.cell.protocol = proto;
+                w.cell.thresholds = th_name;
+                w.cell.memory_k = memory_k;
+                w.cell.adversary = adv;
+                w.cell.chaos_plan = plan_name;
+                w.cell.seed0 =
+                    config.seed + static_cast<std::uint64_t>(index) *
+                                      static_cast<std::uint64_t>(
+                                          config.trials);
 
-              Experiment spec;
-              spec.kind = kind;
-              spec.inputs = protocols::split_inputs(n, config.split);
-              spec.t = t;
-              spec.budget = config.budget;
-              spec.thresholds = threshold_preset(th_name, n, t);
-              spec.memory_k = memory_k;
-              spec.audit = config.audit;
-              spec.audit_every = config.audit_every;
+                w.spec.kind = kind;
+                w.spec.inputs = protocols::split_inputs(n, config.split);
+                w.spec.t = t;
+                w.spec.budget = config.budget;
+                w.spec.thresholds = threshold_preset(th_name, n, t);
+                w.spec.memory_k = memory_k;
+                w.spec.audit = config.audit;
+                w.spec.audit_every = config.audit_every;
 
-              const std::string cell_path =
-                  writing ? cell_file_path(config, index) : std::string();
-
-              // Per-cell wall clock. Timing never enters the cell/summary
-              // artifacts — only the <name>_timing.json sidecar — so the
-              // byte-identity surface stays deterministic.
-              // aa-lint: clock-ok(throughput metric, sidecar-only output)
-              const auto cell_start = std::chrono::steady_clock::now();
-
-              bool done = config.resume && writing &&
-                          try_resume_cell(config, cell, cell_path, summary);
-              // Fresh compute: up to two attempts — the retry doubles the
-              // watchdog deadline, so a cell that merely straddled the
-              // timeout still lands (the recompute is deterministic, only
-              // the wall clock differs).
-              for (int attempt = 0; attempt < 2 && !done; ++attempt) {
-                cancel.reset();
-                if (config.cell_timeout_ms > 0) {
-                  watchdog.arm(cancel,
-                               std::chrono::milliseconds(config.cell_timeout_ms
-                                                         << attempt));
-                }
-                MeasureOneAccumulator acc;
-                MeasureOneReport rep;
-                if (config.model == CampaignModel::kWindow) {
-                  rep = check_measure_one_window(
-                      spec, chaos_window_factory(config, adv, t),
-                      config.trials, cell.seed0, ctx, &acc);
-                } else {
-                  rep = check_measure_one_async(
-                      spec, chaos_async_factory(config, adv, t),
-                      config.trials, cell.seed0, ctx, &acc);
-                }
-                if (config.cell_timeout_ms > 0) watchdog.disarm();
-                if (rep.trials != config.trials) continue;  // timed out
-                // Report the accumulator's exact-division mean (identical
-                // fresh vs resumed), and persist the integer metric sum so
-                // --resume can rebuild it.
-                cell.metric_sum = acc.metric_sum();
-                cell.report =
-                    acc.finalize(config.model == CampaignModel::kAsync);
-                summary.merge(acc);
+                w.chaos = chaos_plan_preset(config, plan_name);
                 if (writing) {
-                  write_file_atomic(cell_path,
-                                    campaign_cell_json(config, cell));
+                  w.path = cell_file_path(config, index);
+                  if (config.lens) w.lens_path = lens_file_path(config, index);
                 }
-                done = true;
+                work.push_back(std::move(w));
+                ++index;
               }
-              cancel.reset();
-              cell.failed = !done;
-              // aa-lint: clock-ok(throughput metric, sidecar-only output)
-              const auto cell_end = std::chrono::steady_clock::now();
-              cell.wall_ms =
-                  std::chrono::duration<double, std::milli>(cell_end -
-                                                            cell_start)
-                      .count();
-              if (done && cell.wall_ms > 0.0) {
-                cell.trials_per_s =
-                    static_cast<double>(config.trials) * 1000.0 / cell.wall_ms;
-              }
-              result.cells.push_back(std::move(cell));
-              ++index;
             }
           }
         }
       }
     }
+  }
+
+  // Phase 2 — serial resume: restore whole cells from validated artifacts
+  // into their slots before any compute is scheduled.
+  if (config.resume && writing) {
+    for (CellWork& w : work) {
+      // aa-lint: clock-ok(throughput metric, sidecar-only output)
+      const auto t0 = std::chrono::steady_clock::now();
+      if (try_resume_cell(config, w.cell, w.path, w.acc)) {
+        w.done = true;
+        // aa-lint: clock-ok(throughput metric, sidecar-only output)
+        const auto t1 = std::chrono::steady_clock::now();
+        w.cell.wall_ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (w.cell.wall_ms > 0.0) {
+          w.cell.trials_per_s =
+              static_cast<double>(config.trials) * 1000.0 / w.cell.wall_ms;
+        }
+      }
+    }
+  }
+
+  // Phase 3 — compute the remaining cells.
+  if (config.parallel_cells && ctx.pool() != nullptr) {
+    // Whole cells as pool jobs: each job runs its trials inline
+    // (compute_cell inline_trials), write_file_atomic targets distinct
+    // paths, and every result lands in the job's own slot — nothing is
+    // shared between jobs but the pool and the per-worker scratch.
+    // parse_campaign_config rejects cell_timeout_ms here, so there is no
+    // watchdog and a check never comes back partial.
+    WorkStealingPool::TaskGroup group(*ctx.pool());
+    for (CellWork& w : work) {
+      if (w.done) continue;
+      group.submit([&config, &ctx, &w] {
+        // aa-lint: clock-ok(throughput metric, sidecar-only output)
+        const auto t0 = std::chrono::steady_clock::now();
+        w.done = compute_cell(config, ctx, w, /*inline_trials=*/true);
+        // aa-lint: clock-ok(throughput metric, sidecar-only output)
+        const auto t1 = std::chrono::steady_clock::now();
+        w.cell.wall_ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (w.done && w.cell.wall_ms > 0.0) {
+          w.cell.trials_per_s =
+              static_cast<double>(config.trials) * 1000.0 / w.cell.wall_ms;
+        }
+      });
+    }
+    group.wait();
+  } else {
+    Watchdog watchdog;
+    CancelToken& cancel = ctx.cancel_token();
+    for (CellWork& w : work) {
+      if (w.done) continue;
+      // aa-lint: clock-ok(throughput metric, sidecar-only output)
+      const auto t0 = std::chrono::steady_clock::now();
+      // Up to two attempts — the retry doubles the watchdog deadline, so a
+      // cell that merely straddled the timeout still lands (the recompute
+      // is deterministic, only the wall clock differs).
+      for (int attempt = 0; attempt < 2 && !w.done; ++attempt) {
+        cancel.reset();
+        if (config.cell_timeout_ms > 0) {
+          watchdog.arm(cancel, std::chrono::milliseconds(
+                                   config.cell_timeout_ms << attempt));
+        }
+        w.done = compute_cell(config, ctx, w, /*inline_trials=*/false);
+        if (config.cell_timeout_ms > 0) watchdog.disarm();
+      }
+      cancel.reset();
+      // aa-lint: clock-ok(throughput metric, sidecar-only output)
+      const auto t1 = std::chrono::steady_clock::now();
+      w.cell.wall_ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      if (w.done && w.cell.wall_ms > 0.0) {
+        w.cell.trials_per_s =
+            static_cast<double>(config.trials) * 1000.0 / w.cell.wall_ms;
+      }
+    }
+  }
+
+  // Phase 4 — merge the summary in canonical index order (the accumulator
+  // is exactly associative, but fixing the order anyway keeps every
+  // schedule byte-identical by construction). Failed cells are excluded.
+  MeasureOneAccumulator summary;
+  for (CellWork& w : work) {
+    w.cell.failed = !w.done;
+    if (w.done) summary.merge(w.acc);
+    result.cells.push_back(std::move(w.cell));
   }
   result.summary =
       summary.finalize(config.model == CampaignModel::kAsync);
@@ -604,6 +800,13 @@ std::string campaign_cell_json(const CampaignConfig& config,
   json_kv(out, "thresholds", cell.thresholds);
   json_kv_int(out, "memory_k", cell.memory_k);
   json_kv(out, "adversary", cell.adversary);
+  // Lens-era axes appear ONLY when non-default, so pre-axis configs keep
+  // byte-identical artifacts (and resume's re-serialization check keeps
+  // accepting them).
+  if (cell.chaos_plan != "none") json_kv(out, "chaos_plan", cell.chaos_plan);
+  if (config.censor_target >= 0) {
+    json_kv_int(out, "censor_target", config.censor_target);
+  }
   json_kv_int(out, "seed0", static_cast<long long>(cell.seed0));
   json_kv_int(out, "budget", config.budget);
   json_kv_int(out, "metric_sum", cell.metric_sum);
@@ -673,6 +876,16 @@ void write_campaign_json(const CampaignResult& result,
   fs::create_directories(dir);
   for (const CampaignCell& cell : result.cells) {
     if (cell.failed) continue;  // no artifact may masquerade as a result
+    // Lens sidecar first (same ordering contract as run_campaign). A
+    // resumed cell carries no in-memory lens report; its sidecar already
+    // exists from the run that computed it.
+    if (result.config.lens && cell.lens_report.n > 0) {
+      write_file_atomic(
+          (fs::path(dir) / (result.config.name + "_cell_" +
+                            std::to_string(cell.index) + "_lens.json"))
+              .string(),
+          latency_report_json(cell.lens_report));
+    }
     write_file_atomic((fs::path(dir) / (result.config.name + "_cell_" +
                                         std::to_string(cell.index) + ".json"))
                           .string(),

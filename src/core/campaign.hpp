@@ -3,7 +3,8 @@
 // Execution scratch) across every cell.
 //
 // A campaign is a cross product of sweep axes — n × t × protocol ×
-// thresholds-preset × memory-K × adversary — where each cell runs `trials`
+// thresholds-preset × memory-K × adversary × chaos-plan — where each cell
+// runs `trials`
 // seeded checker trials under one model (window or async). Cell order,
 // per-cell seed blocks, and the merged summary are functions of the config
 // ALONE: the same config produces byte-identical per-cell reports and
@@ -54,6 +55,15 @@ struct CampaignConfig {
   /// Adversary menu, by model: window — fair, silencer, split-keeper,
   /// reset-storm, random; async — random-async, fixed-crash, async-split.
   std::vector<std::string> adversaries = {"random"};
+  /// Chaos-preset sweep axis (`chaos_plan = none, censor-heavy`), the
+  /// INNERMOST axis (inside adversary). Presets: `none` (the config's own
+  /// chaos_* knobs — the default axis value is therefore exactly the
+  /// pre-axis behavior), `censor-light` / `censor-heavy` (probabilistic
+  /// censorship of chaos_censor_target at 0.25 / 0.9 per row), `resets`
+  /// (reset storms at 0.5 per window), `crashy` (one crash at 0.2 per
+  /// window). A non-default axis is mutually exclusive with enabled
+  /// chaos_* knobs — the presets would silently override them.
+  std::vector<std::string> chaos_plan = {"none"};
 
   // ---- per-cell scalars ----
   double split = 0.5;        ///< input pattern: fraction of 1-inputs
@@ -93,6 +103,29 @@ struct CampaignConfig {
   /// restored (exact tallies) instead of recomputed, so the resumed
   /// summary is byte-identical to an uninterrupted run's.
   bool resume = false;
+
+  // ---- latency & accountability lens ----
+  /// Capture the per-message lens (Experiment::lens) for every cell and
+  /// fold each trial's WindowTrace into a per-cell LatencyAccumulator.
+  /// With output_dir set, each cell writes <name>_cell_<i>_lens.json
+  /// (core::latency_report_json) BEFORE its cell artifact, so a cell
+  /// artifact on disk implies its lens sidecar landed too. The lens never
+  /// changes the cell/summary byte-identity surface.
+  bool lens = false;
+  /// Wrap every cell adversary in the targeted-censorship layer
+  /// (adversary/censor.hpp): window model — TargetedCensorAdversary
+  /// suppressing this sender wherever Definition 1 leaves slack; async —
+  /// StarvingAsyncScheduler deferring its deliveries within a fairness
+  /// bound. −1 (the default) disables. The wrapper is OUTERMOST (it
+  /// censors whatever the chaos layer planned).
+  int censor_target = -1;
+  /// Distribute whole CELLS across the context's work-stealing pool
+  /// instead of sharding each cell's trials. Cell jobs run their trials
+  /// inline (checker `inline_trials`), so chunk boundaries — and every
+  /// artifact byte — match the sequential order exactly. Mutually
+  /// exclusive with cell_timeout_ms (one watchdog token cannot bound
+  /// concurrent cells).
+  bool parallel_cells = false;
 };
 
 /// Parse config text (`key = value` lines, `#` comments). Unknown keys and
@@ -111,6 +144,10 @@ struct CampaignCell {
   std::string thresholds;
   int memory_k = 0;
   std::string adversary;
+  /// Chaos preset this cell ran under (the `chaos_plan` axis; "none" means
+  /// the config's own chaos_* knobs). Serialized into the cell JSON only
+  /// when not "none", so default-axis configs keep their pre-axis bytes.
+  std::string chaos_plan = "none";
   std::uint64_t seed0 = 0;  ///< first trial seed of this cell's block
   MeasureOneReport report;
   /// Exact integer decision-metric sum (MeasureOneAccumulator::metric_sum)
@@ -126,6 +163,11 @@ struct CampaignCell {
   /// diffs deliberately ignore.
   double wall_ms = 0.0;
   double trials_per_s = 0.0;
+  /// Finalized lens report for this cell (CampaignConfig::lens): per-sender
+  /// confirmation latency, censorship scores, blame lists. Left empty for
+  /// RESUMED cells — their <name>_cell_<i>_lens.json artifact was written
+  /// when the cell was first computed and is not re-derived.
+  lens::LatencyReport lens_report;
 };
 
 struct CampaignResult {
@@ -136,14 +178,18 @@ struct CampaignResult {
   MeasureOneReport summary;
 };
 
-/// Run every cell of `config`'s sweep on the shared context. Cells run in
-/// canonical order (n, t, protocol, thresholds, memory_k, adversary
-/// nesting, outermost first); each cell's trials shard onto ctx's pool.
-/// With config.output_dir set, every completed cell's JSON is written
-/// ATOMICALLY (temp + rename) as soon as it finishes and the summary at
-/// the end — a SIGKILL mid-sweep leaves only whole-cell artifacts, which
-/// config.resume restores on the next run. config.cell_timeout_ms bounds
-/// each cell's wall clock via a watchdog on ctx.cancel_token().
+/// Run every cell of `config`'s sweep on the shared context. Cells are
+/// enumerated in canonical order (n, t, protocol, thresholds, memory_k,
+/// adversary, chaos_plan nesting, outermost first); by default each cell's
+/// trials shard onto ctx's pool, while config.parallel_cells instead
+/// schedules whole cells as pool jobs (trials inline) — either way every
+/// cell report, lens artifact, and the summary are byte-identical to the
+/// serial order. With config.output_dir set, every completed cell's JSON
+/// is written ATOMICALLY (temp + rename) as soon as it finishes and the
+/// summary at the end — a SIGKILL mid-sweep leaves only whole-cell
+/// artifacts, which config.resume restores on the next run.
+/// config.cell_timeout_ms bounds each cell's wall clock via a watchdog on
+/// ctx.cancel_token().
 [[nodiscard]] CampaignResult run_campaign(const CampaignConfig& config,
                                           CampaignContext& ctx);
 

@@ -21,10 +21,12 @@ template <typename RunTrial>
 MeasureOneReport run_measure_one(int trials, std::uint64_t seed0,
                                  CampaignContext& ctx,
                                  MeasureOneAccumulator* acc_out,
-                                 const RunTrial& trial) {
+                                 lens::LatencyAccumulator* lat_out,
+                                 bool inline_trials, const RunTrial& trial) {
   struct Partial {
     RunningStats metric;
     MeasureOneAccumulator acc;
+    lens::LatencyAccumulator lat;
   };
   const ParallelConfig& par = ctx.parallel();
   std::vector<Partial> parts(
@@ -45,9 +47,22 @@ MeasureOneReport run_measure_one(int trials, std::uint64_t seed0,
       const TrialVerdict v = trial(seed, scratch);
       p.acc.add(seed, v);
       if (v.decided) p.metric.add(static_cast<double>(v.metric));
+      if (lat_out != nullptr && scratch.trace) p.lat.add(*scratch.trace);
     }
   };
-  if (ctx.pool() != nullptr) {
+  if (inline_trials) {
+    // The whole check is already one task on the shared pool (the
+    // parallel-cells campaign path): run every chunk on THIS thread, in
+    // order. Spawning a nested pool here would hand other threads the
+    // same per-worker scratch this task is using. Chunk boundaries are
+    // identical to the pooled schedule, so the merged bytes match.
+    const std::int64_t chunk =
+        std::max(1, par.chunk_size);  // chunk_count's partition
+    for (int ci = 0; ci < static_cast<int>(parts.size()); ++ci) {
+      const std::int64_t begin = static_cast<std::int64_t>(ci) * chunk;
+      body(ci, begin, std::min<std::int64_t>(begin + chunk, trials));
+    }
+  } else if (ctx.pool() != nullptr) {
     parallel_for_chunks(trials, par, body, *ctx.pool());
   } else {
     parallel_for_chunks(trials, par, body);
@@ -65,6 +80,9 @@ MeasureOneReport run_measure_one(int trials, std::uint64_t seed0,
   rep.mean_windows_to_first = metric.mean();
   rep.mean_chain_at_decision = 0.0;
   if (acc_out != nullptr) acc_out->merge(acc);
+  if (lat_out != nullptr) {
+    for (const Partial& p : parts) lat_out->merge(p.lat);
+  }
   return rep;
 }
 
@@ -79,12 +97,15 @@ Experiment checker_spec(Experiment spec) {
 MeasureOneReport check_measure_one_window(
     const Experiment& spec, const WindowAdversaryFactory& make_adversary,
     int trials, std::uint64_t seed0, CampaignContext& ctx,
-    MeasureOneAccumulator* acc) {
+    MeasureOneAccumulator* acc, lens::LatencyAccumulator* lat,
+    bool inline_trials) {
   // One spec for every trial; Runner::run_window is const and thread-safe,
   // so the workers share it.
-  const Runner runner(checker_spec(spec));
+  Experiment s = checker_spec(spec);
+  if (lat != nullptr) s.lens = true;
+  const Runner runner(s);
   return run_measure_one(
-      trials, seed0, ctx, acc,
+      trials, seed0, ctx, acc, lat, inline_trials,
       [&](std::uint64_t seed, WorkerScratch& scratch) {
         auto adv = make_adversary(seed);
         const WindowRunResult r = runner.run_window(*adv, seed, scratch);
@@ -101,10 +122,13 @@ MeasureOneReport check_measure_one_window(
 MeasureOneReport check_measure_one_async(
     const Experiment& spec, const AsyncAdversaryFactory& make_adversary,
     int trials, std::uint64_t seed0, CampaignContext& ctx,
-    MeasureOneAccumulator* acc) {
-  const Runner runner(checker_spec(spec));
+    MeasureOneAccumulator* acc, lens::LatencyAccumulator* lat,
+    bool inline_trials) {
+  Experiment s = checker_spec(spec);
+  if (lat != nullptr) s.lens = true;
+  const Runner runner(s);
   MeasureOneReport rep = run_measure_one(
-      trials, seed0, ctx, acc,
+      trials, seed0, ctx, acc, lat, inline_trials,
       [&](std::uint64_t seed, WorkerScratch& scratch) {
         auto adv = make_adversary(seed);
         const AsyncRunOutcome r = runner.run_async(*adv, seed, scratch);

@@ -44,16 +44,29 @@ using AsyncAdversaryFactory =
 /// any thread count. When `acc` is non-null the per-trial verdicts are
 /// ALSO folded into it (exactly-associative campaign aggregation — the
 /// report itself keeps the legacy chunk-order statistics fold).
+///
+/// When `lat` is non-null the lens is forced on (Experiment::lens) and
+/// every trial's WindowTrace is folded into it — the same associative
+/// discipline, so the latency report is bit-identical at any thread count
+/// too. The MeasureOneReport NEVER depends on the lens being on.
+///
+/// `inline_trials` runs every chunk on the calling thread even when the
+/// context has a pool: the parallel-cells campaign path schedules whole
+/// cells as pool jobs, and a cell job must not re-shard onto the pool it
+/// occupies. Chunk boundaries and merge order depend only on
+/// (trials, chunk_size), so the report bytes do not change.
 [[nodiscard]] MeasureOneReport check_measure_one_window(
     const Experiment& spec, const WindowAdversaryFactory& make_adversary,
     int trials, std::uint64_t seed0, CampaignContext& ctx,
-    MeasureOneAccumulator* acc = nullptr);
+    MeasureOneAccumulator* acc = nullptr,
+    lens::LatencyAccumulator* lat = nullptr, bool inline_trials = false);
 
 /// Async crash-model checker, same shape (spec.budget = max deliveries).
 [[nodiscard]] MeasureOneReport check_measure_one_async(
     const Experiment& spec, const AsyncAdversaryFactory& make_adversary,
     int trials, std::uint64_t seed0, CampaignContext& ctx,
-    MeasureOneAccumulator* acc = nullptr);
+    MeasureOneAccumulator* acc = nullptr,
+    lens::LatencyAccumulator* lat = nullptr, bool inline_trials = false);
 
 /// Legacy wrapper: unpacked parameters, throwaway context per call.
 [[nodiscard]] MeasureOneReport check_measure_one_window(

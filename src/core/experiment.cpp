@@ -58,6 +58,12 @@ sim::Execution& Runner::prepare(
   sim::ExecutionConfig cfg;
   cfg.audit = spec_.audit;
   cfg.audit_every = spec_.audit_every;
+  if (spec_.lens) {
+    // The trace lives in the scratch so it survives the run; the engine
+    // re-arms it (begin_trial) for every trial.
+    if (!scratch.trace) scratch.trace.emplace();
+    cfg.lens = &*scratch.trace;
+  }
   if (scratch.exec) {
     scratch.exec->reset(std::move(procs), seed, cfg);
   } else {

@@ -19,6 +19,7 @@
 #include <optional>
 #include <vector>
 
+#include "lens/trace.hpp"
 #include "protocols/byzantine.hpp"
 #include "protocols/factory.hpp"
 #include "protocols/thresholds.hpp"
@@ -66,6 +67,13 @@ struct Experiment {
   /// overrides it to every-window. Never affects a report — the auditor
   /// only throws on corruption.
   int audit_every = 0;
+  /// Latency & accountability lens (lens/trace.hpp): when set, every run
+  /// streams publish/deliver/suppress/decision events into the worker's
+  /// WindowTrace (WorkerScratch::trace; read it after the run returns).
+  /// The scratch-free run overloads capture into a run-local scratch that
+  /// dies with the call, so combine the lens with the scratch overloads.
+  /// Off by default; the lens never changes a MeasureOneReport.
+  bool lens = false;
 };
 
 /// Outcome of one window-model run.
@@ -118,6 +126,10 @@ struct ByzantineRunResult {
 /// scratch per worker thread (see CampaignContext).
 struct WorkerScratch {
   std::optional<sim::Execution> exec;
+  /// Per-worker lens capture arena (Experiment::lens). Re-armed by every
+  /// prepared run; read it AFTER the run returns and BEFORE the worker's
+  /// next trial overwrites it.
+  std::optional<lens::WindowTrace> trace;
 };
 
 /// Shared execution context for a campaign: the parallel configuration, a

@@ -22,7 +22,10 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
+
+#include "lens/accountability.hpp"
 
 namespace aa::core {
 
@@ -108,5 +111,13 @@ class MeasureOneAccumulator {
   std::int64_t metric_sum_ = 0;  ///< over deciding trials; exact (integers)
   std::vector<std::uint64_t> violating_seeds_;  ///< unordered until finalize
 };
+
+/// Render a finalized lens report (lens/accountability.hpp) as JSON with
+/// the campaign artifacts' serialization discipline: fixed key order,
+/// %.17g doubles (round-trip exact), newline-terminated. Two reports with
+/// the same tallies therefore serialize to the same bytes — the string is
+/// directly comparable in bit-identity tests and safe to hand to
+/// write_file_atomic.
+[[nodiscard]] std::string latency_report_json(const lens::LatencyReport& rep);
 
 }  // namespace aa::core

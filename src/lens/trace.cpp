@@ -1,0 +1,93 @@
+#include "lens/trace.hpp"
+
+namespace aa::lens {
+
+void WindowTrace::begin_trial(int n) {
+  AA_REQUIRE(n > 0, "WindowTrace: n must be positive");
+  n_ = n;
+  const auto nn = static_cast<std::size_t>(n);
+  sent_.assign(nn, 0);
+  equivocations_.assign(nn, 0);
+  confirm_count_.assign(nn, 0);
+  confirm_window_sum_.assign(nn, 0);
+  confirm_step_sum_.assign(nn, 0);
+  delivered_.assign(nn * nn, 0);
+  suppressed_.assign(nn * nn, 0);
+  first_window_.assign(nn * nn, -1);
+  first_step_.assign(nn * nn, -1);
+  decision_window_.assign(nn, -1);
+  delivery_hist_.assign(nn * static_cast<std::size_t>(kBuckets), 0);
+  confirm_hist_.assign(nn * static_cast<std::size_t>(kBuckets), 0);
+  deciders_ = 0;
+}
+
+void WindowTrace::on_publish(sim::ProcId sender,
+                             std::span<const sim::StagedMessage> items,
+                             std::int64_t /*window*/) {
+  const std::size_t s = idx(sender);
+  sent_[s] += static_cast<std::int64_t>(items.size());
+  // Within-batch equivocation scan: message i equivocates when an earlier
+  // message j shares its (round, kind, aux) key but carries a different
+  // bit value. Each message counts at most once. Batches are O(n); the
+  // quadratic scan only runs with the lens on.
+  for (std::size_t i = 1; i < items.size(); ++i) {
+    const sim::Message& mi = items[i].msg;
+    if (mi.value != 0 && mi.value != 1) continue;
+    for (std::size_t j = 0; j < i; ++j) {
+      const sim::Message& mj = items[j].msg;
+      if (mj.round == mi.round && mj.kind == mi.kind && mj.aux == mi.aux &&
+          (mj.value == 0 || mj.value == 1) && mj.value != mi.value) {
+        ++equivocations_[s];
+        break;
+      }
+    }
+  }
+}
+
+void WindowTrace::on_deliver(const sim::Envelope& env, std::int64_t window,
+                             std::int64_t step) {
+  const std::size_t pr = pair(env.sender, env.receiver);
+  ++delivered_[pr];
+  if (first_window_[pr] < 0) {
+    first_window_[pr] = window;
+    first_step_[pr] = step;
+  }
+  ++delivery_hist_[hidx(env.sender, bucket_of(window - env.window))];
+}
+
+void WindowTrace::on_suppress(sim::ProcId sender, sim::ProcId receiver) {
+  ++suppressed_[pair(sender, receiver)];
+}
+
+void WindowTrace::on_decision(sim::ProcId p, std::int64_t window,
+                              std::int64_t step) {
+  decision_window_[idx(p)] = window;
+  ++deciders_;
+  // Fold the confirmation span for every sender p has heard by now: the
+  // lag between first hearing the sender and committing to an output is
+  // the pod-style per-sender confirmation latency.
+  for (sim::ProcId s = 0; s < n_; ++s) {
+    const std::size_t pr = pair(s, p);
+    if (first_window_[pr] < 0) continue;
+    const std::int64_t wspan = window - first_window_[pr];
+    const std::int64_t sspan = step - first_step_[pr];
+    ++confirm_count_[idx(s)];
+    confirm_window_sum_[idx(s)] += wspan;
+    confirm_step_sum_[idx(s)] += sspan;
+    ++confirm_hist_[hidx(s, bucket_of(wspan))];
+  }
+}
+
+std::int64_t WindowTrace::delivered_total(sim::ProcId s) const {
+  std::int64_t total = 0;
+  for (sim::ProcId r = 0; r < n_; ++r) total += delivered_[pair(s, r)];
+  return total;
+}
+
+std::int64_t WindowTrace::suppressed_total(sim::ProcId s) const {
+  std::int64_t total = 0;
+  for (sim::ProcId r = 0; r < n_; ++r) total += suppressed_[pair(s, r)];
+  return total;
+}
+
+}  // namespace aa::lens

@@ -1,5 +1,6 @@
 #include "sim/buffer.hpp"
 
+#include "lens/trace.hpp"
 #include "util/check.hpp"
 
 namespace aa::sim {
@@ -268,7 +269,12 @@ int MessageBuffer::deliver_window_run_to(ProcId receiver, std::int64_t w,
 
 void MessageBuffer::mark_dropped(MsgId id) {
   AA_CHECK(is_pending(id), "mark_dropped: message not pending");
-  retire(slot_of(id));
+  const std::int32_t s = slot_of(id);
+  if (trace_ != nullptr) {
+    const Slot& slot = slots_[static_cast<std::size_t>(s)];
+    trace_->on_suppress(slot.env.sender, slot.env.receiver);
+  }
+  retire(s);
   --pending_;
   ++dropped_;
 }
@@ -287,6 +293,11 @@ std::size_t MessageBuffer::drop_pending_in_window(std::int64_t w) {
       // deliver_lazy already unlinked/erased it — just recycle the slot.
       slot.lazy = false;
     } else {
+      // A still-pending slot swept at the window edge is exactly the
+      // model's suppression event: the adversary never let it deliver.
+      if (trace_ != nullptr) {
+        trace_->on_suppress(slot.env.sender, slot.env.receiver);
+      }
       unlink_receiver(s);
       id_map_.erase(slot.env.id);
       ++dropped;

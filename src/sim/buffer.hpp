@@ -45,6 +45,10 @@
 
 #include "sim/types.hpp"
 
+namespace aa::lens {
+class WindowTrace;
+}  // namespace aa::lens
+
 namespace aa::sim {
 
 namespace detail {
@@ -242,6 +246,13 @@ class MessageBuffer {
   /// Drop every still-pending message sent during window `w` by walking
   /// only that window's own pending list. Returns the number dropped.
   std::size_t drop_pending_in_window(std::int64_t w);
+
+  /// Install (or clear, with nullptr) the accountability lens: every drop
+  /// of a still-PENDING message — mark_dropped or the end-of-window sweep —
+  /// reports (sender, receiver) to trace->on_suppress. Lazily-delivered
+  /// slots recycled by the sweep are NOT suppressions. The trace outlives
+  /// the buffer's run; Execution re-installs it on construction and reset.
+  void set_trace(lens::WindowTrace* trace) noexcept { trace_ = trace; }
 
   // ---- allocation-free iteration (ascending-id order) --------------------
   //
@@ -441,6 +452,9 @@ class MessageBuffer {
   std::size_t pending_ = 0;
   std::size_t delivered_ = 0;
   std::size_t dropped_ = 0;
+
+  /// Accountability lens (owned by the caller; null = lens off).
+  lens::WindowTrace* trace_ = nullptr;
 };
 
 }  // namespace aa::sim

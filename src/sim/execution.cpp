@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "lens/trace.hpp"
 #include "util/check.hpp"
 
 namespace aa::sim {
@@ -25,6 +26,8 @@ Execution::Execution(std::vector<std::unique_ptr<Process>> procs,
     rngs_.push_back(root.fork(static_cast<std::uint64_t>(p)));
     staged_.emplace_back(n_);
   }
+  buffer_.set_trace(cfg_.lens);
+  if (cfg_.lens != nullptr) cfg_.lens->begin_trial(n_);
   for (ProcId p = 0; p < n_; ++p) {
     procs_[static_cast<std::size_t>(p)]->on_start(
         staged_[static_cast<std::size_t>(p)]);
@@ -78,6 +81,8 @@ void Execution::reset(std::vector<std::unique_ptr<Process>> procs,
   total_resets_ = 0;
   liveness_epoch_ = 0;
   crashed_count_ = 0;
+  buffer_.set_trace(cfg_.lens);
+  if (cfg_.lens != nullptr) cfg_.lens->begin_trial(n_);
   for (ProcId p = 0; p < n_; ++p) {
     procs_[static_cast<std::size_t>(p)]->on_start(
         staged_[static_cast<std::size_t>(p)]);
@@ -96,6 +101,7 @@ SentBatch Execution::sending_step(ProcId p) {
   if (m == 0) return SentBatch(p, published_);
   const MsgId first = buffer_.add_batch(
       p, items, window_, chain_[static_cast<std::size_t>(p)] + 1);
+  if (cfg_.lens != nullptr) cfg_.lens->on_publish(p, items, window_);
   published_.resize(m);
   for (std::size_t i = 0; i < m; ++i) {
     published_[i] = first + static_cast<MsgId>(i);
@@ -176,6 +182,7 @@ void Execution::receiving_step(MsgId id) {
            "receiving_step: delivery to a crashed processor");
   record(StepKind::Receive, p, id);
   buffer_.mark_delivered(id);
+  if (cfg_.lens != nullptr) cfg_.lens->on_deliver(env, window_, steps_);
   chain_[static_cast<std::size_t>(p)] =
       std::max(chain_[static_cast<std::size_t>(p)], env.chain);
   const int out_before = procs_[static_cast<std::size_t>(p)]->output();
@@ -199,6 +206,7 @@ int Execution::deliver_run(ProcId receiver, std::span<const MsgId> ids) {
     const Envelope* env = buffer_.deliver_lazy(id, receiver);
     if (env == nullptr) continue;  // already retired — nothing to deliver
     record(StepKind::Receive, receiver, id);
+    if (cfg_.lens != nullptr) cfg_.lens->on_deliver(*env, window_, steps_);
     if (env->chain > chain) chain = env->chain;
     run_envs_.push_back(env);
   }
@@ -252,6 +260,7 @@ int Execution::deliver_plan_row(ProcId receiver, std::span<const ProcId> row) {
     std::int64_t& chain = chain_[static_cast<std::size_t>(receiver)];
     for (const Envelope* env : run_envs_) {
       record(StepKind::Receive, receiver, env->id);
+      if (cfg_.lens != nullptr) cfg_.lens->on_deliver(*env, window_, steps_);
       if (env->chain > chain) chain = env->chain;
     }
     if (delivered == 0) return 0;
@@ -455,6 +464,7 @@ void Execution::check_output_write_once(ProcId p, int before) {
   AA_CHECK(after == 0 || after == 1, "output bit must be 0 or 1");
   decisions_.push_back(Decision{p, after, window_, steps_,
                                 chain_[static_cast<std::size_t>(p)]});
+  if (cfg_.lens != nullptr) cfg_.lens->on_decision(p, window_, steps_);
 }
 
 }  // namespace aa::sim

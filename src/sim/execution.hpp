@@ -26,6 +26,10 @@
 #include "sim/types.hpp"
 #include "util/rng.hpp"
 
+namespace aa::lens {
+class WindowTrace;
+}  // namespace aa::lens
+
 namespace aa::sim {
 
 /// One recorded step (kept only when ExecutionConfig::record_events).
@@ -57,6 +61,13 @@ struct ExecutionConfig {
   /// overrides this to every-window when both are set. Auditing only ever
   /// throws on corruption; it never changes a report.
   int audit_every = 0;
+  /// Latency & accountability lens (lens/trace.hpp): when non-null, the
+  /// engine streams publish/deliver/suppress/decision events into this
+  /// trace. The trace is owned by the caller (typically a per-worker
+  /// core::WorkerScratch) and must outlive the Execution; the engine calls
+  /// begin_trial(n) on construction and reset. Null = every hook is one
+  /// predictable pointer test — reports stay bit-identical.
+  lens::WindowTrace* lens = nullptr;
 };
 
 class Execution {

@@ -1,0 +1,14 @@
+// aa_lint self-test fixture: must trip EXACTLY the `unordered-container`
+// rule. Stands in for a src/lens file — the lens accumulators feed the
+// byte-compared latency reports, so hash-order iteration is just as
+// report-visible there as in src/core.
+#include <cstdint>
+#include <unordered_set>
+
+namespace fixture {
+
+struct TraceIndex {
+  std::unordered_set<std::int64_t> seen_ids;  // the finding
+};
+
+}  // namespace fixture

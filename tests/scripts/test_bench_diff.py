@@ -157,6 +157,41 @@ class BenchDiffTest(unittest.TestCase):
         self.assertEqual(code, 0)
         self.assertIn("unusable", out)
 
+    # ---- the lens-off throughput gate ----
+
+    def write_lens_artifact(self, directory, windows_per_sec):
+        path = directory / "BENCH_l1_latency_lens.json"
+        path.write_text(json.dumps(
+            {"lens_off_windows_per_sec": windows_per_sec}) + "\n")
+        return path
+
+    def test_lens_off_throughput_is_tracked(self):
+        self.assertIn("lens_off_windows_per_sec", bench_diff.TRACKED_METRICS)
+        self.write_lens_artifact(self.previous, 50000.0)
+        self.write_lens_artifact(self.current, 40000.0)  # -20% at 15% tol
+        code, out = self.diff()
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSION", out)
+        self.assertIn("lens_off_windows_per_sec", out)
+
+    def test_lens_off_throughput_within_tolerance_passes(self):
+        self.write_lens_artifact(self.previous, 50000.0)
+        self.write_lens_artifact(self.current, 45000.0)  # -10%
+        code, out = self.diff()
+        self.assertEqual(code, 0)
+        self.assertIn("within tolerance", out)
+
+    def test_both_metrics_gate_independently(self):
+        # One artifact can regress parallel_speedup while another regresses
+        # the lens-off rate; both must be reported.
+        self.write_artifact(self.previous, "pool", 4.0)
+        self.write_artifact(self.current, "pool", 3.0)
+        self.write_lens_artifact(self.previous, 50000.0)
+        self.write_lens_artifact(self.current, 40000.0)
+        code, out = self.diff()
+        self.assertEqual(code, 1)
+        self.assertIn("2 metric(s) regressed", out)
+
 
 if __name__ == "__main__":
     unittest.main()

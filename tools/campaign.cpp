@@ -10,6 +10,12 @@
 //   --cell-timeout-ms N  per-cell wall-clock watchdog (retries once at 2N)
 //   --audit              run the engine invariant auditor every window
 //   --audit-every N      sampled auditor: every Nth window boundary
+//   --lens               capture the latency & accountability lens per cell
+//                        (writes <name>_cell_<i>_lens.json sidecars)
+//   --censor-target K    wrap every cell adversary in the targeted censor
+//                        aimed at processor K
+//   --parallel-cells     distribute whole cells across the pool (byte-
+//                        identical artifacts; excludes --cell-timeout-ms)
 //   --print-summary      print the merged-summary JSON to stdout
 //   --print-cells        print one line per finished cell
 //
@@ -41,6 +47,7 @@ void usage(const char* argv0) {
                "usage: %s <config-file> [--threads N] [--trials N] "
                "[--seed S] [--output-dir DIR] [--resume] "
                "[--cell-timeout-ms N] [--audit] [--audit-every N] "
+               "[--lens] [--censor-target K] [--parallel-cells] "
                "[--print-summary] [--print-cells]\n",
                argv0);
 }
@@ -78,6 +85,9 @@ int main(int argc, char** argv) {
       else if (arg == "--cell-timeout-ms") cfg.cell_timeout_ms = std::atoll(next());
       else if (arg == "--audit") cfg.audit = true;
       else if (arg == "--audit-every") cfg.audit_every = std::atoi(next());
+      else if (arg == "--lens") cfg.lens = true;
+      else if (arg == "--censor-target") cfg.censor_target = std::atoi(next());
+      else if (arg == "--parallel-cells") cfg.parallel_cells = true;
       else if (arg == "--print-summary") print_summary = true;
       else if (arg == "--print-cells") print_cells = true;
       else {
@@ -92,12 +102,12 @@ int main(int argc, char** argv) {
 
     if (print_cells) {
       for (const core::CampaignCell& c : result.cells) {
-        std::printf("cell %d n=%d t=%d proto=%s th=%s k=%d adv=%s "
+        std::printf("cell %d n=%d t=%d proto=%s th=%s k=%d adv=%s plan=%s "
                     "seed0=%" PRIu64 " trials=%d viol=%d decided=%d "
                     "all=%d mean=%.17g%s%s\n",
                     c.index, c.n, c.t, c.protocol.c_str(),
                     c.thresholds.c_str(), c.memory_k, c.adversary.c_str(),
-                    c.seed0, c.report.trials,
+                    c.chaos_plan.c_str(), c.seed0, c.report.trials,
                     c.report.agreement_violations +
                         c.report.validity_violations,
                     c.report.decided_runs, c.report.all_decided_runs,
