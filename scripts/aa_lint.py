@@ -30,12 +30,20 @@ across resume/chaos/replay — rests on invariants no compiler checks:
                        writers (core::write_file_atomic / bench_json's
                        write) so a SIGKILL never leaves a torn artifact.
                        std::ifstream (read-only) is always fine.
+  idmap-erase          No direct MsgIdMap::erase outside sim/buffer.cpp.
+                       Since the window-mode retirement PR the straggler
+                       map holds only ids below direct_base_; every retire
+                       path must erase CONDITIONALLY (id < direct_base_) or
+                       the map/direct-tier partition drifts and the audit
+                       throws. Only the buffer's own retire helpers know
+                       the watermark, so the raw erase is theirs alone.
 
 Waivers: a finding is suppressed when its line (or the line above) carries
     // aa-lint: <rule-waiver>(<reason>)
 with the rule's waiver token — ordered-ok, clock-ok, banned-ok,
-envelope-ok, write-ok — and a non-empty reason. A waiver without a reason
-is itself an error. Waive sparingly; the reason is reviewed, not parsed.
+envelope-ok, write-ok, erase-ok — and a non-empty reason. A waiver without
+a reason is itself an error. Waive sparingly; the reason is reviewed, not
+parsed.
 
 "AST-aware where cheap": before matching, each file is lexed enough to
 drop comments and string/char literals (including raw strings), so a
@@ -132,6 +140,19 @@ RULES = [
         allow=(),
         why="file writes must go through write_file_atomic / "
             "bench_json::write (crash-safe temp+rename)",
+    ),
+    Rule(
+        name="idmap-erase",
+        waiver="erase-ok",
+        # The straggler map holds only ids below direct_base_; a raw erase
+        # anywhere else cannot know the watermark and desyncs the two-tier
+        # id index. buffer.cpp's retire helpers are the sole owner.
+        pattern=re.compile(r"\bid_map_\s*\.\s*erase\s*\("),
+        dirs=("src/", "tools/", "bench/", "examples/"),
+        allow=("src/sim/buffer.cpp",),
+        why="MsgIdMap::erase is buffer-internal — ids >= direct_base_ are "
+            "not in the map; route retirement through the buffer's "
+            "mark_delivered/mark_dropped/drop_pending_in_window",
     ),
 ]
 

@@ -10,6 +10,12 @@ tracked metrics (`parallel_speedup`, and `lens_off_windows_per_sec` — the
 exits 1 if any metric regressed by more than --tolerance (relative). A missing previous
 directory / file / metric is reported and tolerated — the first run on a
 branch, or a bench that predates the metric, must not fail CI.
+
+The REVERSE direction is never silent: a tracked metric (or a whole
+artifact) present previously but absent from the current run means a bench
+rename or removal just orphaned a gate, and is reported as a loud WARNING
+listing the orphaned keys — otherwise a rename would quietly drop the
+regression gate along with the metric.
 """
 
 import argparse
@@ -60,16 +66,34 @@ def main() -> int:
         return 0
 
     regressions = []
+    orphan_warnings = []
+    # Artifacts the previous run had but this run did not produce at all:
+    # every tracked metric they carried is now ungated.
+    current_names = {p.name for p in current_files}
+    for prev_path in sorted(args.previous.glob("BENCH_*.json")):
+        if prev_path.name in current_names:
+            continue
+        gone = sorted(load_metrics(prev_path))
+        if gone:
+            orphan_warnings.append((prev_path.name, gone, "artifact removed"))
     for cur_path in current_files:
         prev_path = args.previous / cur_path.name
         cur = load_metrics(cur_path)
+        if not prev_path.is_file():
+            if not cur:
+                print(f"{cur_path.name}: no tracked metrics, skipping")
+            else:
+                print(f"{cur_path.name}: no previous artifact, skipping")
+            continue
+        prev = load_metrics(prev_path)
+        # Tracked metrics the previous artifact carried that this run's
+        # artifact lost — a bench rename in disguise.
+        gone = sorted(set(prev) - set(cur))
+        if gone:
+            orphan_warnings.append((cur_path.name, gone, "metric removed"))
         if not cur:
             print(f"{cur_path.name}: no tracked metrics, skipping")
             continue
-        if not prev_path.is_file():
-            print(f"{cur_path.name}: no previous artifact, skipping")
-            continue
-        prev = load_metrics(prev_path)
         for metric, cur_val in sorted(cur.items()):
             prev_val = prev.get(metric)
             if prev_val is None:
@@ -85,6 +109,16 @@ def main() -> int:
                 regressions.append((cur_path.name, metric, prev_val, cur_val))
             print(f"{cur_path.name}: {metric} {prev_val:.4f} -> {cur_val:.4f} "
                   f"({(ratio - 1.0) * 100:+.1f}%) {verdict}")
+
+    if orphan_warnings:
+        print(f"\nbench_diff: WARNING: {len(orphan_warnings)} artifact(s) lost "
+              f"previously tracked metrics — a bench rename/removal has "
+              f"orphaned these gates:", file=sys.stderr)
+        for name, keys, why in orphan_warnings:
+            print(f"  {name}: {why}, orphaned keys: {', '.join(keys)}",
+                  file=sys.stderr)
+        print("  (rename the artifact/metric in BOTH runs, or drop it from "
+              "TRACKED_METRICS deliberately)", file=sys.stderr)
 
     if regressions:
         print(f"\nbench_diff: {len(regressions)} metric(s) regressed more than "

@@ -1,6 +1,5 @@
 #include "adversary/window_adversaries.hpp"
 
-#include <algorithm>
 #include <utility>
 
 #include "protocols/reset_agreement.hpp"
@@ -110,35 +109,48 @@ sim::PlanDecision ResetStormAdversary::plan_window_into(
 void balance_votes_into(
     const std::vector<std::tuple<sim::ProcId, int, int>>& votes,
     BalanceScratch& sc, std::vector<sim::ProcId>& out) {
-  // Sort (round, arrival index): rounds ascending, arrival order kept
-  // within a round — the same grouping the original std::map produced.
-  sc.by_round.clear();
-  for (std::uint32_t i = 0; i < votes.size(); ++i) {
-    sc.by_round.emplace_back(std::get<1>(votes[i]), i);
-  }
-  std::sort(sc.by_round.begin(), sc.by_round.end());
-  std::size_t run = 0;
-  while (run < sc.by_round.size()) {
-    const int round = sc.by_round[run].first;
-    sc.zeros.clear();
-    sc.ones.clear();
-    for (; run < sc.by_round.size() && sc.by_round[run].first == round;
-         ++run) {
-      const auto& [sender, r, value] = votes[sc.by_round[run].second];
-      (void)r;
-      AA_CHECK(value == 0 || value == 1, "balance_votes: non-bit vote");
-      (value == 0 ? sc.zeros : sc.ones).push_back(sender);
+  // Bucket by round as the votes stream in: each distinct round owns a
+  // (zeros, ones) queue pair, filled in arrival order — exactly the
+  // grouping the old sort-by-(round, arrival) produced, without the sort.
+  sc.rounds.clear();
+  std::uint32_t used = 0;
+  for (const auto& [sender, round, value] : votes) {
+    AA_CHECK(value == 0 || value == 1, "balance_votes: non-bit vote");
+    // Rounds arrive mostly ascending, so scan for the insertion point from
+    // the back; the distinct-round count per window is tiny.
+    std::size_t k = sc.rounds.size();
+    while (k > 0 && sc.rounds[k - 1].first > round) --k;
+    BalanceScratch::Bucket* bucket;
+    if (k > 0 && sc.rounds[k - 1].first == round) {
+      bucket = &sc.buckets[sc.rounds[k - 1].second];
+    } else {
+      if (used == sc.buckets.size()) sc.buckets.emplace_back();
+      const std::uint32_t bi = used++;
+      sc.buckets[bi].zeros.clear();
+      sc.buckets[bi].ones.clear();
+      sc.rounds.insert(sc.rounds.begin() + static_cast<std::ptrdiff_t>(k),
+                       {round, bi});
+      bucket = &sc.buckets[bi];
     }
+    (value == 0 ? bucket->zeros : bucket->ones).push_back(sender);
+  }
+  for (const auto& [round, bi] : sc.rounds) {
+    (void)round;
+    const BalanceScratch::Bucket& bucket = sc.buckets[bi];
     // Strict alternation starting with the MAJORITY value, so that any
     // prefix of length L contains at most ⌈L/2⌉ of either value.
     std::size_t zi = 0;
     std::size_t oi = 0;
-    bool turn_zero = sc.zeros.size() >= sc.ones.size();
-    while (zi < sc.zeros.size() || oi < sc.ones.size()) {
-      if (turn_zero && zi < sc.zeros.size()) out.push_back(sc.zeros[zi++]);
-      else if (!turn_zero && oi < sc.ones.size()) out.push_back(sc.ones[oi++]);
-      else if (zi < sc.zeros.size()) out.push_back(sc.zeros[zi++]);
-      else out.push_back(sc.ones[oi++]);
+    bool turn_zero = bucket.zeros.size() >= bucket.ones.size();
+    while (zi < bucket.zeros.size() || oi < bucket.ones.size()) {
+      if (turn_zero && zi < bucket.zeros.size())
+        out.push_back(bucket.zeros[zi++]);
+      else if (!turn_zero && oi < bucket.ones.size())
+        out.push_back(bucket.ones[oi++]);
+      else if (zi < bucket.zeros.size())
+        out.push_back(bucket.zeros[zi++]);
+      else
+        out.push_back(bucket.ones[oi++]);
       turn_zero = !turn_zero;
     }
   }

@@ -95,11 +95,21 @@ class ResetStormAdversary final : public sim::WindowAdversary {
 };
 
 /// Scratch buffers for balance_votes_into (contents irrelevant between
-/// calls; capacity is reused).
+/// calls; capacity is reused). Bucketed replacement for the old
+/// sort-by-(round, arrival) pass: votes are appended straight into
+/// per-round (zeros, ones) queues as they stream in — arrival order is
+/// preserved within each queue by construction, so no sort is ever needed.
+/// `rounds` keeps the distinct rounds seen this call in ascending order
+/// (protocol rounds per window are few, so the insertion scan is a handful
+/// of compares); `buckets` is the pooled queue storage, reused in arrival
+/// order across calls.
 struct BalanceScratch {
-  std::vector<std::pair<int, std::uint32_t>> by_round;  ///< (round, index)
-  std::vector<sim::ProcId> zeros;
-  std::vector<sim::ProcId> ones;
+  struct Bucket {
+    std::vector<sim::ProcId> zeros;
+    std::vector<sim::ProcId> ones;
+  };
+  std::vector<std::pair<int, std::uint32_t>> rounds;  ///< (round, bucket)
+  std::vector<Bucket> buckets;
 };
 
 /// The §3 exponential-time adversary for threshold-voting protocols

@@ -337,16 +337,57 @@ bool json_find_seeds(const std::string& text, std::vector<std::uint64_t>& out) {
   return true;
 }
 
+/// Structural validity check for a cell's lens sidecar. The lens report is
+/// not resumable from its artifact (LatencyAccumulator has no restore), so
+/// resume can only accept a cell whose sidecar is already complete and
+/// belongs to THIS cell: the file must exist, parse far enough to yield the
+/// identity keys, match the cell's (n, t) and the config's trial count, and
+/// end in the closing brace latency_report_json always emits — a truncated
+/// write dies on that check. Anything else forces a recompute, which
+/// rewrites the sidecar before the cell artifact.
+bool lens_sidecar_valid(const CampaignConfig& config, const CampaignCell& cell,
+                        const std::string& lens_path) {
+  std::ifstream in(lens_path, std::ios::binary);
+  if (!in.good()) return false;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  std::size_t end = text.size();
+  while (end > 0 && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  if (end == 0 || text[end - 1] != '}') return false;  // empty or truncated
+  long long n = 0;
+  long long t = 0;
+  long long trials = 0;
+  if (!json_find_int(text, "n", n) || !json_find_int(text, "t", t) ||
+      !json_find_int(text, "trials", trials)) {
+    return false;
+  }
+  if (text.find("\"senders\"") == std::string::npos) return false;
+  return n == static_cast<long long>(cell.n) &&
+         t == static_cast<long long>(cell.t) &&
+         trials == static_cast<long long>(config.trials);
+}
+
 /// Restore `cell` from an existing artifact at `path`. The artifact is
 /// accepted iff it parses, claims exactly config.trials trials, and — after
 /// rebuilding the accumulator from its exact integer tallies — the cell
 /// re-serializes to the SAME bytes (this cross-checks every identity field
 /// against the current config, so stale or foreign artifacts are rejected
-/// and recomputed). On success the tallies land in `acc_out` (the cell's
+/// and recomputed). With the lens armed (`lens_path` non-empty) the cell's
+/// lens sidecar must additionally pass lens_sidecar_valid — a byte-perfect
+/// cell artifact with a missing, truncated, or foreign sidecar is NOT
+/// resumable, because the lens numbers cannot be rebuilt from the cell
+/// tallies alone. On success the tallies land in `acc_out` (the cell's
 /// slot in the end-of-sweep index-order summary merge), making the resumed
 /// summary byte-identical to an uninterrupted run's.
 bool try_resume_cell(const CampaignConfig& config, CampaignCell& cell,
-                     const std::string& path, MeasureOneAccumulator& acc_out) {
+                     const std::string& path, const std::string& lens_path,
+                     MeasureOneAccumulator& acc_out) {
+  if (!lens_path.empty() && !lens_sidecar_valid(config, cell, lens_path)) {
+    return false;
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) return false;
   std::stringstream ss;
@@ -684,7 +725,7 @@ CampaignResult run_campaign(const CampaignConfig& config,
     for (CellWork& w : work) {
       // aa-lint: clock-ok(throughput metric, sidecar-only output)
       const auto t0 = std::chrono::steady_clock::now();
-      if (try_resume_cell(config, w.cell, w.path, w.acc)) {
+      if (try_resume_cell(config, w.cell, w.path, w.lens_path, w.acc)) {
         w.done = true;
         // aa-lint: clock-ok(throughput metric, sidecar-only output)
         const auto t1 = std::chrono::steady_clock::now();

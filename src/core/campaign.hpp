@@ -101,7 +101,12 @@ struct CampaignConfig {
   /// Resume a killed sweep (`resume = true` or --resume): a cell whose
   /// output JSON exists and byte-matches its canonical re-serialization is
   /// restored (exact tallies) instead of recomputed, so the resumed
-  /// summary is byte-identical to an uninterrupted run's.
+  /// summary is byte-identical to an uninterrupted run's. With the lens
+  /// armed the cell's lens sidecar must ALSO be present, structurally
+  /// complete, and match the cell's (n, t) and trial count — the lens
+  /// numbers are not rebuildable from the cell tallies, so a cell with a
+  /// missing/truncated/stale sidecar is recomputed even when its own
+  /// artifact byte-matches.
   bool resume = false;
 
   // ---- latency & accountability lens ----

@@ -22,10 +22,15 @@ MessageBuffer::MessageBuffer(int n)
 void MessageBuffer::reset(int n) {
   AA_REQUIRE(n > 0, "MessageBuffer::reset: n must be positive");
   n_ = n;
-  slots_.clear();  // capacity kept; slots re-materialize allocation-free
+  // Capacities kept everywhere; slots re-materialize allocation-free.
+  links_.clear();
+  meta_.clear();
+  envs_.clear();
   free_head_ = kNoSlot;
   id_map_.clear();
   next_id_ = 0;
+  direct_base_ = 0;
+  direct_slots_.clear();
   rcv_head_.assign(static_cast<std::size_t>(n), kNoSlot);
   rcv_tail_.assign(static_cast<std::size_t>(n), kNoSlot);
   // Ring capacity (and mask) survive; only the active span is rewound.
@@ -62,11 +67,11 @@ MsgId MessageBuffer::add_batch(ProcId sender,
     AA_REQUIRE(item.to >= 0 && item.to < n_,
                "MessageBuffer::add_batch: bad receiver");
   }
-  id_map_.reserve_extra(items.size());
+  if (direct_slots_.size() >= kDirectSpillLimit) spill_direct_index();
   reserve_window(window);
   // The window ring and win_list reference stay stable across the loop
-  // (one window, reserved once); slots_ may still grow, so all links go
-  // through indices.
+  // (one window, reserved once); the slot arrays may still grow, so all
+  // links go through indices.
   std::int32_t win_prev = win_list(window).tail;
   std::int32_t win_head = win_list(window).head;
   for (const StagedMessage& item : items) {
@@ -74,20 +79,23 @@ MsgId MessageBuffer::add_batch(ProcId sender,
     std::int32_t s;
     if (free_head_ != kNoSlot) {
       s = free_head_;
-      free_head_ = slots_[static_cast<std::size_t>(s)].next_rcv;
+      free_head_ = links_[static_cast<std::size_t>(s)].next_rcv;
     } else {
-      s = static_cast<std::int32_t>(slots_.size());
-      slots_.emplace_back();
+      s = static_cast<std::int32_t>(envs_.size());
+      links_.emplace_back();
+      meta_.emplace_back();
+      envs_.emplace_back();
     }
-    Slot& slot = slots_[static_cast<std::size_t>(s)];
-    slot.env = Envelope{id, sender, item.to, item.msg, window, chain};
-    slot.lazy = false;
+    const auto si = static_cast<std::size_t>(s);
+    meta_[si] = Meta{id, item.to, sender};
+    envs_[si] = Envelope{id, sender, item.to, item.msg, window, chain};
+    Link& lk = links_[si];
 
     // Append to the receiver list (staging order is ascending-id order).
-    slot.prev_rcv = rcv_tail_[static_cast<std::size_t>(item.to)];
-    slot.next_rcv = kNoSlot;
-    if (slot.prev_rcv != kNoSlot) {
-      slots_[static_cast<std::size_t>(slot.prev_rcv)].next_rcv = s;
+    lk.prev_rcv = rcv_tail_[static_cast<std::size_t>(item.to)];
+    lk.next_rcv = kNoSlot;
+    if (lk.prev_rcv != kNoSlot) {
+      links_[static_cast<std::size_t>(lk.prev_rcv)].next_rcv = s;
     } else {
       rcv_head_[static_cast<std::size_t>(item.to)] = s;
     }
@@ -95,26 +103,41 @@ MsgId MessageBuffer::add_batch(ProcId sender,
 
     // Thread the run onto the window list locally; head/tail attach once
     // after the loop.
-    slot.prev_win = win_prev;
-    slot.next_win = kNoSlot;
+    lk.prev_win = win_prev;
+    lk.next_win = kNoSlot;
     if (win_prev != kNoSlot) {
-      slots_[static_cast<std::size_t>(win_prev)].next_win = s;
+      links_[static_cast<std::size_t>(win_prev)].next_win = s;
     } else {
       win_head = s;
     }
     win_prev = s;
 
-    id_map_.insert_no_grow(id, static_cast<std::uint32_t>(s));
+    direct_slots_.push_back(s);
   }
   WinList& wl = win_list(window);
   wl.head = win_head;
   wl.tail = win_prev;
+  // Extend the list's id range; interleaved publication into ANOTHER window
+  // (raw buffer usage only — the engine publishes one window at a time)
+  // breaks contiguity and demotes the range to a conservative bound.
+  if (wl.first_id == kNoMsg) {
+    wl.first_id = first;
+    wl.contiguous = true;
+  } else if (first != wl.last_id + 1) {
+    wl.contiguous = false;
+  }
+  wl.last_id = next_id_ - 1;
   pending_ += items.size();
   return first;
 }
 
 std::int32_t MessageBuffer::slot_of(MsgId id) const {
   AA_REQUIRE(id >= 0 && id < next_id_, "MessageBuffer: bad id");
+  if (id >= direct_base_) {
+    const std::int32_t s =
+        direct_slots_[static_cast<std::size_t>(id - direct_base_)];
+    return meta_[static_cast<std::size_t>(s)].id == id ? s : kNoSlot;
+  }
   const std::uint32_t s = id_map_.find(id);
   return s == detail::MsgIdMap::kAbsent ? kNoSlot
                                         : static_cast<std::int32_t>(s);
@@ -123,7 +146,7 @@ std::int32_t MessageBuffer::slot_of(MsgId id) const {
 const Envelope& MessageBuffer::get(MsgId id) const {
   const std::int32_t s = slot_of(id);
   AA_CHECK(s != kNoSlot, "MessageBuffer::get: id already retired");
-  return slots_[static_cast<std::size_t>(s)].env;
+  return envs_[static_cast<std::size_t>(s)];
 }
 
 bool MessageBuffer::is_pending(MsgId id) const {
@@ -131,48 +154,51 @@ bool MessageBuffer::is_pending(MsgId id) const {
 }
 
 void MessageBuffer::unlink_receiver(std::int32_t s) {
-  Slot& slot = slots_[static_cast<std::size_t>(s)];
-  const ProcId r = slot.env.receiver;
-  if (slot.prev_rcv != kNoSlot) {
-    slots_[static_cast<std::size_t>(slot.prev_rcv)].next_rcv = slot.next_rcv;
+  Link& lk = links_[static_cast<std::size_t>(s)];
+  const ProcId r = meta_[static_cast<std::size_t>(s)].receiver;
+  if (lk.prev_rcv != kNoSlot) {
+    links_[static_cast<std::size_t>(lk.prev_rcv)].next_rcv = lk.next_rcv;
   } else {
-    rcv_head_[static_cast<std::size_t>(r)] = slot.next_rcv;
+    rcv_head_[static_cast<std::size_t>(r)] = lk.next_rcv;
   }
-  if (slot.next_rcv != kNoSlot) {
-    slots_[static_cast<std::size_t>(slot.next_rcv)].prev_rcv = slot.prev_rcv;
+  if (lk.next_rcv != kNoSlot) {
+    links_[static_cast<std::size_t>(lk.next_rcv)].prev_rcv = lk.prev_rcv;
   } else {
-    rcv_tail_[static_cast<std::size_t>(r)] = slot.prev_rcv;
+    rcv_tail_[static_cast<std::size_t>(r)] = lk.prev_rcv;
   }
 }
 
 void MessageBuffer::unlink_window(std::int32_t s) {
-  Slot& slot = slots_[static_cast<std::size_t>(s)];
-  WinList& wl = win_list(slot.env.window);
-  if (slot.prev_win != kNoSlot) {
-    slots_[static_cast<std::size_t>(slot.prev_win)].next_win = slot.next_win;
+  Link& lk = links_[static_cast<std::size_t>(s)];
+  WinList& wl = win_list(envs_[static_cast<std::size_t>(s)].window);
+  if (lk.prev_win != kNoSlot) {
+    links_[static_cast<std::size_t>(lk.prev_win)].next_win = lk.next_win;
   } else {
-    wl.head = slot.next_win;
+    wl.head = lk.next_win;
   }
-  if (slot.next_win != kNoSlot) {
-    slots_[static_cast<std::size_t>(slot.next_win)].prev_win = slot.prev_win;
+  if (lk.next_win != kNoSlot) {
+    links_[static_cast<std::size_t>(lk.next_win)].prev_win = lk.prev_win;
   } else {
-    wl.tail = slot.prev_win;
+    wl.tail = lk.prev_win;
   }
 }
 
 void MessageBuffer::retire(std::int32_t s) {
-  Slot& slot = slots_[static_cast<std::size_t>(s)];
+  const auto si = static_cast<std::size_t>(s);
   unlink_receiver(s);
   unlink_window(s);
-  id_map_.erase(slot.env.id);
-  slot.env.id = kNoMsg;
-  slot.next_rcv = free_head_;
+  const MsgId id = meta_[si].id;
+  if (id < direct_base_) id_map_.erase(id);
+  meta_[si].id = kNoMsg;
+  envs_[si].id = kNoMsg;
+  links_[si].next_rcv = free_head_;
   free_head_ = s;
   trim_window_ring();
 }
 
 void MessageBuffer::trim_window_ring() {
   while (win_count_ > 1 && win_ring_[win_begin_].head == kNoSlot) {
+    win_ring_[win_begin_] = WinList{};
     win_begin_ = (win_begin_ + 1) & win_mask_;
     ++win_base_;
     --win_count_;
@@ -201,9 +227,25 @@ void MessageBuffer::reserve_window(std::int64_t w) {
   }
 }
 
+void MessageBuffer::spill_direct_index() {
+  if (!direct_slots_.empty()) {
+    id_map_.reserve_extra(pending_);
+    for (std::size_t i = 0; i < direct_slots_.size(); ++i) {
+      const std::int32_t s = direct_slots_[i];
+      const MsgId id = direct_base_ + static_cast<MsgId>(i);
+      if (meta_[static_cast<std::size_t>(s)].id == id) {
+        id_map_.insert_no_grow(id, static_cast<std::uint32_t>(s));
+      }
+    }
+    direct_slots_.clear();
+  }
+  direct_base_ = next_id_;
+}
+
 void MessageBuffer::mark_delivered(MsgId id) {
-  AA_CHECK(is_pending(id), "mark_delivered: message not pending");
-  retire(slot_of(id));
+  const std::int32_t s = slot_of(id);
+  AA_CHECK(s != kNoSlot, "mark_delivered: message not pending");
+  retire(s);
   --pending_;
   ++delivered_;
 }
@@ -211,15 +253,15 @@ void MessageBuffer::mark_delivered(MsgId id) {
 const Envelope* MessageBuffer::deliver_lazy(MsgId id, ProcId receiver) {
   const std::int32_t s = slot_of(id);
   if (s == kNoSlot) return nullptr;
-  Slot& slot = slots_[static_cast<std::size_t>(s)];
-  AA_CHECK(slot.env.receiver == receiver,
+  const auto si = static_cast<std::size_t>(s);
+  AA_CHECK(meta_[si].receiver == receiver,
            "deliver_lazy: message addressed to a different receiver");
   unlink_receiver(s);
-  id_map_.erase(id);
-  slot.lazy = true;
+  if (id < direct_base_) id_map_.erase(id);
+  meta_[si].id = kNoMsg;  // park: off the live index, awaiting the sweep
   --pending_;
   ++delivered_;
-  return &slot.env;
+  return &envs_[si];
 }
 
 int MessageBuffer::deliver_window_run_to(ProcId receiver, std::int64_t w,
@@ -228,37 +270,52 @@ int MessageBuffer::deliver_window_run_to(ProcId receiver, std::int64_t w,
                                          std::vector<const Envelope*>& out) {
   AA_REQUIRE(receiver >= 0 && receiver < n_,
              "deliver_window_run_to: bad receiver");
+  if (w < win_base_ ||
+      w >= win_base_ + static_cast<std::int64_t>(win_count_)) {
+    return 0;  // no list for w, so nothing pending in it
+  }
+  const WinList& wl = win_list(w);
+  if (wl.head == kNoSlot) return 0;
+  // Window test: the list's id range when exact, the envelope field as the
+  // cold fallback (only reachable through raw interleaved-window usage).
+  const bool ranged = wl.contiguous;
+  const MsgId lo = wl.first_id;
+  const MsgId hi = wl.last_id;
   std::int32_t s = rcv_head_[static_cast<std::size_t>(receiver)];
   std::int32_t prev_kept = kNoSlot;
   std::int32_t new_head = kNoSlot;
   int delivered = 0;
   while (s != kNoSlot) {
-    Slot& slot = slots_[static_cast<std::size_t>(s)];
-    const std::int32_t next = slot.next_rcv;
+    const auto si = static_cast<std::size_t>(s);
+    Link& lk = links_[si];
+    Meta& mt = meta_[si];
+    const std::int32_t next = lk.next_rcv;
+    const bool in_window =
+        ranged ? (mt.id >= lo && mt.id <= hi) : envs_[si].window == w;
     const bool take =
-        slot.env.window == w &&
+        in_window &&
         (sender_stamp == nullptr ||
-         sender_stamp[static_cast<std::size_t>(slot.env.sender)] == epoch);
+         sender_stamp[static_cast<std::size_t>(mt.sender)] == epoch);
     if (take) {
-      // Park the slot like deliver_lazy: off the receiver list and the id
-      // map now, recycled by the caller's eventual window-w sweep.
-      id_map_.erase(slot.env.id);
-      slot.lazy = true;
-      out.push_back(&slot.env);
+      // Park the slot like deliver_lazy: off the receiver list and the
+      // live index now, recycled by the caller's eventual window-w sweep.
+      if (mt.id < direct_base_) id_map_.erase(mt.id);
+      mt.id = kNoMsg;
+      out.push_back(&envs_[si]);
       ++delivered;
     } else {
-      slot.prev_rcv = prev_kept;
+      lk.prev_rcv = prev_kept;
       if (prev_kept == kNoSlot) {
         new_head = s;
       } else {
-        slots_[static_cast<std::size_t>(prev_kept)].next_rcv = s;
+        links_[static_cast<std::size_t>(prev_kept)].next_rcv = s;
       }
       prev_kept = s;
     }
     s = next;
   }
   if (prev_kept != kNoSlot) {
-    slots_[static_cast<std::size_t>(prev_kept)].next_rcv = kNoSlot;
+    links_[static_cast<std::size_t>(prev_kept)].next_rcv = kNoSlot;
   }
   rcv_head_[static_cast<std::size_t>(receiver)] = new_head;
   rcv_tail_[static_cast<std::size_t>(receiver)] = prev_kept;
@@ -268,11 +325,11 @@ int MessageBuffer::deliver_window_run_to(ProcId receiver, std::int64_t w,
 }
 
 void MessageBuffer::mark_dropped(MsgId id) {
-  AA_CHECK(is_pending(id), "mark_dropped: message not pending");
   const std::int32_t s = slot_of(id);
+  AA_CHECK(s != kNoSlot, "mark_dropped: message not pending");
   if (trace_ != nullptr) {
-    const Slot& slot = slots_[static_cast<std::size_t>(s)];
-    trace_->on_suppress(slot.env.sender, slot.env.receiver);
+    const auto si = static_cast<std::size_t>(s);
+    trace_->on_suppress(meta_[si].sender, meta_[si].receiver);
   }
   retire(s);
   --pending_;
@@ -287,23 +344,24 @@ std::size_t MessageBuffer::drop_pending_in_window(std::int64_t w) {
   std::size_t dropped = 0;
   std::int32_t s = win_list(w).head;
   while (s != kNoSlot) {
-    Slot& slot = slots_[static_cast<std::size_t>(s)];
-    const std::int32_t next = slot.next_win;
-    if (slot.lazy) {
-      // deliver_lazy already unlinked/erased it — just recycle the slot.
-      slot.lazy = false;
+    const auto si = static_cast<std::size_t>(s);
+    const std::int32_t next = links_[si].next_win;
+    if (meta_[si].id == kNoMsg) {
+      // Parked: deliver_lazy / the bulk run already unlinked and unindexed
+      // it — just recycle the slot.
     } else {
       // A still-pending slot swept at the window edge is exactly the
       // model's suppression event: the adversary never let it deliver.
       if (trace_ != nullptr) {
-        trace_->on_suppress(slot.env.sender, slot.env.receiver);
+        trace_->on_suppress(meta_[si].sender, meta_[si].receiver);
       }
       unlink_receiver(s);
-      id_map_.erase(slot.env.id);
+      if (meta_[si].id < direct_base_) id_map_.erase(meta_[si].id);
+      meta_[si].id = kNoMsg;
       ++dropped;
     }
-    slot.env.id = kNoMsg;
-    slot.next_rcv = free_head_;
+    envs_[si].id = kNoMsg;
+    links_[si].next_rcv = free_head_;
     free_head_ = s;
     s = next;
   }
@@ -311,6 +369,15 @@ std::size_t MessageBuffer::drop_pending_in_window(std::int64_t w) {
   trim_window_ring();
   pending_ -= dropped;
   dropped_ += dropped;
+  if (pending_ == 0) {
+    // Range retirement: nothing is pending anywhere, so every direct-index
+    // entry is stale and the straggler map is necessarily empty — the whole
+    // id range [direct_base_, next_id_) retires in O(1). In the
+    // acceptable-window regime this fires at EVERY window edge, which is
+    // what removes the per-message hash erases from the steady state.
+    direct_base_ = next_id_;
+    direct_slots_.clear();
+  }
   return dropped;
 }
 
@@ -319,14 +386,22 @@ std::size_t MessageBuffer::drop_pending_in_window(std::int64_t w) {
 void MessageBuffer::audit() const {
   // Per-slot lifecycle classification discovered by walking the structures:
   // 0 = unseen, 1 = on a receiver list (pending, window membership not yet
-  // confirmed), 2 = parked (lazy) on a window list, 3 = pending confirmed on
-  // both lists, 4 = on the free list. Every slot must end in {2, 3, 4}.
-  std::vector<std::uint8_t> state(slots_.size(), 0);
-  const std::size_t cap = slots_.size();
+  // confirmed), 2 = parked on a window list, 3 = pending confirmed on both
+  // lists, 4 = on the free list. Every slot must end in {2, 3, 4}.
+  const std::size_t cap = envs_.size();
+  AA_CHECK(meta_.size() == cap && links_.size() == cap,
+           "audit: SoA slot arrays out of lockstep");
+  AA_CHECK(direct_base_ >= 0 && direct_base_ <= next_id_,
+           "audit: direct-index base outside [0, next_id]");
+  AA_CHECK(direct_slots_.size() ==
+               static_cast<std::size_t>(next_id_ - direct_base_),
+           "audit: direct index does not cover [direct_base, next_id)");
+  std::vector<std::uint8_t> state(cap, 0);
 
   // Receiver lists: doubly-linked, acyclic, ascending-id, field-consistent,
-  // and every member resolves through the id map back to its own slot.
+  // and every member resolves through its id tier back to its own slot.
   std::size_t on_rcv_lists = 0;
+  std::size_t mapped_pending = 0;  // pending ids below the direct base
   for (ProcId r = 0; r < n_; ++r) {
     std::int32_t s = rcv_head_[static_cast<std::size_t>(r)];
     std::int32_t prev = kNoSlot;
@@ -336,29 +411,42 @@ void MessageBuffer::audit() const {
       AA_CHECK(s >= 0 && static_cast<std::size_t>(s) < cap,
                "audit: receiver list points outside the slot arena");
       AA_CHECK(++steps <= cap, "audit: receiver list has a cycle");
-      const Slot& slot = slots_[static_cast<std::size_t>(s)];
-      AA_CHECK(slot.prev_rcv == prev,
+      const auto si = static_cast<std::size_t>(s);
+      const Meta& mt = meta_[si];
+      const Envelope& env = envs_[si];
+      AA_CHECK(links_[si].prev_rcv == prev,
                "audit: receiver list prev link disagrees with walk");
-      AA_CHECK(!slot.lazy, "audit: parked (lazy) slot on a receiver list");
-      AA_CHECK(slot.env.id != kNoMsg, "audit: retired slot on a receiver list");
-      AA_CHECK(slot.env.id < next_id_,
+      AA_CHECK(mt.id != kNoMsg,
+               "audit: parked or retired slot on a receiver list");
+      AA_CHECK(mt.id < next_id_,
                "audit: slot id beyond the issued-id watermark");
-      AA_CHECK(slot.env.receiver == r,
+      AA_CHECK(env.id == mt.id,
+               "audit: slot metadata id disagrees with its envelope");
+      AA_CHECK(mt.receiver == r && env.receiver == r,
                "audit: slot on the wrong receiver list");
-      AA_CHECK(slot.env.id > last_id,
+      AA_CHECK(mt.sender == env.sender,
+               "audit: slot metadata sender disagrees with its envelope");
+      AA_CHECK(mt.id > last_id,
                "audit: receiver list ids not strictly ascending");
-      AA_CHECK(slot.env.window >= win_base_ &&
-                   slot.env.window <
+      AA_CHECK(env.window >= win_base_ &&
+                   env.window <
                        win_base_ + static_cast<std::int64_t>(win_count_),
                "audit: pending slot's window outside the live ring");
-      AA_CHECK(id_map_.find(slot.env.id) == static_cast<std::uint32_t>(s),
-               "audit: id map does not resolve a pending id to its slot");
-      AA_CHECK(state[static_cast<std::size_t>(s)] == 0,
-               "audit: slot reachable from two receiver lists");
-      state[static_cast<std::size_t>(s)] = 1;
-      last_id = slot.env.id;
+      if (mt.id >= direct_base_) {
+        AA_CHECK(direct_slots_[static_cast<std::size_t>(
+                     mt.id - direct_base_)] == s,
+                 "audit: direct index does not resolve a pending id to its "
+                 "slot");
+      } else {
+        AA_CHECK(id_map_.find(mt.id) == static_cast<std::uint32_t>(s),
+                 "audit: id map does not resolve a pending id to its slot");
+        ++mapped_pending;
+      }
+      AA_CHECK(state[si] == 0, "audit: slot reachable from two receiver lists");
+      state[si] = 1;
+      last_id = mt.id;
       prev = s;
-      s = slot.next_rcv;
+      s = links_[si].next_rcv;
     }
     AA_CHECK(rcv_tail_[static_cast<std::size_t>(r)] == prev,
              "audit: receiver tail does not match the last list element");
@@ -367,26 +455,31 @@ void MessageBuffer::audit() const {
   AA_CHECK(on_rcv_lists == pending_,
            "audit: pending_ counter disagrees with receiver-list population");
 
-  // Id map ↔ arena agreement in the other direction: every table entry
-  // points at a slot we just confirmed pending, under the matching id.
-  AA_CHECK(id_map_.size() == pending_,
-           "audit: id map size disagrees with pending_ counter");
+  // Straggler map ↔ arena agreement in the other direction: every table
+  // entry is a pending id strictly below the direct base, pointing at the
+  // slot we just confirmed pending under the matching id.
+  AA_CHECK(id_map_.size() == mapped_pending,
+           "audit: id map size disagrees with the below-base pending count");
   id_map_.for_each([&](MsgId key, std::uint32_t value) {
     AA_CHECK(static_cast<std::size_t>(value) < cap,
              "audit: id map entry points outside the slot arena");
+    AA_CHECK(key < direct_base_,
+             "audit: id map entry at or above the direct-index base");
     AA_CHECK(state[value] == 1,
              "audit: id map entry points at a slot not on a receiver list");
-    AA_CHECK(slots_[value].env.id == key,
-             "audit: id map key disagrees with the slot's envelope id");
+    AA_CHECK(meta_[value].id == key,
+             "audit: id map key disagrees with the slot's id");
   });
 
-  // Window lists: doubly-linked, acyclic, ascending-id, window-consistent.
-  // Non-lazy members must be exactly the receiver-list population; lazy
-  // (parked) members must already be out of the id map.
-  std::size_t non_lazy_on_win_lists = 0;
+  // Window lists: doubly-linked, acyclic, ascending-id, window-consistent,
+  // ids inside the list's recorded range. Pending members must be exactly
+  // the receiver-list population; parked members (metadata id cleared, the
+  // envelope still carrying the id) must already be out of the live index.
+  std::size_t pending_on_win_lists = 0;
   for (std::int64_t w = win_base_;
        w < win_base_ + static_cast<std::int64_t>(win_count_); ++w) {
-    std::int32_t s = win_list(w).head;
+    const WinList& wl = win_list(w);
+    std::int32_t s = wl.head;
     std::int32_t prev = kNoSlot;
     MsgId last_id = kNoMsg;
     std::size_t steps = 0;
@@ -394,36 +487,48 @@ void MessageBuffer::audit() const {
       AA_CHECK(s >= 0 && static_cast<std::size_t>(s) < cap,
                "audit: window list points outside the slot arena");
       AA_CHECK(++steps <= cap, "audit: window list has a cycle");
-      const Slot& slot = slots_[static_cast<std::size_t>(s)];
-      AA_CHECK(slot.prev_win == prev,
+      const auto si = static_cast<std::size_t>(s);
+      const Envelope& env = envs_[si];
+      AA_CHECK(links_[si].prev_win == prev,
                "audit: window list prev link disagrees with walk");
-      AA_CHECK(slot.env.id != kNoMsg, "audit: retired slot on a window list");
-      AA_CHECK(slot.env.window == w, "audit: slot on the wrong window list");
-      AA_CHECK(slot.env.id > last_id,
+      AA_CHECK(env.id != kNoMsg, "audit: retired slot on a window list");
+      AA_CHECK(env.window == w, "audit: slot on the wrong window list");
+      AA_CHECK(env.id > last_id,
                "audit: window list ids not strictly ascending");
-      if (slot.lazy) {
-        AA_CHECK(state[static_cast<std::size_t>(s)] == 0,
+      AA_CHECK(wl.first_id != kNoMsg && env.id >= wl.first_id &&
+                   env.id <= wl.last_id,
+               "audit: window list id outside the list's recorded range");
+      if (meta_[si].id == kNoMsg) {
+        // Parked: off the receiver lists, and its id must no longer
+        // resolve (the direct tier disarms via the metadata id; the map
+        // tier must have been erased explicitly).
+        AA_CHECK(state[si] == 0,
                  "audit: parked slot also reachable from a receiver list");
-        AA_CHECK(id_map_.find(slot.env.id) == detail::MsgIdMap::kAbsent,
-                 "audit: parked slot's id still resolves in the id map");
-        state[static_cast<std::size_t>(s)] = 2;
+        if (env.id < direct_base_) {
+          AA_CHECK(id_map_.find(env.id) == detail::MsgIdMap::kAbsent,
+                   "audit: parked slot's id still resolves in the id map");
+        }
+        state[si] = 2;
       } else {
-        AA_CHECK(state[static_cast<std::size_t>(s)] == 1,
+        AA_CHECK(meta_[si].id == env.id,
+                 "audit: slot metadata id disagrees with its envelope");
+        AA_CHECK(state[si] == 1,
                  "audit: window-list slot missing from its receiver list");
-        state[static_cast<std::size_t>(s)] = 3;
-        ++non_lazy_on_win_lists;
+        state[si] = 3;
+        ++pending_on_win_lists;
       }
-      last_id = slot.env.id;
+      last_id = env.id;
       prev = s;
-      s = slot.next_win;
+      s = links_[si].next_win;
     }
-    AA_CHECK(win_list(w).tail == prev,
+    AA_CHECK(wl.tail == prev,
              "audit: window tail does not match the last list element");
   }
-  AA_CHECK(non_lazy_on_win_lists == pending_,
+  AA_CHECK(pending_on_win_lists == pending_,
            "audit: window lists do not cover the pending population");
 
-  // Free list (linked through next_rcv): acyclic, all members retired.
+  // Free list (linked through next_rcv): acyclic, all members retired in
+  // BOTH arrays (a freed slot carries no id anywhere).
   {
     std::int32_t s = free_head_;
     std::size_t steps = 0;
@@ -431,13 +536,13 @@ void MessageBuffer::audit() const {
       AA_CHECK(s >= 0 && static_cast<std::size_t>(s) < cap,
                "audit: free list points outside the slot arena");
       AA_CHECK(++steps <= cap, "audit: free list has a cycle");
-      const Slot& slot = slots_[static_cast<std::size_t>(s)];
-      AA_CHECK(state[static_cast<std::size_t>(s)] == 0,
+      const auto si = static_cast<std::size_t>(s);
+      AA_CHECK(state[si] == 0,
                "audit: free-list slot also reachable from a live list");
-      AA_CHECK(slot.env.id == kNoMsg,
+      AA_CHECK(meta_[si].id == kNoMsg && envs_[si].id == kNoMsg,
                "audit: free-list slot still carries a live id");
-      state[static_cast<std::size_t>(s)] = 4;
-      s = slot.next_rcv;
+      state[si] = 4;
+      s = links_[si].next_rcv;
     }
   }
 
@@ -457,14 +562,14 @@ void MessageBuffer::audit() const {
 // ---- iteration ------------------------------------------------------------
 
 const Envelope& MessageBuffer::PendingIterator::operator*() const {
-  return buf_->slots_[static_cast<std::size_t>(cur_)].env;
+  return buf_->envs_[static_cast<std::size_t>(cur_)];
 }
 
 void MessageBuffer::PendingIterator::skip_non_matching() {
   if (sender_ < 0) return;
   while (cur_ >= 0 &&
-         buf_->slots_[static_cast<std::size_t>(cur_)].env.sender != sender_) {
-    cur_ = buf_->slots_[static_cast<std::size_t>(cur_)].next_rcv;
+         buf_->meta_[static_cast<std::size_t>(cur_)].sender != sender_) {
+    cur_ = buf_->links_[static_cast<std::size_t>(cur_)].next_rcv;
   }
 }
 
@@ -473,18 +578,18 @@ void MessageBuffer::PendingIterator::prefetch() {
     next_ = kNoSlot;
     return;
   }
-  std::int32_t s = buf_->slots_[static_cast<std::size_t>(cur_)].next_rcv;
+  std::int32_t s = buf_->links_[static_cast<std::size_t>(cur_)].next_rcv;
   if (sender_ >= 0) {
     while (s >= 0 &&
-           buf_->slots_[static_cast<std::size_t>(s)].env.sender != sender_) {
-      s = buf_->slots_[static_cast<std::size_t>(s)].next_rcv;
+           buf_->meta_[static_cast<std::size_t>(s)].sender != sender_) {
+      s = buf_->links_[static_cast<std::size_t>(s)].next_rcv;
     }
   }
   next_ = s;
 }
 
 const Envelope& MessageBuffer::WindowIterator::operator*() const {
-  return buf_->slots_[static_cast<std::size_t>(cur_)].env;
+  return buf_->envs_[static_cast<std::size_t>(cur_)];
 }
 
 void MessageBuffer::WindowIterator::advance_to_nonempty_window() {
@@ -498,17 +603,17 @@ void MessageBuffer::WindowIterator::advance_to_nonempty_window() {
 }
 
 void MessageBuffer::WindowIterator::skip_lazy() {
-  while (cur_ >= 0 && buf_->slots_[static_cast<std::size_t>(cur_)].lazy) {
-    cur_ = buf_->slots_[static_cast<std::size_t>(cur_)].next_win;
+  while (cur_ >= 0 && buf_->meta_[static_cast<std::size_t>(cur_)].id == kNoMsg) {
+    cur_ = buf_->links_[static_cast<std::size_t>(cur_)].next_win;
   }
 }
 
 void MessageBuffer::WindowIterator::prefetch() {
   std::int32_t s = cur_ < 0 ? kNoSlot
-                            : buf_->slots_[static_cast<std::size_t>(cur_)]
+                            : buf_->links_[static_cast<std::size_t>(cur_)]
                                   .next_win;
-  while (s >= 0 && buf_->slots_[static_cast<std::size_t>(s)].lazy) {
-    s = buf_->slots_[static_cast<std::size_t>(s)].next_win;
+  while (s >= 0 && buf_->meta_[static_cast<std::size_t>(s)].id == kNoMsg) {
+    s = buf_->links_[static_cast<std::size_t>(s)].next_win;
   }
   next_ = s;
 }

@@ -7,31 +7,54 @@
 // acceptable-window semantics where messages from silenced senders are never
 // delivered; the async crash model never drops except to crashed receivers.)
 //
-// Arena design (the O(live) rewrite):
+// Arena design (the O(live) rewrite, now SoA):
 //   * MsgIds stay monotonically increasing — the adversary-visible identity
 //     and all iteration orders are unchanged from the append-only store.
-//   * Each live (pending) message occupies one reusable Slot; delivered and
+//   * Each live (pending) message occupies one reusable slot; delivered and
 //     dropped messages release their slot immediately, so memory is
 //     O(peak live messages), independent of execution length.
-//   * Ids resolve to slots through an open-addressing table (linear probing
-//     with backward-shift deletion); sequential ids index near-perfectly, so
-//     lookups are O(1) with no per-message heap allocation in steady state.
+//   * Slot storage is struct-of-arrays: the intrusive list links (`links_`),
+//     the 16-byte hot metadata the delivery walk filters on (`meta_`: id,
+//     receiver, sender), and the full envelopes (`envs_`) live in three
+//     lockstep arrays. The per-receiver delivery walk and the plan
+//     validation scan touch one metadata cache line per four messages
+//     instead of a full Envelope each.
+//   * Ids resolve to slots in two tiers. Ids at or above `direct_base_`
+//     — in the window regime, every id of the current window — resolve
+//     through a dense direct-index array (one bounds-checked load, no
+//     hashing). Older ids ("stragglers": async-regime messages that
+//     outlive many window advances) live in an open-addressing table
+//     (linear probing with backward-shift deletion). The window-edge sweep
+//     retires the whole direct range in O(1) — see drop_pending_in_window —
+//     so the acceptable-window hot path performs NO per-message hash
+//     erases at all; the incremental erase path survives only for spilled
+//     stragglers.
 //   * Slots are threaded onto two intrusive doubly-linked lists — one per
 //     receiver and one per send-window — kept in ascending-id (send) order.
 //     pending_to / pending_from_to / pending_in_window / all_pending iterate
 //     those lists in O(result), and drop_pending_in_window retires exactly
-//     the window's own leftovers.
+//     the window's own leftovers. Each window list additionally records its
+//     member id range ([first_id, last_id], plus a contiguity flag), which
+//     the bulk delivery run uses as a branch-free window test.
 //
 // Because slots recycle, envelope lookups are only valid for PENDING ids:
 // querying a retired id throws (std::logic_error), and is_pending(id) is the
 // only question that can be asked about the whole history.
 //
-// Envelope-view invalidation contract (batch API): references returned by
-// get()/iteration and the views handed out by deliver_lazy /
-// deliver_window_run_to are invalidated by the next publication — a single
-// add() OR any add_batch(), which may grow the slot arena — and, for
-// delivered (parked) slots, by the drop_pending_in_window sweep that
-// recycles them. Within one acceptable window the engine publishes first
+// Envelope-view invalidation contract (batch API, SoA edition): references
+// returned by get()/iteration and the views handed out by deliver_lazy /
+// deliver_window_run_to point into the envelope array `envs_` and are
+// invalidated by
+//   (1) the next publication — a single add() OR any add_batch(), which may
+//       grow the envelope array (SoA does not change this: all three arrays
+//       grow together), and
+//   (2) for delivered (parked) slots, the drop_pending_in_window sweep of
+//       their send window, which recycles the slot; the parked id becomes
+//       REUSABLE arena space at that sweep, not before.
+// Range retirement does NOT add an invalidation point: rewinding the direct
+// index (the O(1) window-edge id retirement, or an explicit
+// spill_direct_index()) moves only id→slot bookkeeping and never touches
+// envelope storage. Within one acceptable window the engine publishes first
 // and delivers after, so views collected during the delivery phase stay
 // valid until the window's end_window sweep; holders that outlive a
 // publication (anything keeping a view across sending steps) must copy the
@@ -55,7 +78,9 @@ namespace detail {
 
 /// Open-addressing MsgId → slot-index map (linear probing, power-of-two
 /// capacity, backward-shift deletion — no tombstones, so steady-state
-/// insert/erase churn never degrades or reallocates).
+/// insert/erase churn never degrades or reallocates). Holds only the
+/// SPILLED tier of ids (below MessageBuffer's direct-index base); the
+/// window-regime hot path never touches it.
 class MsgIdMap {
  public:
   static constexpr std::uint32_t kAbsent = 0xffffffffu;
@@ -86,7 +111,7 @@ class MsgIdMap {
   }
 
   /// Grow once so that `extra` further insert_no_grow calls stay under the
-  /// load factor — the bulk-insert half of add_batch.
+  /// load factor — the bulk-insert half of spill_direct_index.
   void reserve_extra(std::size_t extra) {
     while ((size_ + extra + 1) * 4 >= cells_.size() * 3) grow();
   }
@@ -108,7 +133,9 @@ class MsgIdMap {
     }
   }
 
-  /// Precondition: key present.
+  /// Precondition: key present. Outside MessageBuffer's own implementation
+  /// this is never the right call — the window-edge range retirement is the
+  /// sanctioned bulk-retire path (enforced by aa_lint's idmap-erase rule).
   void erase(MsgId key) noexcept {
     std::size_t i = home(key);
     while (cells_[i].key != key) i = (i + 1) & mask_;
@@ -177,10 +204,11 @@ class MessageBuffer {
 
   /// Restore the freshly-constructed state for `n` processors while
   /// KEEPING every capacity the previous run grew (slot arena, id-map
-  /// table, receiver lists, window ring) — the campaign trial-reuse path:
-  /// after the first trial warms a worker's buffer up, later same-shape
-  /// trials allocate nothing. Observable behaviour is identical to a fresh
-  /// MessageBuffer(n): ids restart at 0 and every list is empty.
+  /// table, direct index, receiver lists, window ring) — the campaign
+  /// trial-reuse path: after the first trial warms a worker's buffer up,
+  /// later same-shape trials allocate nothing. Observable behaviour is
+  /// identical to a fresh MessageBuffer(n): ids restart at 0 and every
+  /// list is empty.
   void reset(int n);
 
   /// Add a new in-flight message; returns its id.
@@ -192,7 +220,7 @@ class MessageBuffer {
   /// starting at the returned value, receiver lists stay ascending-id, and
   /// every iteration order is unchanged. One pass allocates the slot run,
   /// splices the whole run onto the window list in a single attach, and
-  /// bulk-inserts into the id map (capacity ensured once up front).
+  /// extends the dense direct index (no hash inserts at all).
   /// Returns the first id of the run (== total_sent() before the call,
   /// also for an empty run).
   MsgId add_batch(ProcId sender, std::span<const StagedMessage> items,
@@ -212,9 +240,9 @@ class MessageBuffer {
   /// Single-lookup LAZY delivery for the acceptable-window hot path: if
   /// `id` is pending AND addressed to `receiver` (a mismatch throws
   /// std::logic_error BEFORE any state changes), mark it delivered
-  /// (is_pending flips to false, the receiver list and id map are updated,
-  /// counters advance) and return a view of its envelope; if already
-  /// retired, return nullptr (ids never issued throw). Unlike
+  /// (is_pending flips to false, the receiver list and id index are
+  /// updated, counters advance) and return a view of its envelope; if
+  /// already retired, return nullptr (ids never issued throw). Unlike
   /// mark_delivered, the slot is NOT recycled yet: it stays parked on its
   /// window list until drop_pending_in_window(its window) sweeps it onto
   /// the free list in one bulk walk — that is what makes the per-message
@@ -228,12 +256,15 @@ class MessageBuffer {
   /// window fast path. Walks `receiver`'s pending list once, in list (id)
   /// order, and delivers every message sent in window `w` whose sender is
   /// selected: all of them when `sender_stamp` is null, else exactly those
-  /// with sender_stamp[sender] == epoch. Delivered slots are parked lazily
-  /// (same sweep obligation as deliver_lazy: the caller MUST eventually
-  /// drop window w) and their ids leave the id map WITHOUT any per-id
-  /// lookup; unselected messages stay pending, relinked in one pass.
-  /// Appends one envelope view per delivery to `out` (valid until the next
-  /// publication or the window sweep) and returns the number delivered.
+  /// with sender_stamp[sender] == epoch. The window test is the window
+  /// list's recorded id range when its ids are contiguous (one metadata
+  /// compare, no envelope touch), the envelope's window field otherwise.
+  /// Delivered slots are parked lazily (same sweep obligation as
+  /// deliver_lazy: the caller MUST eventually drop window w) and their ids
+  /// leave the live index WITHOUT any hash work; unselected messages stay
+  /// pending, relinked in one pass. Appends one envelope view per delivery
+  /// to `out` (valid until the next publication or the window sweep) and
+  /// returns the number delivered.
   int deliver_window_run_to(ProcId receiver, std::int64_t w,
                             const std::uint64_t* sender_stamp,
                             std::uint64_t epoch,
@@ -245,7 +276,21 @@ class MessageBuffer {
 
   /// Drop every still-pending message sent during window `w` by walking
   /// only that window's own pending list. Returns the number dropped.
+  /// Range retirement: when the sweep leaves NO pending message anywhere
+  /// (the steady state of the acceptable-window regime, where every window
+  /// ends empty), the whole direct index [direct_base_, next_id_) is
+  /// retired in O(1) — direct_base_ jumps to next_id_ — replacing the
+  /// per-id backward-shift hash erases the sweep used to pay for.
   std::size_t drop_pending_in_window(std::int64_t w);
+
+  /// Migrate every live directly-indexed id into the straggler hash map and
+  /// rewind the direct index to start at the current id watermark. Purely
+  /// an id→slot bookkeeping move: no envelope storage is touched, no view
+  /// is invalidated, and every query answers identically. Called by the
+  /// engine when a window advances while messages stay pending (the async /
+  /// keep-pending regimes, where no sweep will ever empty the window), and
+  /// internally when the direct index outgrows its size bound.
+  void spill_direct_index();
 
   /// Install (or clear, with nullptr) the accountability lens: every drop
   /// of a still-PENDING message — mark_dropped or the end-of-window sweep —
@@ -369,24 +414,28 @@ class MessageBuffer {
   /// Slots ever materialized — the arena's high-water mark. Stays flat once
   /// the peak live load is reached, no matter how long the run is.
   [[nodiscard]] std::size_t slot_capacity() const noexcept {
-    return slots_.size();
+    return envs_.size();
   }
   /// Allocated arena slots — unlike slot_capacity(), this survives reset():
   /// the trial-reuse path rewinds the materialized span but keeps the
   /// allocation, so steady-state trials re-materialize allocation-free.
   [[nodiscard]] std::size_t slot_reserve() const noexcept {
-    return slots_.capacity();
+    return envs_.capacity();
   }
 
   /// Opt-in invariant auditor: verify the full arena state — receiver and
-  /// window lists (doubly-linked, acyclic, ascending-id, field-consistent),
-  /// id-map ↔ arena agreement (every pending id resolves to its slot and
-  /// vice versa), lazy-parked slot accounting, free-list integrity, and
-  /// that every slot is in exactly one of {pending, parked, free} with the
-  /// lifecycle counters summing to total_sent(). Throws std::logic_error
-  /// on the first violation. O(slots) with scratch allocation — meant for
-  /// window boundaries under ExecutionConfig::audit, self-tests, and
-  /// post-reset validation, not the hot path.
+  /// window lists (doubly-linked, acyclic, ascending-id, field-consistent,
+  /// ids within the window list's recorded range), two-tier id resolution
+  /// (every pending id at or above the direct base resolves through the
+  /// direct index, every older one through the straggler map, and both
+  /// structures hold nothing else), SoA lockstep (metadata id mirrors the
+  /// envelope id on every live slot), lazy-parked slot accounting,
+  /// free-list integrity, and that every slot is in exactly one of
+  /// {pending, parked, free} with the lifecycle counters summing to
+  /// total_sent(). Throws std::logic_error on the first violation.
+  /// O(slots) with scratch allocation — meant for window boundaries under
+  /// ExecutionConfig::audit, self-tests, and post-reset validation, not the
+  /// hot path.
   void audit() const;
 
  private:
@@ -394,24 +443,49 @@ class MessageBuffer {
   friend class WindowIterator;
   friend struct AuditTestAccess;
 
-  struct Slot {
-    Envelope env;
+  /// Intrusive list links, one entry per slot (SoA: kept apart from the
+  /// metadata and envelope arrays so list surgery touches only this).
+  struct Link {
     std::int32_t prev_rcv = -1;
     std::int32_t next_rcv = -1;  ///< doubles as the free-list link
     std::int32_t prev_win = -1;
     std::int32_t next_win = -1;
-    /// deliver_lazy parking flag: delivered, but still on its window list
-    /// awaiting the bulk sweep in drop_pending_in_window.
-    bool lazy = false;
   };
 
+  /// Hot 16-byte per-slot metadata: everything the delivery walk and the
+  /// plan-validation scan filter on. `id == kNoMsg` means the slot is NOT
+  /// pending — either parked (delivered, awaiting its window sweep; the
+  /// envelope still carries the id) or free (envelope id is kNoMsg too).
+  struct Meta {
+    MsgId id = kNoMsg;
+    ProcId receiver = -1;
+    ProcId sender = -1;
+  };
+
+  /// One send-window's pending list plus its member id range. `first_id` /
+  /// `last_id` bound every id ever linked onto the list; while
+  /// `contiguous` holds (no other window's ids were interleaved between
+  /// this window's batches — always true under the engine's
+  /// one-window-at-a-time publication), membership in [first_id, last_id]
+  /// is EXACT for pending slots, giving deliver_window_run_to a window
+  /// test that never touches the envelope.
   struct WinList {
     std::int32_t head = -1;
     std::int32_t tail = -1;
+    MsgId first_id = kNoMsg;
+    MsgId last_id = kNoMsg;
+    bool contiguous = true;
   };
 
+  /// Direct index size bound: past this many entries add_batch spills the
+  /// live ones into the straggler map (async regime, where no window sweep
+  /// ever rewinds the index). 64Ki entries = 256 KiB — far above any
+  /// window-regime working set, far below the horizon of a long async run.
+  static constexpr std::size_t kDirectSpillLimit = std::size_t{1} << 16;
+
   /// Slot index for a live id; kAbsentSlot when retired. Throws on ids
-  /// never issued.
+  /// never issued. Two-tier: dense direct-index load for ids >=
+  /// direct_base_, straggler hash map below it.
   [[nodiscard]] std::int32_t slot_of(MsgId id) const;
   /// Unlink from both lists, erase the id mapping, push onto the free list.
   void retire(std::int32_t slot);
@@ -433,10 +507,22 @@ class MessageBuffer {
   void reserve_window(std::int64_t w);
 
   int n_;
-  std::vector<Slot> slots_;
+  // SoA slot arena: three lockstep arrays (see Link / Meta above; envs_ is
+  // the canonical envelope storage every view points into).
+  std::vector<Link> links_;
+  std::vector<Meta> meta_;
+  std::vector<Envelope> envs_;
   std::int32_t free_head_ = -1;
+
+  // Two-tier id → slot resolution. direct_slots_[id - direct_base_] is the
+  // slot that id was assigned to, for every id in [direct_base_, next_id_)
+  // (stale entries are disarmed by the meta_ id check — a recycled slot
+  // carries a different id). id_map_ holds EXACTLY the pending ids below
+  // direct_base_; ids at or above it are never in the map.
   detail::MsgIdMap id_map_;
   MsgId next_id_ = 0;
+  MsgId direct_base_ = 0;
+  std::vector<std::int32_t> direct_slots_;
 
   std::vector<std::int32_t> rcv_head_;
   std::vector<std::int32_t> rcv_tail_;

@@ -316,6 +316,11 @@ void Execution::end_window() {
 
 void Execution::advance_window_keep_pending() {
   if (audit_due()) audit();
+  // The window advances with messages still pending, so no sweep will ever
+  // range-retire their ids: migrate them to the straggler map now and keep
+  // the direct index anchored at the current watermark. Pure id→slot
+  // bookkeeping — no delivery order or envelope view changes.
+  buffer_.spill_direct_index();
   ++window_;
 }
 

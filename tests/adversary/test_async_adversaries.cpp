@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "adversary/async_adversaries.hpp"
+#include "adversary/censor.hpp"
 #include "protocols/factory.hpp"
 #include "sim/async.hpp"
+#include "util/rng.hpp"
 
 namespace aa::adversary {
 namespace {
@@ -52,6 +57,111 @@ TEST(FixedCrashScheduler, CrashesFirstThenDelivers) {
   e.crash(4);
   const auto a3 = sched.next(e);
   EXPECT_TRUE(std::holds_alternative<sim::DeliverAction>(a3));
+}
+
+// The list DeliverableSet must equal after every sync: pending messages to
+// live receivers, ascending id — exactly the fallback's full rescan.
+std::vector<sim::MsgId> full_rescan(const Execution& e) {
+  std::vector<sim::MsgId> out;
+  for (const sim::Envelope& env : e.buffer().all_pending()) {
+    if (!e.crashed(env.receiver)) out.push_back(env.id);
+  }
+  return out;
+}
+
+// Deliver `id` the way run_async does: receiving step, then publish the
+// receiver's staged responses immediately (§5 atomic receive+send).
+void apply_delivery(Execution& e, sim::MsgId id) {
+  const sim::ProcId receiver = e.buffer().get(id).receiver;
+  e.receiving_step(id);
+  e.sending_step(receiver);
+}
+
+TEST(DeliverableSet, StackedWrapperChurnNeverDesyncsFromRescan) {
+  // Regression test for the incremental cache under STACKED plan-mutating
+  // wrappers: between two syncs the scheduler's pick may be (a) applied,
+  // (b) ignored while a substitute is delivered instead, (c) applied AND a
+  // second out-of-band delivery retired in the same gap (substitution +
+  // out-of-band retirement between the same pair of syncs), or (d) ignored
+  // while TWO out-of-band deliveries retire. Each delivery also publishes
+  // fresh responses, and crashes land mid-stream. After every combination
+  // the synced list must be byte-for-byte the full rescan — and no stale
+  // retired id may linger in the cache, where the next crash purge's
+  // buffer lookup would blow up on it.
+  const int n = 8;
+  const int t = 2;
+  Execution e(protocols::make_processes(ProtocolKind::BenOr, t,
+                                        protocols::split_inputs(n, 0.5)),
+              11);
+  for (int p = 0; p < n; ++p) e.sending_step(p);
+  detail::DeliverableSet ds;
+  ds.reset();
+  Rng rng(99);
+  int applied = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    ASSERT_NO_THROW(ds.sync(e)) << "iter " << iter;
+    ASSERT_EQ(ds.ids(), full_rescan(e)) << "iter " << iter;
+    if (ds.empty()) break;
+    const sim::MsgId pick = ds.take(rng.uniform_index(ds.size()));
+    // A non-pick pending id, when the wrapper needs a substitute.
+    const auto substitute = [&]() -> sim::MsgId {
+      for (const sim::MsgId id : full_rescan(e)) {
+        if (id != pick) return id;
+      }
+      return sim::kNoMsg;
+    };
+    switch (iter % 4) {
+      case 0: {  // pick passes through every wrapper
+        apply_delivery(e, pick);
+        ++applied;
+        break;
+      }
+      case 1: {  // wrapper substitutes; pick stays pending
+        const sim::MsgId sub = substitute();
+        apply_delivery(e, sub == sim::kNoMsg ? pick : sub);
+        break;
+      }
+      case 2: {  // substitution + the pick ALSO retired out-of-band
+        const sim::MsgId sub = substitute();
+        if (sub != sim::kNoMsg) apply_delivery(e, sub);
+        if (e.buffer().is_pending(pick)) apply_delivery(e, pick);
+        break;
+      }
+      case 3: {  // two out-of-band retirements, pick untouched
+        for (int k = 0; k < 2; ++k) {
+          const sim::MsgId sub = substitute();
+          if (sub != sim::kNoMsg) apply_delivery(e, sub);
+        }
+        break;
+      }
+    }
+    if (iter == 37 || iter == 149) {
+      e.crash(static_cast<sim::ProcId>(iter % n));  // within the t budget
+    }
+  }
+  EXPECT_GT(applied, 0);
+}
+
+TEST(DeliverableSet, StackedStarvingWrappersEndToEnd) {
+  // Two StarvingAsyncSchedulers stacked on a RandomAsyncScheduler: both
+  // layers substitute deliveries the inner cache never issued, in the same
+  // run, with different targets. The run must complete without the cache
+  // ever handing run_async a dead id (receiving_step would throw) and
+  // without the crash purge tripping on a stale entry.
+  const int n = 8;
+  const int t = 1;
+  Execution e(protocols::make_processes(ProtocolKind::BenOr, t,
+                                        protocols::split_inputs(n, 0.5)),
+              7);
+  auto inner = std::make_unique<RandomAsyncScheduler>(Rng(5));
+  auto mid = std::make_unique<StarvingAsyncScheduler>(std::move(inner),
+                                                      /*target=*/0,
+                                                      /*fairness_bound=*/3);
+  StarvingAsyncScheduler outer(std::move(mid), /*target=*/1,
+                               /*fairness_bound=*/2);
+  sim::AsyncRunResult r{};
+  ASSERT_NO_THROW(r = sim::run_async(e, outer, t, 4000));
+  EXPECT_GT(r.deliveries, 0);
 }
 
 TEST(AsyncSplitKeeper, DeliversCurrentRoundVotesFirst) {

@@ -144,6 +144,84 @@ TEST(CampaignResume, StaleArtifactFromOtherConfigIsRejected) {
   fs::remove_all(dir);
 }
 
+TEST(CampaignResume, LensSidecarValidatedOnResume) {
+  // With the lens armed, a cell artifact that restores byte-identically is
+  // NOT enough: the lens numbers live only in the <name>_cell_<i>_lens.json
+  // sidecar and cannot be rebuilt from the cell tallies. A missing,
+  // truncated, or stale sidecar must force a recompute (which rewrites the
+  // sidecar), never a silent resume with wrong lens numbers.
+  const fs::path dir = fresh_dir("lens");
+  CampaignConfig cfg = two_cell_config(dir.string());
+  cfg.lens = true;
+  (void)run_campaign(cfg);
+  const std::string want_summary = read_file(dir / "resume_summary.json");
+  const std::string want_lens0 = read_file(dir / "resume_cell_0_lens.json");
+  const std::string want_lens1 = read_file(dir / "resume_cell_1_lens.json");
+
+  // Control: intact sidecars resume both cells, everything byte-identical.
+  cfg.resume = true;
+  {
+    fs::remove(dir / "resume_summary.json");
+    const CampaignResult resumed = run_campaign(cfg);
+    EXPECT_TRUE(resumed.cells[0].resumed);
+    EXPECT_TRUE(resumed.cells[1].resumed);
+    EXPECT_EQ(read_file(dir / "resume_summary.json"), want_summary);
+    EXPECT_EQ(read_file(dir / "resume_cell_0_lens.json"), want_lens0);
+  }
+
+  // Missing sidecar for cell 0, truncated sidecar for cell 1 (SIGKILL
+  // between the two atomic writes / a torn copy): both recompute, both
+  // sidecars come back byte-identical.
+  {
+    fs::remove(dir / "resume_cell_0_lens.json");
+    std::ofstream out(dir / "resume_cell_1_lens.json", std::ios::binary);
+    out << want_lens1.substr(0, want_lens1.find("\"senders\""));
+  }
+  {
+    const CampaignResult resumed = run_campaign(cfg);
+    EXPECT_FALSE(resumed.cells[0].resumed);
+    EXPECT_FALSE(resumed.cells[1].resumed);
+    EXPECT_EQ(read_file(dir / "resume_cell_0_lens.json"), want_lens0);
+    EXPECT_EQ(read_file(dir / "resume_cell_1_lens.json"), want_lens1);
+    EXPECT_EQ(read_file(dir / "resume_summary.json"), want_summary);
+  }
+
+  // Stale sidecar: structurally complete JSON from a foreign run whose
+  // identity fields (n, trials) don't match this cell. Must recompute.
+  {
+    std::ofstream out(dir / "resume_cell_0_lens.json", std::ios::binary);
+    out << "{\n  \"n\": 4,\n  \"t\": 1,\n  \"trials\": 99,\n"
+           "  \"senders\": [\n  ]\n}\n";
+  }
+  {
+    const CampaignResult resumed = run_campaign(cfg);
+    EXPECT_FALSE(resumed.cells[0].resumed);
+    EXPECT_TRUE(resumed.cells[1].resumed);
+    EXPECT_EQ(read_file(dir / "resume_cell_0_lens.json"), want_lens0);
+  }
+  EXPECT_TRUE(tmp_leftovers(dir).empty());
+  fs::remove_all(dir);
+}
+
+TEST(CampaignResume, LensOffResumeIgnoresSidecars) {
+  // Without the lens there is no sidecar contract: resume must not demand
+  // one (and must not be confused by a stray lens file from an older
+  // lens-armed run of the same name).
+  const fs::path dir = fresh_dir("lensoff");
+  CampaignConfig cfg = two_cell_config(dir.string());
+  (void)run_campaign(cfg);
+  {
+    std::ofstream out(dir / "resume_cell_0_lens.json", std::ios::binary);
+    out << "stray";
+  }
+  fs::remove(dir / "resume_summary.json");
+  cfg.resume = true;
+  const CampaignResult resumed = run_campaign(cfg);
+  EXPECT_TRUE(resumed.cells[0].resumed);
+  EXPECT_TRUE(resumed.cells[1].resumed);
+  fs::remove_all(dir);
+}
+
 TEST(CampaignResume, CellTimeoutMarksFailedAndSummarySkipsIt) {
   // One cell whose trials cannot finish inside the watchdog deadline:
   // split-keeper against split inputs keeps the run undecided, so every

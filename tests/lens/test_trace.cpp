@@ -12,6 +12,8 @@
 #include "lens/accountability.hpp"
 #include "lens/trace.hpp"
 #include "protocols/factory.hpp"
+#include "sim/buffer.hpp"
+#include "sim/window.hpp"
 #include "util/rng.hpp"
 
 namespace aa::lens {
@@ -97,6 +99,98 @@ TEST(WindowTrace, LensOffProducesIdenticalRunResult) {
     EXPECT_EQ(a.windows_to_first, b.windows_to_first);
     EXPECT_FALSE(sb.trace.has_value());
   }
+}
+
+// ---- lens hooks vs the SoA arena (recycling + range retirement) ------------
+
+TEST(WindowTrace, HookCountsExactUnderRecyclingAndRangeRetirement) {
+  // 200 windows of n×n publication cycle through a handful of recycled
+  // slots, and the O(1) id-range retirement fires at every window edge.
+  // The lens must still account for every message exactly once: published
+  // = delivered + suppressed, per sender and in total.
+  const int n = 8;
+  const int t = 1;
+  WindowTrace trace;
+  trace.begin_trial(n);
+  sim::ExecutionConfig cfg;
+  cfg.lens = &trace;
+  sim::Execution e(
+      protocols::make_processes(protocols::ProtocolKind::Reset, t,
+                                protocols::split_inputs(n, 0.5)),
+      9, cfg);
+  adversary::SilencerWindowAdversary sil({0});  // sender 0 always swept
+  for (int w = 0; w < 200; ++w) sim::run_acceptable_window(e, sil, t);
+  ASSERT_EQ(e.buffer().pending_count(), 0u);
+  std::int64_t sent = 0;
+  std::int64_t delivered = 0;
+  std::int64_t suppressed = 0;
+  for (sim::ProcId s = 0; s < n; ++s) {
+    sent += trace.sent(s);
+    delivered += trace.delivered_total(s);
+    suppressed += trace.suppressed_total(s);
+    EXPECT_EQ(trace.sent(s),
+              trace.delivered_total(s) + trace.suppressed_total(s))
+        << "sender " << s;
+  }
+  EXPECT_EQ(static_cast<std::size_t>(sent), e.buffer().total_sent());
+  EXPECT_EQ(static_cast<std::size_t>(delivered),
+            e.buffer().delivered_count());
+  EXPECT_EQ(static_cast<std::size_t>(suppressed),
+            e.buffer().dropped_count());
+  // The silenced sender's every message was a sweep-time suppression.
+  EXPECT_EQ(trace.delivered_total(0), 0);
+  EXPECT_EQ(trace.suppressed_total(0), trace.sent(0));
+}
+
+TEST(WindowTrace, SuppressHooksExactAcrossStraddlingRunsAndSpill) {
+  // Buffer-level: batch runs that straddle the recycled free list, a
+  // mid-window spill of the direct id index, and sweeps that retire ids
+  // through BOTH tiers. on_suppress must fire exactly once per undelivered
+  // message — parked (already delivered) slots swept in the same pass fire
+  // nothing.
+  const int n = 4;
+  WindowTrace trace;
+  trace.begin_trial(n);
+  sim::MessageBuffer buf(n);
+  buf.set_trace(&trace);
+  sim::Message m;
+  m.kind = 1;
+
+  // Window 0: one run of 6; deliver 2 (parked), sweep the other 4 away.
+  std::vector<sim::StagedMessage> items;
+  for (int k = 0; k < 6; ++k) {
+    items.push_back({static_cast<sim::ProcId>(k % n), m});
+  }
+  const sim::MsgId first0 = buf.add_batch(0, items, /*window=*/0, 1);
+  ASSERT_NE(buf.deliver_lazy(first0, /*receiver=*/0), nullptr);
+  ASSERT_NE(buf.deliver_lazy(first0 + 1, /*receiver=*/1), nullptr);
+  EXPECT_EQ(buf.drop_pending_in_window(0), 4u);
+  EXPECT_EQ(trace.suppressed_total(0), 4);
+
+  // Window 1: a run of 9 straddles the 6 recycled slots + fresh growth;
+  // spill the direct index mid-window so retirement goes through the
+  // straggler map tier.
+  items.clear();
+  for (int k = 0; k < 9; ++k) {
+    items.push_back({static_cast<sim::ProcId>(k % n), m});
+  }
+  const sim::MsgId first1 = buf.add_batch(1, items, /*window=*/1, 2);
+  EXPECT_EQ(first1, 6);
+  buf.spill_direct_index();
+  // Parked via the straggler-map tier (the spill moved its id there).
+  ASSERT_NE(buf.deliver_lazy(first1, /*receiver=*/0), nullptr);
+  buf.mark_dropped(first1 + 2);                     // explicit suppression
+  EXPECT_EQ(buf.drop_pending_in_window(1), 7u);
+  EXPECT_EQ(buf.pending_count(), 0u);
+
+  // Sender 0 published 6 in window 0 (2 delivered) and sender 1 published
+  // 9 in window 1 (1 delivered): 4 + 8 suppressions, none double-counted
+  // across the recycled slots or the two id tiers.
+  EXPECT_EQ(trace.suppressed_total(0), 4);
+  EXPECT_EQ(trace.suppressed_total(1), 8);
+  std::int64_t suppressed = 0;
+  for (sim::ProcId s = 0; s < n; ++s) suppressed += trace.suppressed_total(s);
+  EXPECT_EQ(static_cast<std::size_t>(suppressed), buf.dropped_count());
 }
 
 // ---- targeted censorship ---------------------------------------------------

@@ -1,0 +1,19 @@
+// aa_lint self-test fixture: must trip EXACTLY the `idmap-erase` rule.
+// The straggler map holds only ids below the direct-index watermark; a raw
+// erase outside sim/buffer.cpp cannot know direct_base_ and desyncs the
+// two-tier id index.
+
+namespace fixture {
+
+struct MsgIdMap {
+  void erase(long long id);
+};
+
+struct Leaky {
+  void drop(long long id) {
+    id_map_.erase(id);  // the finding: raw erase outside the buffer
+  }
+  MsgIdMap id_map_;
+};
+
+}  // namespace fixture

@@ -181,6 +181,70 @@ class BenchDiffTest(unittest.TestCase):
         self.assertEqual(code, 0)
         self.assertIn("within tolerance", out)
 
+    # ---- orphaned-gate warnings (rename/removal must not be silent) ----
+
+    def test_removed_metric_warns_loudly(self):
+        # The previous artifact tracked a metric the current one lost: a
+        # bench rename in disguise. Must warn (listing the key) but exit 0.
+        self.write_artifact(self.previous, "pool", 4.0)
+        (self.current / "BENCH_pool.json").write_text('{"other": 1}\n')
+        code, out = self.diff()
+        self.assertEqual(code, 0)
+        self.assertIn("WARNING", out)
+        self.assertIn("orphaned", out)
+        self.assertIn("parallel_speedup", out)
+        self.assertIn("metric removed", out)
+
+    def test_removed_artifact_warns_loudly(self):
+        # A whole artifact vanished between runs: every tracked metric it
+        # carried is now ungated.
+        self.write_artifact(self.previous, "pool", 4.0)
+        self.write_artifact(self.previous, "gone_bench", 2.0)
+        self.write_artifact(self.current, "pool", 4.0)
+        code, out = self.diff()
+        self.assertEqual(code, 0)
+        self.assertIn("WARNING", out)
+        self.assertIn("BENCH_gone_bench.json", out)
+        self.assertIn("artifact removed", out)
+        self.assertIn("parallel_speedup", out)
+
+    def test_orphan_warning_lists_every_lost_key(self):
+        (self.previous / "BENCH_pool.json").write_text(json.dumps(
+            {"parallel_speedup": 4.0,
+             "lens_off_windows_per_sec": 50000.0}) + "\n")
+        (self.current / "BENCH_pool.json").write_text('{"other": 1}\n')
+        code, out = self.diff()
+        self.assertEqual(code, 0)
+        self.assertIn("lens_off_windows_per_sec", out)
+        self.assertIn("parallel_speedup", out)
+
+    def test_orphan_warning_does_not_mask_regressions(self):
+        # Orphans warn, regressions still gate: exit code must stay 1.
+        self.write_artifact(self.previous, "pool", 4.0)
+        self.write_artifact(self.current, "pool", 3.0)  # -25%
+        self.write_artifact(self.previous, "gone_bench", 2.0)
+        code, out = self.diff()
+        self.assertEqual(code, 1)
+        self.assertIn("WARNING", out)
+        self.assertIn("REGRESSION", out)
+
+    def test_no_orphans_no_warning(self):
+        self.write_artifact(self.previous, "pool", 4.0)
+        self.write_artifact(self.current, "pool", 4.1)
+        code, out = self.diff()
+        self.assertEqual(code, 0)
+        self.assertNotIn("WARNING", out)
+
+    def test_untracked_keys_in_removed_artifact_do_not_warn(self):
+        # A vanished artifact that never carried tracked metrics orphans
+        # nothing — no warning noise.
+        self.write_artifact(self.previous, "pool", 4.0)
+        (self.previous / "BENCH_scratch.json").write_text('{"other": 1}\n')
+        self.write_artifact(self.current, "pool", 4.0)
+        code, out = self.diff()
+        self.assertEqual(code, 0)
+        self.assertNotIn("WARNING", out)
+
     def test_both_metrics_gate_independently(self):
         # One artifact can regress parallel_speedup while another regresses
         # the lens-off rate; both must be reported.

@@ -18,21 +18,38 @@ namespace aa::sim {
 struct AuditTestAccess {
   // ---- MessageBuffer state ----
   static std::int32_t slot_of(MessageBuffer& b, MsgId id) {
-    return static_cast<std::int32_t>(b.id_map_.find(id));
+    return b.slot_of(id);
   }
   static std::int32_t rcv_head(MessageBuffer& b, ProcId r) {
     return b.rcv_head_[static_cast<std::size_t>(r)];
   }
   static void set_next_rcv(MessageBuffer& b, std::int32_t s, std::int32_t v) {
-    b.slots_[static_cast<std::size_t>(s)].next_rcv = v;
+    b.links_[static_cast<std::size_t>(s)].next_rcv = v;
   }
-  static void set_lazy(MessageBuffer& b, std::int32_t s, bool v) {
-    b.slots_[static_cast<std::size_t>(s)].lazy = v;
+  /// Forge the parked state on a slot (clear / restore the metadata id the
+  /// SoA arena uses as its pending marker) — the analogue of the old
+  /// lazy-flag tamper.
+  static void set_parked(MessageBuffer& b, std::int32_t s, bool v) {
+    b.meta_[static_cast<std::size_t>(s)].id =
+        v ? kNoMsg : b.envs_[static_cast<std::size_t>(s)].id;
   }
   static Envelope& env(MessageBuffer& b, std::int32_t s) {
-    return b.slots_[static_cast<std::size_t>(s)].env;
+    return b.envs_[static_cast<std::size_t>(s)];
   }
-  static void erase_id(MessageBuffer& b, MsgId id) { b.id_map_.erase(id); }
+  /// Break a pending id's resolution in whichever tier owns it: point the
+  /// direct-index entry at the wrong slot, or erase the straggler-map
+  /// entry.
+  static void unresolve_id(MessageBuffer& b, MsgId id) {
+    if (id >= b.direct_base_) {
+      std::int32_t& entry =
+          b.direct_slots_[static_cast<std::size_t>(id - b.direct_base_)];
+      entry = entry == 0 ? 1 : 0;  // any other slot index
+    } else {
+      // aa-lint: erase-ok(audit self-test plants the corruption it detects)
+      b.id_map_.erase(id);
+    }
+  }
+  static void spill(MessageBuffer& b) { b.spill_direct_index(); }
   static void bump_pending(MessageBuffer& b) { ++b.pending_; }
   static void set_free_head(MessageBuffer& b, std::int32_t s) {
     b.free_head_ = s;
@@ -94,16 +111,27 @@ TEST(BufferAudit, DetectsReceiverListCycle) {
   EXPECT_THROW(buf.audit(), std::logic_error);
 }
 
-TEST(BufferAudit, DetectsIdMapEntryMissing) {
+TEST(BufferAudit, DetectsDirectIndexEntryBroken) {
+  // Fresh ids live in the direct tier: break its entry for a pending id.
   MessageBuffer buf = busy_buffer();
-  AuditTestAccess::erase_id(buf, live_id(buf));
+  AuditTestAccess::unresolve_id(buf, live_id(buf));
   EXPECT_THROW(buf.audit(), std::logic_error);
 }
 
-TEST(BufferAudit, DetectsLazyFlagOnLinkedSlot) {
+TEST(BufferAudit, DetectsIdMapEntryMissingAfterSpill) {
+  // After a spill every live id resolves through the straggler map; the
+  // same corruption must be caught on that tier too.
   MessageBuffer buf = busy_buffer();
-  AuditTestAccess::set_lazy(buf, AuditTestAccess::slot_of(buf, live_id(buf)),
-                            true);
+  AuditTestAccess::spill(buf);
+  EXPECT_NO_THROW(buf.audit());  // the spill itself is invariant-preserving
+  AuditTestAccess::unresolve_id(buf, live_id(buf));
+  EXPECT_THROW(buf.audit(), std::logic_error);
+}
+
+TEST(BufferAudit, DetectsParkedStateOnLinkedSlot) {
+  MessageBuffer buf = busy_buffer();
+  AuditTestAccess::set_parked(buf, AuditTestAccess::slot_of(buf, live_id(buf)),
+                              true);
   EXPECT_THROW(buf.audit(), std::logic_error);
 }
 
